@@ -1,0 +1,113 @@
+// Reproduces Figure 4: the cost of the analysis. The paper compared
+// Panorama (parser + conventional tests + the GAR dataflow analysis)
+// against Sun's `f77 -O` and against its own parser, concluding the
+// sophisticated analysis costs about as much as an ordinary optimizing
+// compile. We regenerate the same three-bar shape per benchmark program:
+// parser-only, parser+conventional tests, and the full GAR analysis —
+// elapsed time plus the analyzer's allocation counters as the memory story.
+#include <map>
+
+#include "bench_util.h"
+
+using namespace panorama;
+using namespace panorama::bench;
+
+namespace {
+
+struct Cost {
+  double parseMs = 0;
+  double conventionalMs = 0;
+  double fullMs = 0;
+  std::size_t gars = 0;
+  std::size_t peakList = 0;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 4 (analysis cost) — per benchmark program\n");
+  std::printf("parser-only vs +conventional dependence tests vs full GAR dataflow analysis\n\n");
+  std::printf("%-8s | parse ms | +conv ms | full ms | full/parse | GARs | peak list\n",
+              "program");
+  std::printf("---------+----------+----------+---------+------------+------+----------\n");
+
+  std::map<std::string, std::vector<const CorpusLoop*>> byProgram;
+  for (const CorpusLoop& cl : perfectCorpus()) byProgram[cl.program].push_back(&cl);
+
+  constexpr int kRepeat = 20;  // timings are sub-millisecond: repeat and average
+  for (const auto& [name, loops] : byProgram) {
+    Cost cost;
+    for (const CorpusLoop* cl : loops) {
+      // parser only
+      auto t0 = std::chrono::steady_clock::now();
+      for (int r = 0; r < kRepeat; ++r) {
+        DiagnosticEngine diags;
+        auto p = parseProgram(cl->source, diags);
+        (void)p;
+      }
+      cost.parseMs += secondsSince(t0) * 1000 / kRepeat;
+
+      // parser + sema + conventional dependence tests
+      t0 = std::chrono::steady_clock::now();
+      for (int r = 0; r < kRepeat; ++r) {
+        DiagnosticEngine diags;
+        auto p = parseProgram(cl->source, diags);
+        auto sr = analyze(*p, diags);
+        ConventionalAnalyzer conv(*p, *sr);
+        auto verdicts = conv.classifyProgram();
+        (void)verdicts;
+      }
+      cost.conventionalMs += secondsSince(t0) * 1000 / kRepeat;
+
+      // the full pipeline
+      t0 = std::chrono::steady_clock::now();
+      for (int r = 0; r < kRepeat; ++r) {
+        LoadedKernel k = loadAndAnalyze(*cl, {});
+        if (r == 0 && k.ok) {
+          cost.gars += k.analyzer->stats().garsCreated;
+          cost.peakList = std::max(cost.peakList, k.analyzer->stats().peakListLength);
+        }
+      }
+      cost.fullMs += secondsSince(t0) * 1000 / kRepeat;
+    }
+    std::printf("%-8s | %8.2f | %8.2f | %7.2f | %9.1fx | %4zu | %8zu\n", name.c_str(),
+                cost.parseMs, cost.conventionalMs, cost.fullMs,
+                cost.parseMs > 0 ? cost.fullMs / cost.parseMs : 0.0, cost.gars, cost.peakList);
+  }
+  // ------------------------------------------------------------- scaling
+  // The paper's programs have hundreds of loops; show the analysis cost
+  // grows linearly in program size on synthesized inputs.
+  std::printf("\nscaling on synthesized programs (work-array pattern per routine):\n");
+  std::printf("%8s | %9s | %11s\n", "routines", "full ms", "ms/routine");
+  for (int routines : {8, 32, 128}) {
+    std::string src = "      program big\n      end\n";
+    for (int r = 0; r < routines; ++r) {
+      std::string id = std::to_string(r);
+      src += "      subroutine r" + id + "(a, c, n, m)\n";
+      src += "      real a(100), c(100)\n      integer n, m\n";
+      src += "      do i = 1, n\n";
+      src += "        do j = 1, m\n          a(j) = i + j\n        enddo\n";
+      src += "        do j = 1, m\n          c(i) = c(i) + a(j)\n        enddo\n";
+      src += "      enddo\n      end\n";
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    DiagnosticEngine diags;
+    auto p = parseProgram(src, diags);
+    auto sr = analyze(*p, diags);
+    Hsg hsg = buildHsg(*p, *sr, diags);
+    SummaryAnalyzer analyzer(*p, *sr, hsg, {});
+    LoopParallelizer lp(analyzer);
+    auto loops = lp.analyzeProgram();
+    double ms = secondsSince(t0) * 1000;
+    std::printf("%8d | %9.1f | %11.3f   (%zu loops analyzed)\n", routines, ms,
+                ms / routines, loops.size());
+  }
+
+  std::printf(
+      "\nPaper's finding: the whole Panorama pipeline ran faster than `f77 -O`,\n"
+      "i.e. the sophisticated analysis is affordable in absolute terms. Here the\n"
+      "full GAR analysis costs milliseconds per kernel; the multiplier over the\n"
+      "(very fast) parser is dominated by the symbolic set operations, with\n"
+      "ARC2D filerx the most expensive (its Figure 1(b) case-splitting).\n");
+  return 0;
+}

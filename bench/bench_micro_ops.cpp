@@ -1,0 +1,141 @@
+// Microbenchmarks for the primitive operations behind the analysis —
+// supporting Figure 4's practicality claim with per-operation costs:
+// symbolic arithmetic, predicate simplification and implication, range and
+// region set operations, GAR difference, and the expansion function.
+#include <benchmark/benchmark.h>
+
+#include "panorama/region/gar.h"
+
+namespace panorama {
+namespace {
+
+struct Fixture {
+  SymbolTable tab;
+  ArrayTable arrays;
+  VarId i = tab.intern("i");
+  VarId n = tab.intern("n");
+  VarId m = tab.intern("m");
+  SymExpr I = SymExpr::variable(i);
+  SymExpr N = SymExpr::variable(n);
+  SymExpr M = SymExpr::variable(m);
+  SymExpr one = SymExpr::constant(1);
+  ArrayId A = arrays.intern("a", {SymRange{one, SymExpr::constant(1000), one}});
+  CmpCtx ctx;
+};
+
+Fixture& fx() {
+  static Fixture f;
+  return f;
+}
+
+void BM_SymExprArithmetic(benchmark::State& state) {
+  Fixture& f = fx();
+  for (auto _ : state) {
+    SymExpr e = (f.I.mulConst(3) + f.N - 2) * (f.M + 1) - f.I * f.M;
+    benchmark::DoNotOptimize(e);
+  }
+}
+BENCHMARK(BM_SymExprArithmetic);
+
+void BM_SymExprSubstitute(benchmark::State& state) {
+  Fixture& f = fx();
+  SymExpr e = f.I.mulConst(2) + f.N * f.M - 7;
+  for (auto _ : state) {
+    SymExpr r = e.substitute(f.i, f.N + 5);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SymExprSubstitute);
+
+void BM_PredicateSimplify(benchmark::State& state) {
+  Fixture& f = fx();
+  for (auto _ : state) {
+    Pred p = Pred::atom(Atom::le(f.I, f.N)) && Pred::atom(Atom::ge(f.I, f.one)) &&
+             Pred::atom(Atom::le(f.I, f.N + 5)) && Pred::atom(Atom::le(f.one - 1, f.I));
+    p.simplify();
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_PredicateSimplify);
+
+void BM_PredicateImplies(benchmark::State& state) {
+  Fixture& f = fx();
+  Pred strong = Pred::atom(Atom::le(f.I, f.N)) && Pred::atom(Atom::ge(f.I, f.one));
+  Pred weak = Pred::atom(Atom::le(f.I, f.N + 3));
+  for (auto _ : state) {
+    Truth t = strong.implies(weak);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_PredicateImplies);
+
+void BM_FourierMotzkin(benchmark::State& state) {
+  Fixture& f = fx();
+  ConstraintSet cs;
+  cs.addExprLE0(f.I - f.N);
+  cs.addExprLE0(f.one - f.I);
+  cs.addExprLE0(f.N - f.M);
+  cs.addExprLE0(f.M - SymExpr::constant(100));
+  for (auto _ : state) {
+    Truth t = cs.impliesLE0(f.I - SymExpr::constant(100));
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_FourierMotzkin);
+
+void BM_RangeIntersectSymbolic(benchmark::State& state) {
+  Fixture& f = fx();
+  SymRange r1{f.I, f.N, f.one};
+  SymRange r2{f.one, f.M, f.one};
+  for (auto _ : state) {
+    auto r = rangeIntersect(r1, r2, f.ctx);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_RangeIntersectSymbolic);
+
+void BM_GarSubtract(benchmark::State& state) {
+  Fixture& f = fx();
+  GarList use = GarList::single(
+      Gar::make(Pred::makeTrue(), Region{f.A, {SymRange{f.one, f.N, f.one}}}));
+  GarList mod = GarList::single(
+      Gar::make(Pred::atom(Atom::le(f.M, f.N)), Region{f.A, {SymRange{f.M, f.N, f.one}}}));
+  for (auto _ : state) {
+    GarList r = garSubtract(use, mod, f.ctx);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_GarSubtract);
+
+void BM_Expansion(benchmark::State& state) {
+  Fixture& f = fx();
+  GarList list = GarList::single(Gar::make(Pred::atom(Atom::le(f.I, f.M)),
+                                           Region{f.A, {SymRange::point(f.I)}}));
+  LoopBounds bounds{f.i, f.one, f.N, f.one};
+  for (auto _ : state) {
+    GarList r = expandByIndex(list, bounds, f.ctx);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Expansion);
+
+void BM_IntersectionEmptinessProof(benchmark::State& state) {
+  Fixture& f = fx();
+  // The Figure 1(c) pattern: complementary guards.
+  VarId x = f.tab.intern("x");
+  SymExpr X = SymExpr::variable(x);
+  GarList a = GarList::single(Gar::make(Pred::atom(Atom::rle(X, SymExpr::constant(100))),
+                                        Region{f.A, {SymRange{f.one, f.M, f.one}}}));
+  GarList b = GarList::single(Gar::make(Pred::atom(Atom::rlt(SymExpr::constant(100), X)),
+                                        Region{f.A, {SymRange{f.one, f.M, f.one}}}));
+  for (auto _ : state) {
+    Truth t = garIntersectionEmpty(a, b, f.ctx);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_IntersectionEmptinessProof);
+
+}  // namespace
+}  // namespace panorama
+
+BENCHMARK_MAIN();

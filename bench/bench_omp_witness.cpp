@@ -1,0 +1,79 @@
+// The transformation the analysis licenses, executed for real: a C++
+// rendition of the TRFD olda/100 kernel with its work arrays privatized, run
+// serially and with OpenMP worksharing, must agree bit for bit. (On this
+// host the parallel run may not be faster — the witness is about semantics,
+// complementing the simulated FX/8 speedups of bench_table1_speedup.)
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace {
+
+constexpr int kNrs = 256;
+constexpr int kMrs = 192;
+
+/// The original loop: xrsiq/xij are shared scratch — a compiler may NOT
+/// parallelize this as-is (loop-carried output dependences).
+void oldaSerial(std::vector<double>& x) {
+  std::vector<double> xrsiq(kMrs + 1);
+  std::vector<double> xij(kMrs + 1);
+  for (int i = 1; i <= kNrs; ++i) {
+    for (int j = 1; j <= kMrs; ++j) xrsiq[j] = x[i * (kMrs + 1) + j] * 2.0;
+    for (int j = 1; j <= kMrs; ++j) xij[j] = xrsiq[j] + 1.0;
+    for (int j = 1; j <= kMrs; ++j) x[i * (kMrs + 1) + j] = xij[j];
+  }
+}
+
+/// The transformed loop the analysis licenses: each iteration gets private
+/// copies of the privatizable work arrays (OpenMP `private` semantics).
+void oldaPrivatizedParallel(std::vector<double>& x) {
+#pragma omp parallel
+  {
+    std::vector<double> xrsiq(kMrs + 1);  // the privatized copies
+    std::vector<double> xij(kMrs + 1);
+#pragma omp for schedule(static)
+    for (int i = 1; i <= kNrs; ++i) {
+      for (int j = 1; j <= kMrs; ++j) xrsiq[j] = x[i * (kMrs + 1) + j] * 2.0;
+      for (int j = 1; j <= kMrs; ++j) xij[j] = xrsiq[j] + 1.0;
+      for (int j = 1; j <= kMrs; ++j) x[i * (kMrs + 1) + j] = xij[j];
+    }
+  }
+}
+
+std::vector<double> freshInput() {
+  std::vector<double> x((kNrs + 1) * (kMrs + 1));
+  for (std::size_t k = 0; k < x.size(); ++k) x[k] = static_cast<double>(k % 97) - 48.0;
+  return x;
+}
+
+double seconds(void (*fn)(std::vector<double>&), std::vector<double>& x) {
+  auto t0 = std::chrono::steady_clock::now();
+  fn(x);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("OpenMP privatization witness — TRFD olda/100 shape (%d x %d)\n", kNrs, kMrs);
+#ifdef _OPENMP
+  std::printf("OpenMP enabled, max threads = %d\n", omp_get_max_threads());
+#else
+  std::printf("OpenMP not available: the 'parallel' version runs serially\n");
+#endif
+
+  std::vector<double> serial = freshInput();
+  std::vector<double> parallel = freshInput();
+  double ts = seconds(oldaSerial, serial);
+  double tp = seconds(oldaPrivatizedParallel, parallel);
+
+  bool equal = serial == parallel;
+  std::printf("serial:               %8.3f ms\n", ts * 1000);
+  std::printf("privatized parallel:  %8.3f ms\n", tp * 1000);
+  std::printf("results identical:    %s\n", equal ? "yes" : "NO — privatization unsound!");
+  return equal ? 0 : 1;
+}

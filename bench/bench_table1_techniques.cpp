@@ -1,0 +1,44 @@
+// Reproduces the technique columns of Table 1: for each evaluated loop,
+// which of T1 (symbolic analysis), T2 (IF-condition analysis), and T3
+// (interprocedural analysis) are *required* to privatize the loop's arrays.
+// A technique is required iff disabling it loses at least one of the
+// Table 2 "yes" arrays.
+#include "bench_util.h"
+
+using namespace panorama;
+using namespace panorama::bench;
+
+int main() {
+  std::printf("Table 1 (technique requirements) — paper vs this reproduction\n");
+  std::printf("T1: symbolic analysis, T2: IF-condition analysis, T3: interprocedural analysis\n\n");
+  std::printf("%-18s | paper T1 T2 T3 | ours T1 T2 T3 | match\n", "loop");
+  std::printf("-------------------+----------------+---------------+------\n");
+
+  int matches = 0;
+  int total = 0;
+  for (const CorpusLoop& cl : perfectCorpus()) {
+    AnalysisOptions noT1;
+    noT1.symbolicAnalysis = false;
+    AnalysisOptions noT2;
+    noT2.ifConditions = false;
+    AnalysisOptions noT3;
+    noT3.interprocedural = false;
+
+    bool ours[3];
+    const AnalysisOptions configs[3] = {noT1, noT2, noT3};
+    for (int t = 0; t < 3; ++t) {
+      LoadedKernel k = loadAndAnalyze(cl, configs[t]);
+      ours[t] = !(k.ok && allListedPrivatizable(k.loop, cl));  // lost => required
+    }
+    const bool paper[3] = {cl.needsT1, cl.needsT2, cl.needsT3};
+    bool same = ours[0] == paper[0] && ours[1] == paper[1] && ours[2] == paper[2];
+    matches += same;
+    ++total;
+    auto yn = [](bool b) { return b ? "Y" : "n"; };
+    std::printf("%-18s |  %s    %s    %s   |  %s    %s    %s  | %s\n", cl.id.c_str(),
+                yn(paper[0]), yn(paper[1]), yn(paper[2]), yn(ours[0]), yn(ours[1]), yn(ours[2]),
+                same ? "yes" : "NO");
+  }
+  std::printf("\n%d / %d loops match the paper's technique matrix\n", matches, total);
+  return matches == total ? 0 : 1;
+}

@@ -1,0 +1,73 @@
+// Shared plumbing for the reproduction benches: parse + analyze a corpus
+// kernel under a given option set and fetch its evaluated loop.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "panorama/analysis/analysis.h"
+#include "panorama/corpus/corpus.h"
+#include "panorama/deptest/deptest.h"
+#include "panorama/frontend/parser.h"
+#include "panorama/interp/interpreter.h"
+#include "panorama/machine/machine_model.h"
+
+namespace panorama::bench {
+
+struct LoadedKernel {
+  Program program;
+  SemaResult sema;
+  Hsg hsg;
+  std::unique_ptr<SummaryAnalyzer> analyzer;
+  LoopAnalysis loop;
+  const Stmt* loopStmt = nullptr;
+  bool ok = false;
+};
+
+inline LoadedKernel loadAndAnalyze(const CorpusLoop& cl, AnalysisOptions options = {}) {
+  LoadedKernel k;
+  DiagnosticEngine diags;
+  auto p = parseProgram(cl.source, diags);
+  if (!p) {
+    std::fprintf(stderr, "%s: parse failed\n%s\n", cl.id.c_str(), diags.str().c_str());
+    return k;
+  }
+  k.program = std::move(*p);
+  auto sr = analyze(k.program, diags);
+  if (!sr) {
+    std::fprintf(stderr, "%s: sema failed\n%s\n", cl.id.c_str(), diags.str().c_str());
+    return k;
+  }
+  k.sema = std::move(*sr);
+  k.hsg = buildHsg(k.program, k.sema, diags);
+  k.analyzer = std::make_unique<SummaryAnalyzer>(k.program, k.sema, k.hsg, options);
+  k.analyzer->analyzeAll();
+  k.loopStmt = findOuterLoop(k.program, cl.routine, cl.outerLoopIndex);
+  if (!k.loopStmt) {
+    std::fprintf(stderr, "%s: loop not found\n", cl.id.c_str());
+    return k;
+  }
+  LoopParallelizer lp(*k.analyzer);
+  k.loop = lp.analyzeLoop(*k.loopStmt, *k.program.findProcedure(cl.routine));
+  k.ok = true;
+  return k;
+}
+
+inline bool arrayPrivatizable(const LoopAnalysis& la, const std::string& name) {
+  for (const ArrayPrivatization& ap : la.arrays)
+    if (ap.name == name) return ap.privatizable;
+  return false;
+}
+
+inline bool allListedPrivatizable(const LoopAnalysis& la, const CorpusLoop& cl) {
+  for (const std::string& name : cl.privatizable)
+    if (!arrayPrivatizable(la, name)) return false;
+  return true;
+}
+
+inline double secondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+}  // namespace panorama::bench

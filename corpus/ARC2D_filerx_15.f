@@ -1,0 +1,31 @@
+      program arcfx
+      real q(100, 100)
+      common /afx/ q
+      integer jlow, jup, jmax, kup
+      logical per
+      jlow = 2
+      jup = 60
+      jmax = 61
+      kup = 40
+      per = .false.
+      call filerx(jlow, jup, jmax, kup, per)
+      end
+
+      subroutine filerx(jlow, jup, jmax, kup, per)
+      integer jlow, jup, jmax, kup
+      logical per
+      real q(100, 100)
+      common /afx/ q
+      real work(100)
+      do 15 k = 1, kup
+        do j = jlow, jup
+          work(j) = q(j, k) * 0.25
+        enddo
+        if (.not. per) then
+          work(jmax) = q(jmax, k) * 0.5
+        endif
+        do j = jlow, jup
+          q(j, k) = work(j) + work(jmax)
+        enddo
+ 15   continue
+      end

@@ -1,0 +1,24 @@
+      program arcfy
+      real q(100, 100)
+      common /afy/ q
+      integer jlow, jup, kup
+      jlow = 2
+      jup = 56
+      kup = 36
+      call filery(jlow, jup, kup)
+      end
+
+      subroutine filery(jlow, jup, kup)
+      integer jlow, jup, kup
+      real q(100, 100)
+      common /afy/ q
+      real work(100)
+      do 39 k = 1, kup
+        do j = jlow, jup
+          work(j) = q(j, k) * 0.125
+        enddo
+        do j = jlow, jup
+          q(j, k) = work(j) + q(j, k)
+        enddo
+ 39   continue
+      end

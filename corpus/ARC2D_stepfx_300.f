@@ -1,0 +1,32 @@
+      program arcsx
+      real q(100, 100), s(100, 100)
+      common /asx/ q, s
+      integer jlow, jup, kup
+      jlow = 2
+      jup = 52
+      kup = 34
+      call stepfx(jlow, jup, kup)
+      end
+
+      subroutine stepfx(jlow, jup, kup)
+      integer jlow, jup, kup
+      real q(100, 100), s(100, 100)
+      common /asx/ q, s
+      real work(100)
+      do 300 k = 1, kup
+        call filtx(work, jlow, jup, k)
+        do j = jlow, jup
+          s(j, k) = work(j)
+        enddo
+ 300  continue
+      end
+
+      subroutine filtx(w, jl, ju, k)
+      real w(100)
+      integer jl, ju, k
+      real q(100, 100), s(100, 100)
+      common /asx/ q, s
+      do j = jl, ju
+        w(j) = q(j, k) * 0.25
+      enddo
+      end

@@ -1,0 +1,32 @@
+      program arcsy
+      real q(100, 100), s(100, 100)
+      common /asy/ q, s
+      integer klow, kup, jup
+      klow = 2
+      kup = 48
+      jup = 30
+      call stepfy(klow, kup, jup)
+      end
+
+      subroutine stepfy(klow, kup, jup)
+      integer klow, kup, jup
+      real q(100, 100), s(100, 100)
+      common /asy/ q, s
+      real work(100)
+      do 420 j = 1, jup
+        call filty(work, klow, kup, j)
+        do k = klow, kup
+          s(j, k) = work(k) + s(j, k)
+        enddo
+ 420  continue
+      end
+
+      subroutine filty(w, kl, ku, j)
+      real w(100)
+      integer kl, ku, j
+      real q(100, 100), s(100, 100)
+      common /asy/ q, s
+      do k = kl, ku
+        w(k) = q(j, k) * 0.5
+      enddo
+      end

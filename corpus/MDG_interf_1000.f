@@ -1,0 +1,71 @@
+      program mdg
+      real res(100)
+      common /md/ res
+      integer nmol1, n14
+      real cut2
+      nmol1 = 40
+      n14 = 12
+      cut2 = 50.0
+      call interf(nmol1, n14, cut2)
+      end
+
+      subroutine interf(nmol1, n14, cut2)
+      integer nmol1, n14
+      real cut2
+      real res(100)
+      common /md/ res
+      real rs(20), ff(20), gg(20), xl(20), yl(20), zl(20), rl(20)
+      integer kc
+      real ttemp
+      do 1000 i = 1, nmol1
+        call dists(rs, xl, yl, zl, n14, i)
+        call forces(ff, gg, xl, yl, zl, n14, cut2)
+        kc = 0
+        do k = 1, 9
+          if (rs(k) .gt. cut2) kc = kc + 1
+        enddo
+        do 2 k = 2, 5
+          if (rs(k + 4) .gt. cut2) goto 2
+          rl(k + 4) = rs(k + 4) * 0.5
+ 2      continue
+        if (kc .ne. 0) goto 3
+        do k = 11, 14
+          ttemp = rl(k - 5) + rs(k - 5)
+          res(i) = res(i) + ttemp
+        enddo
+ 3      continue
+        do k = 1, n14
+          res(i) = res(i) + ff(k)
+        enddo
+ 1000 continue
+      end
+
+      subroutine dists(rs, xl, yl, zl, nn, ii)
+      real rs(20), xl(20), yl(20), zl(20)
+      integer nn, ii
+      do k = 1, 20
+        rs(k) = k + ii * 2
+      enddo
+      do k = 1, nn
+        xl(k) = k + ii
+        yl(k) = k * 2
+        zl(k) = k - ii
+      enddo
+      end
+
+      subroutine forces(ff, gg, xl, yl, zl, nn, cut2)
+      real ff(20), gg(20), xl(20), yl(20), zl(20)
+      integer nn
+      real cut2
+      if (cut2 .gt. 10.0) then
+        do k = 1, nn
+          gg(k) = xl(k) * 0.5
+        enddo
+      endif
+      do k = 1, nn
+        ff(k) = xl(k) + yl(k) + zl(k)
+        if (cut2 .gt. 10.0) then
+          ff(k) = ff(k) + gg(k)
+        endif
+      enddo
+      end

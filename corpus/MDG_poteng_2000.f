@@ -1,0 +1,40 @@
+      program mdgp
+      real epot(128)
+      common /mp/ epot
+      integer nmol
+      nmol = 56
+      call poteng(nmol)
+      end
+
+      subroutine poteng(nmol)
+      integer nmol
+      real epot(128)
+      common /mp/ epot
+      real rs(30), rl(30), xl(30), yl(30), zl(30)
+      do 2000 i = 1, nmol
+        call pairs(rs, rl, xl, yl, zl, i)
+        call accum(rs, rl, xl, yl, zl, i)
+ 2000 continue
+      end
+
+      subroutine pairs(rs, rl, xl, yl, zl, ii)
+      real rs(30), rl(30), xl(30), yl(30), zl(30)
+      integer ii
+      do k = 1, 30
+        xl(k) = k + ii
+        yl(k) = k * 2 + ii
+        zl(k) = k - ii
+        rs(k) = xl(k) + yl(k)
+        rl(k) = rs(k) + zl(k)
+      enddo
+      end
+
+      subroutine accum(rs, rl, xl, yl, zl, ii)
+      real rs(30), rl(30), xl(30), yl(30), zl(30)
+      integer ii
+      real epot(128)
+      common /mp/ epot
+      do k = 1, 30
+        epot(ii) = epot(ii) + rs(k) + rl(k) + xl(k) + yl(k) + zl(k)
+      enddo
+      end

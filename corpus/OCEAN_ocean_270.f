@@ -1,0 +1,43 @@
+      program ocean2
+      real grid(80, 80)
+      common /oc/ grid
+      integer n, m
+      n = 44
+      m = 28
+      call ocean270(n, m)
+      end
+
+      subroutine ocean270(n, m)
+      integer n, m
+      real grid(80, 80)
+      common /oc/ grid
+      real cwork(80)
+      real sc
+      do 270 i = 1, n
+        sc = i * 1.0
+        call ftrvmt(cwork, sc, m)
+        call rstore(cwork, sc, m, i)
+ 270  continue
+      end
+
+      subroutine ftrvmt(b, sc, mm)
+      real b(80)
+      real sc
+      integer mm
+      if (sc .gt. 75.0) return
+      do j = 1, mm
+        b(j) = sc + j
+      enddo
+      end
+
+      subroutine rstore(b, sc, mm, ii)
+      real b(80)
+      real sc
+      integer mm, ii
+      real grid(80, 80)
+      common /oc/ grid
+      if (sc .gt. 75.0) return
+      do j = 1, mm
+        grid(ii, j) = b(j)
+      enddo
+      end

@@ -1,0 +1,44 @@
+      program ocean4
+      real grid(80, 80)
+      common /oc4/ grid
+      integer n, m
+      n = 40
+      m = 24
+      call ocean480(n, m)
+      end
+
+      subroutine ocean480(n, m)
+      integer n, m
+      real grid(80, 80)
+      common /oc4/ grid
+      real cwork(80), cwork2(80)
+      real sc
+      do 480 i = 1, n
+        sc = i * 1.0
+        call ftr4(cwork, cwork2, sc, m)
+        call str4(cwork, cwork2, sc, m, i)
+ 480  continue
+      end
+
+      subroutine ftr4(b, b2, sc, mm)
+      real b(80), b2(80)
+      real sc
+      integer mm
+      if (sc .gt. 70.0) return
+      do j = 1, mm
+        b(j) = sc + j
+        b2(j) = sc - j
+      enddo
+      end
+
+      subroutine str4(b, b2, sc, mm, ii)
+      real b(80), b2(80)
+      real sc
+      integer mm, ii
+      real grid(80, 80)
+      common /oc4/ grid
+      if (sc .gt. 70.0) return
+      do j = 1, mm
+        grid(ii, j) = b(j) * b2(j)
+      enddo
+      end

@@ -1,0 +1,43 @@
+      program ocean5
+      real acc(80, 80)
+      common /oc5/ acc
+      integer n, m
+      n = 44
+      m = 26
+      call ocean500(n, m)
+      end
+
+      subroutine ocean500(n, m)
+      integer n, m
+      real acc(80, 80)
+      common /oc5/ acc
+      real cwork(80)
+      real sc
+      do 500 i = 1, n
+        sc = i * 2.0
+        call csh(cwork, sc, m)
+        call cuse(cwork, sc, m, i)
+ 500  continue
+      end
+
+      subroutine csh(b, sc, mm)
+      real b(80)
+      real sc
+      integer mm
+      if (sc .gt. 160.0) return
+      do j = 1, mm
+        b(j) = sc * j
+      enddo
+      end
+
+      subroutine cuse(b, sc, mm, ii)
+      real b(80)
+      real sc
+      integer mm, ii
+      real acc(80, 80)
+      common /oc5/ acc
+      if (sc .gt. 160.0) return
+      do j = 1, mm
+        acc(ii, j) = b(j) + 1.0
+      enddo
+      end

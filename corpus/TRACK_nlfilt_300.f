@@ -1,0 +1,58 @@
+      program track
+      real xt(4, 64), pr(64)
+      common /tk/ xt, pr
+      integer nu
+      nu = 48
+      call nlfilt(nu)
+      end
+
+      subroutine nlfilt(nu)
+      integer nu
+      real xt(4, 64), pr(64)
+      common /tk/ xt, pr
+      real p1(4), p2(4), p(4), pp1(16), pp2(16), pp(16), xsd(4)
+      do 300 i = 1, nu
+        call predc(p1, p2, i)
+        call predp(pp1, pp2, i)
+        call combo(p, pp, p1, p2, pp1, pp2)
+        call fsim(xsd, p, pp, i)
+        pr(i) = xsd(1) + xsd(2) + xsd(3) + xsd(4)
+        xt(1, i) = p(1) + pp(1)
+ 300  continue
+      end
+
+      subroutine predc(q1, q2, ii)
+      real q1(4), q2(4)
+      integer ii
+      do k = 1, 4
+        q1(k) = k * ii
+        q2(k) = k + ii
+      enddo
+      end
+
+      subroutine predp(qq1, qq2, ii)
+      real qq1(16), qq2(16)
+      integer ii
+      do k = 1, 16
+        qq1(k) = k * ii
+        qq2(k) = k - ii
+      enddo
+      end
+
+      subroutine combo(p, pp, p1, p2, pp1, pp2)
+      real p(4), pp(16), p1(4), p2(4), pp1(16), pp2(16)
+      do k = 1, 4
+        p(k) = p1(k) + p2(k)
+      enddo
+      do k = 1, 16
+        pp(k) = pp1(k) * pp2(k)
+      enddo
+      end
+
+      subroutine fsim(xsd, p, pp, ii)
+      real xsd(4), p(4), pp(16)
+      integer ii
+      do k = 1, 4
+        xsd(k) = p(k) + pp(4*k - 3) + ii
+      enddo
+      end

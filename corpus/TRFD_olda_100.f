@@ -1,0 +1,26 @@
+      program trfd1
+      real x(64, 64)
+      common /t1/ x
+      integer nrs, mrs
+      nrs = 40
+      mrs = 24
+      call olda1(nrs, mrs)
+      end
+
+      subroutine olda1(nrs, mrs)
+      integer nrs, mrs
+      real x(64, 64)
+      common /t1/ x
+      real xrsiq(64), xij(64)
+      do 100 i = 1, nrs
+        do j = 1, mrs
+          xrsiq(j) = x(i, j) * 2.0
+        enddo
+        do j = 1, mrs
+          xij(j) = xrsiq(j) + 1.0
+        enddo
+        do j = 1, mrs
+          x(i, j) = xij(j)
+        enddo
+ 100  continue
+      end

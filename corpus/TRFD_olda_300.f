@@ -1,0 +1,26 @@
+      program trfd3
+      real v(64, 64)
+      common /t3/ v
+      integer num, morb
+      num = 36
+      morb = 20
+      call olda3(num, morb)
+      end
+
+      subroutine olda3(num, morb)
+      integer num, morb
+      real v(64, 64)
+      common /t3/ v
+      real xijks(64), xkl(64)
+      do 300 i = 1, num
+        do k = 1, morb
+          xkl(k) = v(i, k) + 2.0
+        enddo
+        do k = 1, morb
+          xijks(k) = xkl(k) * v(i, k)
+        enddo
+        do k = 1, morb
+          v(i, k) = xijks(k)
+        enddo
+ 300  continue
+      end

@@ -1,0 +1,36 @@
+      program fig1a
+      real res(64)
+      common /f1a/ res
+      integer nmol1
+      real cut2
+      nmol1 = 24
+      cut2 = 12.0
+      call interf(nmol1, cut2)
+      end
+
+      subroutine interf(nmol1, cut2)
+      integer nmol1
+      real cut2
+      real res(64)
+      common /f1a/ res
+      real a(20), b(20)
+      integer kc
+      real ttemp
+      do i = 1, nmol1
+        kc = 0
+        do k = 1, 9
+          b(k) = k + i
+          if (b(k) .gt. cut2) kc = kc + 1
+        enddo
+        do 1 k = 2, 5
+          if (b(k + 4) .gt. cut2) goto 1
+          a(k + 4) = b(k) * 2.0
+ 1      continue
+        if (kc .ne. 0) goto 2
+        do k = 11, 14
+          ttemp = a(k - 5) * 0.5
+          res(i) = res(i) + ttemp
+        enddo
+ 2      continue
+      enddo
+      end

@@ -1,0 +1,30 @@
+      program fig1b
+      real q(100, 4)
+      common /f1b/ q
+      integer jlow, jup, jmax
+      logical p
+      jlow = 3
+      jup = 40
+      jmax = 41
+      p = .false.
+      call filer(jlow, jup, jmax, p)
+      end
+
+      subroutine filer(jlow, jup, jmax, p)
+      integer jlow, jup, jmax
+      logical p
+      real q(100, 4)
+      common /f1b/ q
+      real a(100)
+      do i = 1, 4
+        do j = jlow, jup
+          a(j) = j * i
+        enddo
+        if (.not. p) then
+          a(jmax) = i
+        endif
+        do j = jlow, jup
+          q(j, i) = a(j) + a(jmax)
+        enddo
+      enddo
+      end

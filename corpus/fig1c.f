@@ -1,0 +1,43 @@
+      program fig1c
+      real store(64, 64)
+      common /f1c/ store
+      integer n, m
+      n = 32
+      m = 20
+      call drive(n, m)
+      end
+
+      subroutine drive(n, m)
+      integer n, m
+      real store(64, 64)
+      common /f1c/ store
+      real a(64)
+      real x
+      do i = 1, n
+        x = i * 1.0
+        call in(a, x, m)
+        call out(a, x, m, i)
+      enddo
+      end
+
+      subroutine in(b, x, mm)
+      real b(64)
+      real x
+      integer mm
+      if (x .gt. 50.0) return
+      do j = 1, mm
+        b(j) = x + j
+      enddo
+      end
+
+      subroutine out(b, x, mm, ii)
+      real b(64)
+      real x
+      integer mm, ii
+      real store(64, 64)
+      common /f1c/ store
+      if (x .gt. 50.0) return
+      do j = 1, mm
+        store(ii, j) = b(j)
+      enddo
+      end

@@ -1,0 +1,146 @@
+// A command-line driver — the closest thing to running the original
+// Panorama analyzer: read a Fortran file (or a built-in corpus kernel),
+// analyze it, and print the parallelization report.
+//
+//   panorama_driver file.f                analyze a file
+//   panorama_driver --corpus              list built-in kernels
+//   panorama_driver --corpus NAME         analyze a built-in kernel
+//   flags: --no-symbolic --no-if-conditions --no-interprocedural
+//          --quantified --summaries --hsg
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "panorama/analysis/analysis.h"
+#include "panorama/codegen/annotate.h"
+#include "panorama/corpus/corpus.h"
+#include "panorama/frontend/parser.h"
+
+using namespace panorama;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: panorama_driver [flags] <file.f>\n"
+               "       panorama_driver --corpus [NAME]\n"
+               "flags: --no-symbolic --no-if-conditions --no-interprocedural\n"
+               "       --quantified --summaries --hsg --annotate\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  AnalysisOptions options;
+  bool showSummaries = false;
+  bool showHsg = false;
+  bool annotateOutput = false;
+  std::string source;
+  std::string inputName;
+
+  for (int k = 1; k < argc; ++k) {
+    std::string_view arg = argv[k];
+    if (arg == "--no-symbolic") {
+      options.symbolicAnalysis = false;
+    } else if (arg == "--no-if-conditions") {
+      options.ifConditions = false;
+    } else if (arg == "--no-interprocedural") {
+      options.interprocedural = false;
+    } else if (arg == "--quantified") {
+      options.quantified = true;
+    } else if (arg == "--summaries") {
+      showSummaries = true;
+    } else if (arg == "--hsg") {
+      showHsg = true;
+    } else if (arg == "--annotate") {
+      annotateOutput = true;
+    } else if (arg == "--corpus") {
+      if (k + 1 >= argc) {
+        for (const CorpusLoop& cl : perfectCorpus()) std::printf("%s\n", cl.id.c_str());
+        std::printf("fig1a\nfig1b\nfig1c\n");
+        return 0;
+      }
+      std::string_view name = argv[++k];
+      if (name == "fig1a") source = fig1aSource();
+      else if (name == "fig1b") source = fig1bSource();
+      else if (name == "fig1c") source = fig1cSource();
+      else
+        for (const CorpusLoop& cl : perfectCorpus())
+          if (cl.id.find(name) != std::string::npos) source = cl.source;
+      if (source.empty()) {
+        std::fprintf(stderr, "unknown corpus kernel '%s'\n", argv[k]);
+        return 2;
+      }
+      inputName = name;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      std::ifstream in{std::string(arg)};
+      if (!in) {
+        std::fprintf(stderr, "cannot open '%s'\n", argv[k]);
+        return 2;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      source = buf.str();
+      inputName = arg;
+    }
+  }
+  if (source.empty()) return usage();
+
+  DiagnosticEngine diags;
+  auto program = parseProgram(source, diags);
+  if (!program) {
+    std::fprintf(stderr, "%s: parse failed\n%s", inputName.c_str(), diags.str().c_str());
+    return 1;
+  }
+  auto sema = analyze(*program, diags);
+  if (!sema) {
+    std::fprintf(stderr, "%s: semantic analysis failed\n%s", inputName.c_str(),
+                 diags.str().c_str());
+    return 1;
+  }
+  Hsg hsg = buildHsg(*program, *sema, diags);
+  if (diags.hasErrors()) {
+    std::fprintf(stderr, "%s", diags.str().c_str());
+    return 1;
+  }
+
+  if (showHsg) {
+    for (const Procedure& proc : program->procedures) {
+      std::printf("---- HSG of %s ----\n%s\n", proc.name.c_str(),
+                  hsg.of(proc).graph.str().c_str());
+    }
+  }
+
+  SummaryAnalyzer analyzer(*program, *sema, hsg, options);
+  LoopParallelizer parallelizer(analyzer);
+  std::vector<LoopAnalysis> loops = parallelizer.analyzeProgram();
+
+  if (annotateOutput) {
+    std::printf("%s", emitParallelSource(*program, loops).c_str());
+    return 0;
+  }
+
+  std::printf("%s: %zu loop(s)\n\n", inputName.c_str(), loops.size());
+  for (const LoopAnalysis& la : loops) {
+    std::printf("%s", formatLoopAnalysis(la, analyzer).c_str());
+    if (showSummaries && la.loop) {
+      const LoopSummary* ls = analyzer.loopSummary(la.loop);
+      if (ls) {
+        const SymbolTable& tab = sema->symbols;
+        const ArrayTable& arrays = sema->arrays;
+        std::printf("      MOD_i  = %s\n", ls->modIter.str(tab, arrays).c_str());
+        std::printf("      UE_i   = %s\n", ls->ueIter.str(tab, arrays).c_str());
+        std::printf("      DE_i   = %s\n", ls->deIter.str(tab, arrays).c_str());
+        std::printf("      MOD_<i = %s\n", ls->modBefore.str(tab, arrays).c_str());
+        std::printf("      MOD(L) = %s\n", ls->mod.str(tab, arrays).c_str());
+        std::printf("      UE(L)  = %s\n", ls->ue.str(tab, arrays).c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

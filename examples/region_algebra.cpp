@@ -1,0 +1,72 @@
+// A tour of the public GAR algebra — the paper's §3 by example, using the
+// library directly (no Fortran input): symbolic expressions, guards,
+// regions, the three set operations, and the expansion function.
+#include <cstdio>
+
+#include "panorama/region/gar.h"
+
+using namespace panorama;
+
+namespace {
+
+void show(const char* label, const GarList& list, const SymbolTable& tab,
+          const ArrayTable& arrays) {
+  std::printf("%-36s %s\n", label, list.str(tab, arrays).c_str());
+}
+
+}  // namespace
+
+int main() {
+  SymbolTable tab;
+  ArrayTable arrays;
+  VarId a = tab.intern("a");
+  VarId b = tab.intern("b");
+  VarId c = tab.intern("c");
+  VarId i = tab.intern("i");
+  VarId n = tab.intern("n");
+  SymExpr A = SymExpr::variable(a);
+  SymExpr B = SymExpr::variable(b);
+  SymExpr C = SymExpr::variable(c);
+  SymExpr I = SymExpr::variable(i);
+  SymExpr N = SymExpr::variable(n);
+  SymExpr one = SymExpr::constant(1);
+  ArrayId arr = arrays.intern("x", {SymRange{one, SymExpr::constant(100), one}});
+  CmpCtx ctx;
+
+  std::printf("== the paper's §3 example: T1 = [a<=b, X(a:b)], T2 = [b<=c, X(b:c)] ==\n");
+  GarList t1 = GarList::single(Gar::make(Pred::makeTrue(), Region{arr, {SymRange{A, B, one}}}));
+  GarList t2 = GarList::single(Gar::make(Pred::makeTrue(), Region{arr, {SymRange{B, C, one}}}));
+  show("T1 =", t1, tab, arrays);
+  show("T2 =", t2, tab, arrays);
+  show("T1 u T2 =", garUnion(t1, t2, ctx, &arrays), tab, arrays);
+  show("T1 ^ T2 =", garIntersect(t1, t2, ctx), tab, arrays);
+  show("T1 - T2 =", garSubtract(t1, t2, ctx), tab, arrays);
+
+  std::printf("\n== guards kill conditionally: UE - MOD with a guarded MOD ==\n");
+  Pred guard = Pred::atom(Atom::le(N, SymExpr::constant(0)));
+  GarList use = GarList::single(
+      Gar::make(Pred::makeTrue(), Region{arr, {SymRange{one, SymExpr::constant(10), one}}}));
+  GarList mod = GarList::single(
+      Gar::make(guard, Region{arr, {SymRange{one, SymExpr::constant(10), one}}}));
+  show("UE =", use, tab, arrays);
+  show("MOD = (only when n <= 0)", mod, tab, arrays);
+  show("UE - MOD =", garSubtract(use, mod, ctx), tab, arrays);
+
+  std::printf("\n== the expansion function (§4.1): one iteration -> whole loop ==\n");
+  GarList perIter = GarList::single(Gar::make(Pred::atom(Atom::le(I, N)),
+                                              Region{arr, {SymRange::point(I)}}));
+  show("MOD_i = [i<=n, X(i)]", perIter, tab, arrays);
+  LoopBounds bounds{i, one, SymExpr::constant(50), one};
+  show("expand over i = 1..50 =", expandByIndex(perIter, bounds, ctx), tab, arrays);
+
+  std::printf("\n== emptiness proofs drive privatization ==\n");
+  GarList ueIter = GarList::single(Gar::make(Pred::atom(Atom::gt(I, N)),
+                                             Region{arr, {SymRange{one, N, one}}}));
+  GarList modBefore = GarList::single(Gar::make(Pred::atom(Atom::le(I, N)),
+                                                Region{arr, {SymRange{one, N, one}}}));
+  show("UE_i  = [i>n, X(1:n)]", ueIter, tab, arrays);
+  show("MOD_<i = [i<=n, X(1:n)]", modBefore, tab, arrays);
+  Truth empty = garIntersectionEmpty(ueIter, modBefore, ctx);
+  std::printf("%-36s %s\n", "UE_i ^ MOD_<i empty?", toString(empty));
+  return 0;
+}

@@ -1,0 +1,56 @@
+// The evaluation corpus: mini-Fortran kernels reproducing every loop the
+// paper evaluates (Table 1 / Table 2 — TRACK, MDG, TRFD, OCEAN, ARC2D) plus
+// the three motivating examples of Figure 1.
+//
+// Substitution note (see DESIGN.md): the original Perfect Club sources are
+// not redistributable here; each kernel reproduces the array-access
+// structure the analysis actually sees — work arrays, IF conditions, CALL
+// structure and symbolic bounds — and each embeds a driver (`program`)
+// sized so the interpreter can execute it for the machine-model speedup
+// estimates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "panorama/ast/ast.h"
+
+namespace panorama {
+
+struct CorpusLoop {
+  std::string id;        ///< e.g. "TRACK nlfilt/300"
+  std::string program;   ///< benchmark name (TRACK, MDG, ...)
+  std::string routine;   ///< procedure containing the evaluated loop
+  int outerLoopIndex;    ///< which outermost DO of the routine (0-based)
+  /// Table 2: arrays expected privatizable (status "yes").
+  std::vector<std::string> privatizable;
+  /// Table 2: arrays expected NOT privatizable by the base analysis.
+  std::vector<std::string> notPrivatizable;
+  // Table 1: which techniques the paper lists as required.
+  bool needsT1;  ///< symbolic analysis
+  bool needsT2;  ///< IF-condition analysis
+  bool needsT3;  ///< interprocedural analysis
+  double paperSpeedup;     ///< Table 1 speedup on the Alliant FX/8
+  double paperSeqPercent;  ///< Table 1 "% of Seq"
+  /// Per-loop parallel-efficiency calibration for the machine model:
+  /// > 1 models vector-unit gains over the scalar serial baseline (TRFD's
+  /// super-linear speedups), < 1 models memory-bandwidth and
+  /// synchronization losses (ARC2D's sub-linear ones).
+  double vectorFactor;
+  const char* source;      ///< full runnable mini-Fortran program
+};
+
+/// The twelve Table 1 / Table 2 loops.
+const std::vector<CorpusLoop>& perfectCorpus();
+
+/// The Figure 1 examples (standalone programs; `a` is the array of
+/// interest in each).
+const char* fig1aSource();
+const char* fig1bSource();
+const char* fig1cSource();
+
+/// Convenience: finds the `index`-th outermost DO statement of `routine` in
+/// an already-parsed program; nullptr if absent.
+const Stmt* findOuterLoop(const Program& program, std::string_view routine, int index);
+
+}  // namespace panorama

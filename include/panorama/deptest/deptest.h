@@ -1,0 +1,61 @@
+// Conventional data dependence tests (§2): the GCD test and the Banerjee
+// bounds test over affine subscript pairs, plus a whole-loop driver that
+// plays two roles from the paper's §6:
+//
+//   * the cheap filter — "the more expensive array dataflow analysis is
+//     applied only to loops whose parallelizability cannot be determined by
+//     the conventional data dependence tests", and
+//   * the baseline the evaluation compares against (memory disambiguation
+//     without value-flow information cannot privatize anything).
+#pragma once
+
+#include "panorama/analysis/analysis.h"
+
+namespace panorama {
+
+/// Is `a*i + b*i' + rest = 0` unsolvable over the integers by the GCD
+/// criterion? `f` and `g` are one subscript each, affine in the shared loop
+/// index `index`; the renamed iteration uses a distinct symbol internally.
+/// True = provably no solution = independent in this dimension.
+Truth gcdIndependent(const SymExpr& f, const SymExpr& g, VarId index);
+
+/// Banerjee bounds test for the same equation, using constant loop bounds
+/// [lo, up] when available: independent when 0 lies outside the extreme
+/// values of f(i) - g(i') over the iteration box (any-direction test).
+Truth banerjeeIndependent(const SymExpr& f, const SymExpr& g, VarId index, const SymExpr& lo,
+                          const SymExpr& up);
+
+/// Loop-carried independence of two (point-)references: every subscript
+/// dimension independent by GCD or Banerjee implies no two distinct
+/// iterations touch a common element.
+Truth refsIndependent(const Region& w, const Region& r, VarId index, const SymExpr& lo,
+                      const SymExpr& up);
+
+/// The conventional-analysis verdict for one loop. No value-flow, no
+/// guards, no interprocedural summaries: a loop is parallel only when every
+/// write/write and write/read pair is proven independent, no CALL touches an
+/// array, and every assigned scalar is iteration-private.
+struct ConventionalResult {
+  bool parallel = false;
+  bool sawCall = false;
+  bool sawUnanalyzable = false;  ///< non-affine subscript or unknown bounds
+  int pairsTested = 0;
+  int pairsIndependent = 0;
+};
+
+class ConventionalAnalyzer {
+ public:
+  ConventionalAnalyzer(const Program& program, const SemaResult& sema)
+      : program_(program), sema_(sema) {}
+
+  ConventionalResult classifyLoop(const Stmt& doStmt, const Procedure& proc) const;
+
+  /// All loops of the program (outermost first), as (stmt, verdict) pairs.
+  std::vector<std::pair<const Stmt*, ConventionalResult>> classifyProgram() const;
+
+ private:
+  const Program& program_;
+  const SemaResult& sema_;
+};
+
+}  // namespace panorama

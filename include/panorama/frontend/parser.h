@@ -1,0 +1,21 @@
+// Recursive-descent parser for the Fortran 77 subset; see ast.h for the
+// supported constructs. All `ident(args)` references parse as ArrayRef and
+// are reclassified to intrinsics by sema.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "panorama/ast/ast.h"
+#include "panorama/frontend/lexer.h"
+
+namespace panorama {
+
+/// Parses a whole source file (one or more program units). Returns nullopt
+/// when any syntax error was reported.
+std::optional<Program> parseProgram(std::string_view source, DiagnosticEngine& diags);
+
+/// Parses a single expression (testing hook).
+ExprPtr parseExpression(std::string_view source, DiagnosticEngine& diags);
+
+}  // namespace panorama

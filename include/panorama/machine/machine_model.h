@@ -1,0 +1,39 @@
+// A simulated shared-memory multiprocessor standing in for the Alliant FX/8
+// the paper measured on (8 processors, each with vector units). Loop
+// speedups are estimated from per-iteration operation counts produced by
+// the interpreter: a parallelized loop distributes iterations over P
+// processors (static scheduling), each processor optionally runs its
+// chunk's vectorizable work at a vector-unit throughput factor, and a fixed
+// per-invocation fork/join overhead is charged.
+//
+// This is a substitution documented in DESIGN.md: it reproduces the *shape*
+// of Table 1's speedup column, not the FX/8's absolute timings.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace panorama {
+
+struct MachineConfig {
+  int processors = 8;
+  /// Vector-unit throughput multiplier applied to the parallel execution of
+  /// vectorizable loop bodies (the FX/8's CEs were vector processors; the
+  /// sequential baseline is scalar code, which is how the paper's loops
+  /// reach super-linear speedups like TRFD's 16.4 on 8 processors).
+  double vectorFactor = 1.0;
+  /// Fork/join + privatization setup cost, in operation units.
+  double forkJoinOverhead = 200.0;
+};
+
+struct SpeedupEstimate {
+  double serialOps = 0.0;
+  double parallelOps = 0.0;
+  double speedup = 1.0;
+};
+
+/// Static (block) scheduling of the iterations' op counts over P processors.
+SpeedupEstimate estimateSpeedup(const std::vector<std::uint64_t>& iterOps,
+                                const MachineConfig& config);
+
+}  // namespace panorama

@@ -1,0 +1,117 @@
+// Guard predicates in ordered conjunctive normal form (§3.1, §5.2).
+//
+// A Pred is a conjunction of disjunctions of atoms, plus an optional "unknown
+// conjunct" flag modeling the paper's Δ: a Pred with the flag set stands for
+// `CNF ∧ Δ` where Δ is a condition the analyzer could not express. The CNF
+// part is therefore always an *over-approximation* of the true guard:
+//
+//   * mayHold()  — the guard could be true (uses the CNF over-approximation);
+//     sound for treating a region as possibly accessed.
+//   * provablyFalse() — the guard is certainly false (False ∧ Δ = False);
+//     sound for discarding a region entirely.
+//   * isTrue() — the guard is certainly true; requires no Δ. Sound for
+//     treating a MOD region as definitely written (kill).
+//
+// All operators keep these semantics: ∧ and ∨ of over-approximations
+// over-approximate; ¬ of a Δ-tainted predicate degrades to True ∧ Δ.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "panorama/predicate/atom.h"
+
+namespace panorama {
+
+/// A disjunction of atoms. The empty disjunction is False.
+struct Disjunct {
+  std::vector<Atom> atoms;  // sorted by Atom::compare, deduplicated
+
+  static Disjunct single(Atom a);
+  bool isFalse() const { return atoms.empty(); }
+
+  void normalize();
+  std::optional<bool> evaluate(const Binding& binding) const;
+  std::string str(const SymbolTable& symtab) const;
+
+  static int compare(const Disjunct& a, const Disjunct& b);
+  friend bool operator==(const Disjunct& a, const Disjunct& b) { return compare(a, b) == 0; }
+};
+
+/// Tuning knobs shared by the predicate and GAR simplifiers.
+struct SimplifyOptions {
+  std::size_t maxClauses = 48;        ///< CNF size valve: beyond this, degrade to Δ
+  std::size_t maxAtomsPerClause = 12;
+  bool useFourierMotzkin = true;      ///< allow FM fallbacks beyond pairwise rules
+  FmBudget fmBudget;
+};
+
+class Pred {
+ public:
+  /// Default-constructed predicate is True.
+  Pred() = default;
+
+  static Pred makeTrue() { return Pred(); }
+  static Pred makeFalse();
+  /// The unknown guard Δ (True ∧ Δ).
+  static Pred makeUnknown();
+  static Pred atom(Atom a);
+
+  bool isTrue() const { return clauses_.empty() && !unknown_; }
+  bool isFalse() const;
+  bool isUnknown() const { return unknown_; }
+  /// True when nothing rules the guard out (not provably false).
+  bool mayHold() const { return !isFalse(); }
+
+  const std::vector<Disjunct>& clauses() const { return clauses_; }
+
+  /// Logical operators; arguments are over-approximations and so are results.
+  friend Pred operator&&(const Pred& a, const Pred& b);
+  friend Pred operator||(const Pred& a, const Pred& b);
+  Pred operator!() const;
+
+  /// In-place cleanup: constant folding, clause/atom dedup, pairwise
+  /// subsumption, contradiction detection (the paper's predicate simplifier).
+  void simplify(const SimplifyOptions& opts = {});
+
+  /// Deep check: is the CNF part unsatisfiable? Uses pairwise rules first,
+  /// then a Fourier-Motzkin pass over the unit clauses.
+  Truth provablyFalse(const SimplifyOptions& opts = {}) const;
+
+  /// Does this predicate entail `other`? Δ on `this` weakens nothing (a
+  /// stronger hypothesis still entails); Δ on `other` forces Unknown.
+  Truth implies(const Pred& other, const SimplifyOptions& opts = {}) const;
+
+  /// Evaluation under a concrete binding. nullopt when any atom cannot be
+  /// evaluated or the predicate is Δ-tainted (its truth is unknowable).
+  std::optional<bool> evaluate(const Binding& binding) const;
+  /// Evaluates just the CNF over-approximation (ignores Δ); used by property
+  /// tests that check over-approximation, not equivalence.
+  std::optional<bool> evaluateCnf(const Binding& binding) const;
+
+  Pred substituted(VarId v, const SymExpr& replacement) const;
+  Pred substituted(const std::map<VarId, SymExpr>& replacements) const;
+  bool containsVar(VarId v) const;
+  void collectVars(std::vector<VarId>& out) const;
+
+  /// Flattens the unit clauses (and only those — sound weakening) into a
+  /// constraint set usable as an FM hypothesis context.
+  ConstraintSet unitConstraints() const;
+
+  /// Conjoins a single atom (cheap common case).
+  void andAtom(Atom a);
+
+  static int compare(const Pred& a, const Pred& b);
+  friend bool operator==(const Pred& a, const Pred& b) { return compare(a, b) == 0; }
+
+  std::string str(const SymbolTable& symtab) const;
+
+ private:
+  void normalize();
+  void markUnknownOnly();
+
+  std::vector<Disjunct> clauses_;  // sorted by Disjunct::compare
+  bool unknown_ = false;           // the Δ conjunct
+};
+
+}  // namespace panorama

@@ -1,0 +1,107 @@
+// Regular array regions: A(r1, ..., rm) with one range triple per dimension
+// (§3). Region operations decompose into per-dimension range operations and
+// recombine the guarded pieces (§3.1); results are lists of guarded regions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "panorama/region/range.h"
+
+namespace panorama {
+
+/// Strongly-typed id of an interned array.
+struct ArrayId {
+  std::uint32_t value = UINT32_MAX;
+  constexpr bool isValid() const { return value != UINT32_MAX; }
+  friend constexpr bool operator==(ArrayId, ArrayId) = default;
+  friend constexpr auto operator<=>(ArrayId, ArrayId) = default;
+};
+
+/// Declared shape of one array: per-dimension bounds (possibly symbolic).
+struct ArrayShape {
+  std::string name;
+  std::vector<SymRange> declaredDims;  ///< declared bounds, e.g. (1 : n : 1)
+
+  int rank() const { return static_cast<int>(declaredDims.size()); }
+};
+
+/// Interns arrays per program; regions refer to arrays by id.
+class ArrayTable {
+ public:
+  ArrayId intern(std::string name, std::vector<SymRange> declaredDims);
+  std::optional<ArrayId> lookup(std::string_view name) const;
+  const ArrayShape& shape(ArrayId id) const { return shapes_.at(id.value); }
+  const std::string& name(ArrayId id) const { return shapes_.at(id.value).name; }
+  std::size_t size() const { return shapes_.size(); }
+
+ private:
+  std::vector<ArrayShape> shapes_;
+};
+
+/// A regular array region of one array. Dimensions marked unknown
+/// (SymRange::unknown) correspond to the paper's per-dimension Ω marks.
+struct Region {
+  ArrayId array;
+  std::vector<SymRange> dims;
+
+  int rank() const { return static_cast<int>(dims.size()); }
+  bool hasUnknownDim() const;
+  bool fullyKnown() const { return !hasUnknownDim(); }
+
+  /// The conjunction of per-dimension validity conditions (l <= u).
+  Pred validity() const;
+
+  Region substituted(VarId v, const SymExpr& r) const;
+  Region substituted(const std::map<VarId, SymExpr>& r) const;
+  bool containsVar(VarId v) const;
+  void collectVars(std::vector<VarId>& out) const;
+
+  /// Concrete element enumeration (tuples of subscripts); nullopt when any
+  /// dimension cannot be enumerated.
+  std::optional<std::set<std::vector<std::int64_t>>> enumerate(
+      const Binding& binding, std::size_t maxCount = 1 << 16) const;
+
+  friend bool operator==(const Region& a, const Region& b) {
+    return a.array == b.array && a.dims == b.dims;
+  }
+  std::string str(const SymbolTable& symtab, const ArrayTable& arrays) const;
+};
+
+/// A guarded region piece: the building block of region-operation results.
+struct GuardedRegion {
+  Pred guard;
+  Region region;
+};
+
+struct RegionOpResult {
+  std::vector<GuardedRegion> pieces;
+  bool unknown = false;  ///< some part of the result could not be represented
+};
+
+/// R1 ∩ R2: cartesian combination of the per-dimension intersections.
+RegionOpResult regionIntersect(const Region& r1, const Region& r2, const CmpCtx& ctx);
+
+/// R1 − R2: the paper's recursive peel — dimension 1's difference keeps full
+/// tails, dimension 1's intersection recurses into the remaining dimensions.
+RegionOpResult regionSubtract(const Region& r1, const Region& r2, const CmpCtx& ctx);
+
+/// Merge into a single region when exactly one dimension differs and that
+/// pair merges; nullopt otherwise.
+std::optional<Region> regionUnionPair(const Region& r1, const Region& r2, const CmpCtx& ctx);
+
+/// Provable containment / disjointness lifted over dimensions.
+Truth regionContains(const Region& outer, const Region& inner, const CmpCtx& ctx);
+Truth regionsDisjoint(const Region& r1, const Region& r2, const CmpCtx& ctx);
+
+}  // namespace panorama
+
+template <>
+struct std::hash<panorama::ArrayId> {
+  std::size_t operator()(panorama::ArrayId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};

@@ -1,0 +1,184 @@
+// The information-summary algorithms of §4.1: SUM_segment, SUM_bb,
+// SUM_loop, SUM_call, realized as a memoizing analyzer over the HSG.
+//
+// All summaries are *entry-relative*: the symbolic variables appearing in a
+// node's MOD/UE sets denote the values scalars hold when control enters
+// that node. Scalar assignments are substituted on the fly during backward
+// propagation (the paper's "scalar values ... substituted on the fly during
+// the array information propagation"); anything unexpressible degrades to
+// poisoned expressions and from there to Ω regions / Δ guards.
+#pragma once
+
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "panorama/hsg/hsg.h"
+#include "panorama/region/gar.h"
+
+namespace panorama {
+
+/// Ablation switches — these are exactly the T1/T2/T3 columns of Table 1
+/// plus the simplifier knobs the §5.2 discussion motivates.
+struct AnalysisOptions {
+  bool symbolicAnalysis = true;  ///< T1: symbolic bounds/subscripts + substitution
+  bool ifConditions = true;      ///< T2: IF conditions become guards
+  bool interprocedural = true;   ///< T3: CALL summaries instead of Ω
+  bool quantified = false;       ///< §5.2 ∀-guard extension (MDG `RL`)
+  bool computeDE = true;         ///< §3.2.2 DE sets (skippable to save time)
+  bool garSimplifier = true;     ///< ablation: GAR list cleanup
+  SimplifyOptions simplify;      ///< predicate-simplifier budgets
+};
+
+/// Everything the applications need about one DO loop.
+struct LoopSummary {
+  const Stmt* stmt = nullptr;
+  LoopBounds bounds;              ///< normalized header (index VarId, lo/up/step)
+  bool boundsKnown = false;       ///< header lowered successfully
+  bool prematureExit = false;
+  GarList modIter;                ///< MOD_i  (in terms of the index variable)
+  GarList ueIter;                 ///< UE_i
+  GarList modBefore;              ///< MOD_{<i}
+  GarList modAfter;               ///< MOD_{>i}
+  GarList deIter;                 ///< DE_i: uses not followed by an in-iteration write
+  GarList mod;                    ///< expanded whole-loop MOD
+  GarList ue;                     ///< expanded whole-loop UE
+  GarList de;                     ///< expanded whole-loop DE (uses exposed at loop exit)
+  GarList ueAfter;                ///< UE at the loop's exit edge (live-out probe)
+  std::vector<VarId> bodyAssignedScalars;  ///< loop-variant scalars (incl. index)
+};
+
+/// Whole-procedure side effect. `mod`/`ue` cover formal and COMMON arrays
+/// only (what a caller can observe); `modAll`/`ueAll` keep local arrays too
+/// (what the main program / reports inspect).
+struct ProcSummary {
+  GarList mod;
+  GarList ue;
+  GarList de;  ///< downward-exposed uses (formal/COMMON arrays)
+  GarList modAll;
+  GarList ueAll;
+  std::vector<VarId> modifiedScalars;  ///< globals + formals the proc may write
+};
+
+/// Cost counters for the Figure 4 / ablation benches.
+struct SummaryStats {
+  std::size_t blockSteps = 0;
+  std::size_t loopExpansions = 0;
+  std::size_t callMappings = 0;
+  std::size_t peakListLength = 0;
+  std::size_t garsCreated = 0;
+};
+
+class SummaryAnalyzer {
+ public:
+  SummaryAnalyzer(const Program& program, SemaResult& sema, const Hsg& hsg,
+                  AnalysisOptions options = {});
+
+  /// MOD/UE of a whole procedure (memoized; callees computed on demand).
+  const ProcSummary& procSummary(const Procedure& proc);
+
+  /// Per-loop summaries become available once the enclosing procedure has
+  /// been summarized. nullptr if unknown.
+  const LoopSummary* loopSummary(const Stmt* doStmt) const;
+
+  /// Runs the analysis over every procedure (main last).
+  void analyzeAll();
+
+  const AnalysisOptions& options() const { return options_; }
+  const SummaryStats& stats() const { return stats_; }
+  SemaResult& sema() { return sema_; }
+  const SemaResult& sema() const { return sema_; }
+
+  // ----- internal building blocks, exposed for white-box tests -----
+
+  /// Folds one basic block backward through (mod, ue) — §4.1's SUM_bb plus
+  /// the on-the-fly substitution of the step-2 note.
+  void foldBlockBackward(const HsgNode& block, const ProcSymbols& sym, GarList& mod,
+                         GarList& ue, GarList* de = nullptr);
+
+  /// Lowers an array reference to a (point-per-dimension) region.
+  Region lowerRef(const Expr& ref, const ProcSymbols& sym);
+
+ private:
+  struct NodeSets {
+    GarList mod;
+    GarList ue;
+    GarList de;  ///< §3.2.2: downward-exposed uses
+  };
+
+  void sumSegment(const HsgGraph& g, const ProcSymbols& sym, GarList& mod, GarList& ue,
+                  GarList* de = nullptr);
+  NodeSets sumLoop(const HsgNode& loop, const ProcSymbols& sym);
+  NodeSets sumCall(const HsgNode& call, const ProcSymbols& sym);
+  NodeSets sumCondensed(const HsgNode& node, const ProcSymbols& sym);
+
+  /// Scalars (global VarIds) possibly written by a statement subtree /
+  /// procedure, used to invalidate successor sets across compound nodes.
+  const std::vector<VarId>& scalarsModifiedBy(const Procedure& proc);
+  void collectAssignedScalars(const std::vector<const Stmt*>& stmts, const ProcSymbols& sym,
+                              std::vector<VarId>& out, bool throughCalls);
+
+  /// Adds every array read inside `e` to `ue` (as guard-True point GARs).
+  void addUses(const Expr& e, const ProcSymbols& sym, GarList& ue);
+
+  SymExpr lowerValue(const Expr& e, const ProcSymbols& sym) const;
+  Pred lowerGuard(const Expr& e, const ProcSymbols& sym);
+  Pred lowerGuardBase(const Expr& e, const ProcSymbols& sym) const;
+
+  // ----- §5.2/§5.3 quantified-guard extension (options_.quantified) -----
+
+  /// The guarded-counter idiom: `kc = 0` immediately followed by
+  /// `DO k = lo, up: IF (q(array(f(k)))) kc = kc + c` (c > 0), with the
+  /// tested array stable at the tested element after its test. Then
+  /// kc == 0 at loop exit ⟺ ∀k∈[lo,up]: ¬q.
+  struct CounterIdiom {
+    VarId counter;
+    VarId index;
+    SymExpr lo, up;
+    Atom pred;  ///< the positive ArrayPred guarding the increment
+  };
+
+  /// Quantified-aware condition lowering: single-array comparisons become
+  /// uninterpreted ArrayPred atoms instead of Δ.
+  Pred lowerGuardQuantified(const Expr& e, const ProcSymbols& sym);
+  /// Idiom lookup for a DO statement (cached per procedure); nullptr if the
+  /// loop does not match.
+  const CounterIdiom* counterIdiomFor(const Stmt* loop, const ProcSymbols& sym);
+  /// Rewrites (counter == 0) guard atoms into the Forall fact; any other
+  /// guard content naming the counter degrades to Δ.
+  void applyCounterRewrite(GarList& list, const CounterIdiom& idiom) const;
+  /// Invalidates quantified atoms whose array is in `written` (their values
+  /// are not stable across the write): affected clauses drop to Δ.
+  void taintQuantified(GarList& list, const std::vector<ArrayId>& written) const;
+  /// Invalidates every quantified atom (used at call-boundary mapping).
+  void taintAllQuantified(GarList& list) const;
+  /// Rewrites [q(f(i)), A(f(i))] into [q(ψ1), A(f(i))] ahead of expansion,
+  /// turning the per-iteration element condition into a §5.3 dimension
+  /// predicate that expands exactly.
+  void psiRewrite(GarList& list, VarId index) const;
+  /// DO-index variables of the procedure (the fragment pre-symbolic-analysis
+  /// compilers could reason about; used by the T1-off ablation).
+  const std::set<VarId>& indexVarsOf(const ProcSymbols& sym) const;
+
+  /// §5.2 induction-variable conversion: scalars incremented exactly once
+  /// per iteration by a loop-invariant amount map to v + c*(i - lo).
+  std::map<VarId, SymExpr> recognizeInductionVars(const Stmt& loop, const ProcSymbols& sym,
+                                                  VarId index, const SymExpr& lo);
+
+  void poisonScalars(GarList& list, const std::vector<VarId>& vars) const;
+  void note(const GarList& list);
+
+  const Program& program_;
+  SemaResult& sema_;
+  const Hsg& hsg_;
+  AnalysisOptions options_;
+  CmpCtx ctx_;  // empty global context
+  std::map<std::string, ProcSummary> procSummaries_;
+  std::map<const Stmt*, LoopSummary> loopSummaries_;
+  std::map<std::string, std::vector<VarId>> modifiedScalarCache_;
+  mutable std::map<const Procedure*, std::set<VarId>> indexVarCache_;
+  std::map<const Procedure*, std::map<const Stmt*, CounterIdiom>> idiomCache_;
+  SummaryStats stats_;
+};
+
+}  // namespace panorama

@@ -1,0 +1,74 @@
+// Diagnostics: source locations and an error sink shared by the frontend,
+// semantic analysis, and the dataflow analyzer.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace panorama {
+
+/// A position in a source buffer. Lines and columns are 1-based; a value of 0
+/// means "unknown" (used for synthesized constructs).
+struct SourceLoc {
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+
+  constexpr bool isValid() const { return line != 0; }
+  friend constexpr bool operator==(SourceLoc, SourceLoc) = default;
+};
+
+enum class DiagKind : std::uint8_t { Error, Warning, Note };
+
+/// One reported diagnostic.
+struct Diagnostic {
+  DiagKind kind = DiagKind::Error;
+  SourceLoc loc;
+  std::string message;
+};
+
+/// Collects diagnostics; never throws. Callers decide how to react to
+/// `hasErrors()` (the frontend aborts a parse, the analyzer degrades to
+/// conservative results).
+class DiagnosticEngine {
+ public:
+  void error(SourceLoc loc, std::string message);
+  void warning(SourceLoc loc, std::string message);
+  void note(SourceLoc loc, std::string message);
+
+  bool hasErrors() const { return errorCount_ > 0; }
+  std::size_t errorCount() const { return errorCount_; }
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+
+  /// Renders all diagnostics as "line:col: kind: message" lines.
+  std::string str() const;
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::size_t errorCount_ = 0;
+};
+
+/// Three-valued logic used throughout the symbolic layer: a query about
+/// symbolic values can be provably true, provably false, or undecidable with
+/// the available facts.
+enum class Truth : std::uint8_t { False = 0, True = 1, Unknown = 2 };
+
+constexpr Truth negate(Truth t) {
+  switch (t) {
+    case Truth::True: return Truth::False;
+    case Truth::False: return Truth::True;
+    default: return Truth::Unknown;
+  }
+}
+
+constexpr const char* toString(Truth t) {
+  switch (t) {
+    case Truth::True: return "true";
+    case Truth::False: return "false";
+    default: return "unknown";
+  }
+}
+
+}  // namespace panorama

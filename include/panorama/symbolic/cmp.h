@@ -1,0 +1,50 @@
+// Symbolic comparison under a hypothesis context. Range and region
+// operations constantly ask "is l1 <= l2 here?"; the context carries the
+// enclosing guard's unit constraints so comparisons like (a : 100) vs
+// (b : 100) with a <= b known resolve without case splits.
+#pragma once
+
+#include "panorama/symbolic/constraint.h"
+
+namespace panorama {
+
+class CmpCtx {
+ public:
+  CmpCtx() = default;
+  explicit CmpCtx(ConstraintSet context, FmBudget budget = {})
+      : context_(std::move(context)), budget_(budget) {}
+
+  const ConstraintSet& context() const { return context_; }
+
+  /// a <= b ?
+  Truth le(const SymExpr& a, const SymExpr& b) const {
+    // Constant fast path.
+    SymExpr d = a - b;
+    if (auto c = d.constantValue()) return *c <= 0 ? Truth::True : Truth::False;
+    Truth yes = context_.impliesLE0(d, budget_);
+    if (yes == Truth::True) return Truth::True;
+    // Provably false when the strict opposite is entailed.
+    Truth no = context_.impliesLE0(-d + 1, budget_);
+    if (no == Truth::True) return Truth::False;
+    return Truth::Unknown;
+  }
+
+  Truth lt(const SymExpr& a, const SymExpr& b) const { return le(a + 1, b); }
+  Truth ge(const SymExpr& a, const SymExpr& b) const { return le(b, a); }
+  Truth gt(const SymExpr& a, const SymExpr& b) const { return lt(b, a); }
+
+  Truth eq(const SymExpr& a, const SymExpr& b) const {
+    SymExpr d = a - b;
+    if (auto c = d.constantValue()) return *c == 0 ? Truth::True : Truth::False;
+    Truth t = context_.impliesEQ0(d, budget_);
+    if (t == Truth::True) return Truth::True;
+    if (le(a, b) == Truth::False || le(b, a) == Truth::False) return Truth::False;
+    return Truth::Unknown;
+  }
+
+ private:
+  ConstraintSet context_;
+  FmBudget budget_;
+};
+
+}  // namespace panorama

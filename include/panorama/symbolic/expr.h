@@ -1,0 +1,122 @@
+// Integer symbolic expressions normalized to an ordered sum of products,
+// exactly the representation §3.1 of the paper prescribes for its "general
+// expression operation library".
+//
+// An expression is a sum of terms; each term is an integer coefficient times
+// a product of variables (a sorted multiset, so x*x*y is {x,x,y}). The term
+// list is kept sorted and free of zero coefficients, so structural equality
+// is semantic equality of polynomials.
+//
+// Arithmetic never fails loudly: any intermediate overflow *poisons* the
+// expression. Poisoned expressions propagate through every operation and are
+// mapped to the unknown region Ω / unknown guard Δ by the layers above —
+// degrading precision, never soundness.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "panorama/symbolic/symbol_table.h"
+
+namespace panorama {
+
+/// One monomial: coef * vars[0] * vars[1] * ... (vars sorted ascending,
+/// repetition encodes powers).
+struct Term {
+  std::int64_t coef = 0;
+  std::vector<VarId> vars;
+
+  int degree() const { return static_cast<int>(vars.size()); }
+  friend bool operator==(const Term&, const Term&) = default;
+};
+
+/// Ordering of monomial keys: by degree first, then lexicographically by
+/// variable ids. The constant term (degree 0) sorts first.
+bool monomialLess(const std::vector<VarId>& a, const std::vector<VarId>& b);
+
+/// Concrete binding of variables to integers, used by the evaluation hooks of
+/// the property tests and the interpreter-backed validation oracle.
+using Binding = std::map<VarId, std::int64_t>;
+
+class SymExpr {
+ public:
+  /// The zero expression.
+  SymExpr() = default;
+
+  static SymExpr constant(std::int64_t c);
+  static SymExpr variable(VarId v);
+  /// The canonical poisoned expression (unknown value).
+  static SymExpr poisoned();
+
+  bool isPoisoned() const { return poisoned_; }
+  bool isZero() const { return !poisoned_ && terms_.empty(); }
+  bool isConstant() const { return !poisoned_ && terms_.size() <= 1 && (terms_.empty() || terms_[0].vars.empty()); }
+  /// Constant value when `isConstant()`; nullopt otherwise (incl. poisoned).
+  std::optional<std::int64_t> constantValue() const;
+
+  const std::vector<Term>& terms() const { return terms_; }
+  /// Highest total degree of any term; 0 for constants and for zero.
+  int degree() const;
+  std::size_t termCount() const { return terms_.size(); }
+
+  bool containsVar(VarId v) const;
+  /// Appends every distinct variable (sorted, deduplicated) to `out`.
+  void collectVars(std::vector<VarId>& out) const;
+
+  /// True when the polynomial is affine (degree <= 1) and not poisoned.
+  bool isAffine() const { return !poisoned_ && degree() <= 1; }
+  /// Coefficient of `v` in an affine expression; 0 if absent.
+  std::int64_t affineCoeff(VarId v) const;
+  /// Constant part of the expression (the degree-0 term's coefficient).
+  std::int64_t constantPart() const;
+
+  SymExpr operator-() const;
+  friend SymExpr operator+(const SymExpr& a, const SymExpr& b);
+  friend SymExpr operator-(const SymExpr& a, const SymExpr& b);
+  friend SymExpr operator*(const SymExpr& a, const SymExpr& b);
+  SymExpr mulConst(std::int64_t k) const;
+  SymExpr addConst(std::int64_t k) const { return *this + constant(k); }
+
+  /// Exact division by a non-zero integer constant: succeeds only when every
+  /// coefficient is divisible (the paper's library supports division by an
+  /// integer constant divisor).
+  std::optional<SymExpr> divExact(std::int64_t k) const;
+
+  /// GCD of all coefficients (0 for the zero expression).
+  std::int64_t coeffGcd() const;
+
+  /// Replaces every occurrence of `v` by `replacement`. Powers expand via
+  /// repeated multiplication. Poison propagates.
+  SymExpr substitute(VarId v, const SymExpr& replacement) const;
+  SymExpr substitute(const std::map<VarId, SymExpr>& replacements) const;
+
+  /// Evaluates under a complete binding; nullopt when poisoned, a variable is
+  /// unbound, or arithmetic overflows.
+  std::optional<std::int64_t> evaluate(const Binding& binding) const;
+
+  /// Total structural order (used to keep predicate atoms canonical).
+  static int compare(const SymExpr& a, const SymExpr& b);
+  friend bool operator==(const SymExpr& a, const SymExpr& b) {
+    return a.poisoned_ == b.poisoned_ && a.terms_ == b.terms_;
+  }
+
+  std::string str(const SymbolTable& symtab) const;
+  std::size_t hashValue() const;
+
+ private:
+  friend class ExprBuilder;
+  void normalize();
+
+  std::vector<Term> terms_;
+  bool poisoned_ = false;
+};
+
+/// Convenience builders used pervasively by tests and the frontend lowering.
+SymExpr operator+(const SymExpr& a, std::int64_t c);
+SymExpr operator-(const SymExpr& a, std::int64_t c);
+
+}  // namespace panorama

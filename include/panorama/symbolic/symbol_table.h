@@ -1,0 +1,56 @@
+// Interned symbolic variables. Every scalar name that can appear in a
+// subscript, loop bound, or IF condition is interned once; expressions and
+// predicates refer to variables by a small integer id.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace panorama {
+
+/// Strongly-typed id of an interned symbolic variable.
+struct VarId {
+  std::uint32_t value = UINT32_MAX;
+
+  constexpr bool isValid() const { return value != UINT32_MAX; }
+  friend constexpr bool operator==(VarId, VarId) = default;
+  friend constexpr auto operator<=>(VarId, VarId) = default;
+};
+
+/// Maps variable names to ids and back. Names are case-insensitive (Fortran);
+/// they are stored lower-cased.
+class SymbolTable {
+ public:
+  /// Interns `name`, returning the existing id if already present.
+  VarId intern(std::string_view name);
+
+  /// Looks up `name` without interning.
+  std::optional<VarId> lookup(std::string_view name) const;
+
+  const std::string& name(VarId id) const { return names_.at(id.value); }
+  std::size_t size() const { return names_.size(); }
+
+  /// Creates a fresh variable distinct from every interned name. Used for
+  /// renamed loop indices (e.g. the i' of MOD_{<i}) and for formal-parameter
+  /// renaming at call sites.
+  VarId fresh(std::string_view hint);
+
+ private:
+  static std::string normalize(std::string_view name);
+
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, std::uint32_t> index_;
+};
+
+}  // namespace panorama
+
+template <>
+struct std::hash<panorama::VarId> {
+  std::size_t operator()(panorama::VarId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};

@@ -1,0 +1,37 @@
+#include <sstream>
+
+#include "panorama/analysis/analysis.h"
+
+namespace panorama {
+
+std::string formatLoopAnalysis(const LoopAnalysis& la, const SummaryAnalyzer& analyzer) {
+  std::ostringstream os;
+  const char* var = la.loop ? la.loop->doVar.c_str() : "?";
+  os << la.procName << ": DO " << var << " (line " << la.line << "): "
+     << toString(la.classification);
+  if (la.classification == LoopClass::Serial && !la.serialReason.empty())
+    os << " — " << la.serialReason;
+  os << '\n';
+  for (const ArrayPrivatization& ap : la.arrays) {
+    os << "    array " << ap.name << ": ";
+    if (!ap.written)
+      os << "read-only";
+    else if (ap.privatizable)
+      os << "privatizable" << (ap.needsCopyOut ? " (copy-out last value)" : "");
+    else if (ap.candidate)
+      os << "candidate, NOT privatizable (" << ap.reason << ")";
+    else
+      os << ap.reason;
+    os << '\n';
+  }
+  for (const ScalarInfo& si : la.scalars) {
+    if (si.reduction)
+      os << "    scalar " << si.name << ": reduction (" << si.reductionOp << ")\n";
+    else if (!si.privatizable)
+      os << "    scalar " << si.name << ": exposed across iterations\n";
+  }
+  (void)analyzer;
+  return os.str();
+}
+
+}  // namespace panorama

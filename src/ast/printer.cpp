@@ -1,0 +1,154 @@
+#include <sstream>
+
+#include "panorama/ast/ast.h"
+
+namespace panorama {
+
+namespace {
+
+const char* binOpText(BinOp op) {
+  switch (op) {
+    case BinOp::Add: return " + ";
+    case BinOp::Sub: return " - ";
+    case BinOp::Mul: return "*";
+    case BinOp::Div: return "/";
+    case BinOp::Pow: return "**";
+    case BinOp::Lt: return " .lt. ";
+    case BinOp::Le: return " .le. ";
+    case BinOp::Gt: return " .gt. ";
+    case BinOp::Ge: return " .ge. ";
+    case BinOp::Eq: return " .eq. ";
+    case BinOp::Ne: return " .ne. ";
+    case BinOp::And: return " .and. ";
+    case BinOp::Or: return " .or. ";
+  }
+  return "?";
+}
+
+void printExpr(std::ostream& os, const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::IntLit: os << e.intValue; return;
+    case Expr::Kind::RealLit: os << e.realValue; return;
+    case Expr::Kind::LogicalLit: os << (e.logicalValue ? ".true." : ".false."); return;
+    case Expr::Kind::VarRef: os << e.name; return;
+    case Expr::Kind::ArrayRef:
+    case Expr::Kind::Intrinsic: {
+      os << e.name << '(';
+      for (std::size_t i = 0; i < e.args.size(); ++i) {
+        if (i) os << ", ";
+        printExpr(os, *e.args[i]);
+      }
+      os << ')';
+      return;
+    }
+    case Expr::Kind::Unary:
+      os << (e.unOp == UnOp::Neg ? "(-" : "(.not. ");
+      printExpr(os, *e.args[0]);
+      os << ')';
+      return;
+    case Expr::Kind::Binary:
+      os << '(';
+      printExpr(os, *e.args[0]);
+      os << binOpText(e.binOp);
+      printExpr(os, *e.args[1]);
+      os << ')';
+      return;
+  }
+}
+
+void printStmt(std::ostream& os, const Stmt& s, int indent) {
+  std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  if (s.label != 0) os << s.label << ' ';
+  switch (s.kind) {
+    case Stmt::Kind::Assign:
+      os << pad;
+      printExpr(os, *s.lhs);
+      os << " = ";
+      printExpr(os, *s.rhs);
+      os << '\n';
+      return;
+    case Stmt::Kind::If:
+      os << pad << "if (";
+      printExpr(os, *s.cond);
+      os << ") then\n";
+      for (const StmtPtr& c : s.thenBody) printStmt(os, *c, indent + 1);
+      if (!s.elseBody.empty()) {
+        os << pad << "else\n";
+        for (const StmtPtr& c : s.elseBody) printStmt(os, *c, indent + 1);
+      }
+      os << pad << "endif\n";
+      return;
+    case Stmt::Kind::Do:
+      os << pad << "do " << s.doVar << " = ";
+      printExpr(os, *s.lo);
+      os << ", ";
+      printExpr(os, *s.hi);
+      if (s.step) {
+        os << ", ";
+        printExpr(os, *s.step);
+      }
+      os << '\n';
+      for (const StmtPtr& c : s.body) printStmt(os, *c, indent + 1);
+      os << pad << "enddo\n";
+      return;
+    case Stmt::Kind::Goto:
+      os << pad << "goto " << s.gotoLabel << '\n';
+      return;
+    case Stmt::Kind::Continue:
+      os << pad << "continue\n";
+      return;
+    case Stmt::Kind::Call:
+      os << pad << "call " << s.callee << '(';
+      for (std::size_t i = 0; i < s.args.size(); ++i) {
+        if (i) os << ", ";
+        printExpr(os, *s.args[i]);
+      }
+      os << ")\n";
+      return;
+    case Stmt::Kind::Return:
+      os << pad << "return\n";
+      return;
+    case Stmt::Kind::Stop:
+      os << pad << "stop\n";
+      return;
+  }
+}
+
+}  // namespace
+
+std::string toString(const Expr& e) {
+  std::ostringstream os;
+  printExpr(os, e);
+  return os.str();
+}
+
+std::string toString(const Stmt& s, int indent) {
+  std::ostringstream os;
+  printStmt(os, s, indent);
+  return os.str();
+}
+
+std::string toString(const Procedure& p) {
+  std::ostringstream os;
+  if (p.isMain) {
+    os << "program " << p.name << '\n';
+  } else {
+    os << "subroutine " << p.name << '(';
+    for (std::size_t i = 0; i < p.params.size(); ++i) {
+      if (i) os << ", ";
+      os << p.params[i];
+    }
+    os << ")\n";
+  }
+  for (const StmtPtr& s : p.body) printStmt(os, *s, 1);
+  os << "end\n";
+  return os.str();
+}
+
+std::string toString(const Program& p) {
+  std::string out;
+  for (const Procedure& proc : p.procedures) out += toString(proc) + "\n";
+  return out;
+}
+
+}  // namespace panorama

@@ -1,0 +1,34 @@
+// The classic GCD dependence test: a linear diophantine equation
+// a1*x1 + ... + an*xn = c has integer solutions iff gcd(a1..an) divides c.
+#include <numeric>
+
+#include "panorama/deptest/deptest.h"
+
+namespace panorama {
+
+Truth gcdIndependent(const SymExpr& f, const SymExpr& g, VarId index) {
+  auto ff = AffineForm::fromExpr(f);
+  auto gg = AffineForm::fromExpr(g);
+  if (!ff || !gg) return Truth::Unknown;
+
+  // Rename the second reference's iteration: f(i) - g(i') = 0. Symbolic
+  // terms common to both sides cancel; any remaining symbolic term defeats
+  // the test.
+  std::int64_t a = ff->coeffOf(index);
+  std::int64_t b = gg->coeffOf(index);
+  AffineForm rest = *ff - *gg;
+  rest.extractVar(index);  // a and b are handled separately
+  if (!rest.coeffs.empty()) return Truth::Unknown;
+  std::int64_t c = -rest.constant;  // a*i - b*i' = c
+
+  std::int64_t gcd = std::gcd(a, b);
+  if (gcd == 0) {
+    // Subscripts do not involve the index at all: same element every
+    // iteration — dependent unless the constants already differ.
+    return c != 0 ? Truth::True : Truth::False;
+  }
+  if (c % gcd != 0) return Truth::True;
+  return Truth::Unknown;  // solvable over Z; dependence not excluded
+}
+
+}  // namespace panorama

@@ -1,0 +1,643 @@
+#include "panorama/frontend/parser.h"
+
+#include <algorithm>
+
+namespace panorama {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, DiagnosticEngine& diags)
+      : tokens_(std::move(tokens)), diags_(diags) {}
+
+  std::optional<Program> parseProgram() {
+    Program program;
+    skipNewlines();
+    while (!at(TokKind::Eof)) {
+      auto unit = parseUnit();
+      if (!unit) return std::nullopt;
+      program.procedures.push_back(std::move(*unit));
+      skipNewlines();
+    }
+    if (diags_.hasErrors()) return std::nullopt;
+    return program;
+  }
+
+  ExprPtr parseSingleExpression() {
+    ExprPtr e = parseExpr();
+    if (!at(TokKind::Newline) && !at(TokKind::Eof)) error("trailing tokens after expression");
+    return e;
+  }
+
+ private:
+  // ------------------------------------------------------------------ utils
+  const Token& cur() const { return tokens_[pos_]; }
+  const Token& ahead(std::size_t n = 1) const {
+    return tokens_[std::min(pos_ + n, tokens_.size() - 1)];
+  }
+  bool at(TokKind k) const { return cur().kind == k; }
+  bool atWord(std::string_view w) const { return cur().isWord(w); }
+  Token take() { return tokens_[pos_++]; }
+  bool accept(TokKind k) {
+    if (!at(k)) return false;
+    ++pos_;
+    return true;
+  }
+  bool acceptWord(std::string_view w) {
+    if (!atWord(w)) return false;
+    ++pos_;
+    return true;
+  }
+  void expect(TokKind k, const char* what) {
+    if (!accept(k)) error(std::string("expected ") + tokKindName(k) + " " + what);
+  }
+  std::string expectIdent(const char* what) {
+    if (!at(TokKind::Ident)) {
+      error(std::string("expected identifier ") + what);
+      return "";
+    }
+    return take().text;
+  }
+  void error(std::string msg) {
+    diags_.error(cur().loc, std::move(msg));
+    recovering_ = true;
+  }
+  void skipNewlines() {
+    while (accept(TokKind::Newline)) {
+    }
+  }
+  void endStatement() {
+    if (!at(TokKind::Eof)) expect(TokKind::Newline, "at end of statement");
+    recovering_ = false;
+  }
+  void skipToNewline() {
+    while (!at(TokKind::Newline) && !at(TokKind::Eof)) ++pos_;
+    accept(TokKind::Newline);
+    recovering_ = false;
+  }
+
+  // ------------------------------------------------------------- unit level
+  std::optional<Procedure> parseUnit() {
+    Procedure proc;
+    proc.loc = cur().loc;
+    if (acceptWord("program")) {
+      proc.isMain = true;
+      proc.name = expectIdent("after PROGRAM");
+      endStatement();
+    } else if (acceptWord("subroutine")) {
+      proc.name = expectIdent("after SUBROUTINE");
+      if (accept(TokKind::LParen)) {
+        if (!at(TokKind::RParen)) {
+          do {
+            proc.params.push_back(expectIdent("in parameter list"));
+          } while (accept(TokKind::Comma));
+        }
+        expect(TokKind::RParen, "after parameter list");
+      }
+      endStatement();
+    } else {
+      error("expected PROGRAM or SUBROUTINE");
+      return std::nullopt;
+    }
+
+    skipNewlines();
+    parseDeclarations(proc);
+    parseStatements(proc.body, /*terminators=*/{"end"});
+    if (!acceptWord("end")) {
+      error("expected END at end of " + proc.name);
+      return std::nullopt;
+    }
+    endStatement();
+    if (diags_.hasErrors()) return std::nullopt;
+    return proc;
+  }
+
+  void parseDeclarations(Procedure& proc) {
+    for (;;) {
+      skipNewlines();
+      if (atWord("integer") || atWord("real") || atWord("logical")) {
+        BaseType type = atWord("integer")  ? BaseType::Integer
+                        : atWord("real")   ? BaseType::Real
+                                           : BaseType::Logical;
+        // A type keyword starts a declaration only when followed by a name
+        // (guards against variables named like keywords; unlikely but cheap).
+        if (ahead().kind != TokKind::Ident) break;
+        take();
+        parseDeclList(proc, type);
+        endStatement();
+        continue;
+      }
+      if (atWord("dimension")) {
+        take();
+        parseDeclList(proc, std::nullopt);
+        endStatement();
+        continue;
+      }
+      if (atWord("common")) {
+        take();
+        parseCommon(proc);
+        endStatement();
+        continue;
+      }
+      if (atWord("parameter")) {
+        take();
+        expect(TokKind::LParen, "after PARAMETER");
+        do {
+          ParamConst pc;
+          pc.name = expectIdent("in PARAMETER list");
+          expect(TokKind::Assign, "in PARAMETER definition");
+          pc.value = parseExpr();
+          proc.paramConsts.push_back(std::move(pc));
+        } while (accept(TokKind::Comma));
+        expect(TokKind::RParen, "after PARAMETER list");
+        endStatement();
+        continue;
+      }
+      break;
+    }
+  }
+
+  /// Parses `name[(dims)][, ...]`. With a type, creates/updates typed decls;
+  /// DIMENSION (nullopt type) only attaches bounds.
+  void parseDeclList(Procedure& proc, std::optional<BaseType> type) {
+    do {
+      SourceLoc loc = cur().loc;
+      std::string name = expectIdent("in declaration");
+      std::vector<VarDecl::DimBound> dims;
+      if (accept(TokKind::LParen)) {
+        do {
+          VarDecl::DimBound b;
+          ExprPtr first = at(TokKind::Star) ? nullptr : parseExpr();
+          if (!first) take();  // '*'
+          if (accept(TokKind::Colon)) {
+            b.lo = std::move(first);
+            b.up = at(TokKind::Star) ? nullptr : parseExpr();
+            if (!b.up && at(TokKind::Star)) take();
+          } else {
+            b.up = std::move(first);
+          }
+          dims.push_back(std::move(b));
+        } while (accept(TokKind::Comma));
+        expect(TokKind::RParen, "after array bounds");
+      }
+      // Merge with any existing decl for this name.
+      VarDecl* existing = nullptr;
+      for (VarDecl& d : proc.decls)
+        if (d.name == name) existing = &d;
+      if (!existing) {
+        proc.decls.push_back(VarDecl{});
+        existing = &proc.decls.back();
+        existing->name = name;
+        existing->loc = loc;
+        // Implicit typing default when introduced via DIMENSION.
+        existing->type = name.empty() || (name[0] >= 'i' && name[0] <= 'n')
+                             ? BaseType::Integer
+                             : BaseType::Real;
+      }
+      if (type) existing->type = *type;
+      if (!dims.empty()) existing->dims = std::move(dims);
+    } while (accept(TokKind::Comma));
+  }
+
+  void parseCommon(Procedure& proc) {
+    CommonBlock block;
+    if (accept(TokKind::Slash)) {
+      block.name = expectIdent("as COMMON block name");
+      expect(TokKind::Slash, "after COMMON block name");
+    }
+    do {
+      std::string name = expectIdent("in COMMON list");
+      block.vars.push_back(name);
+      // Inline dimensioning inside COMMON: COMMON /b/ a(100)
+      if (at(TokKind::LParen)) {
+        --pos_;  // rewind to the name and reuse the decl-list machinery
+        parseDeclListEntryDims(proc, name);
+      }
+    } while (accept(TokKind::Comma));
+    proc.commons.push_back(std::move(block));
+  }
+
+  void parseDeclListEntryDims(Procedure& proc, const std::string& name) {
+    ++pos_;  // past the name again
+    std::vector<VarDecl::DimBound> dims;
+    expect(TokKind::LParen, "in COMMON dimensioning");
+    do {
+      VarDecl::DimBound b;
+      ExprPtr first = parseExpr();
+      if (accept(TokKind::Colon)) {
+        b.lo = std::move(first);
+        b.up = parseExpr();
+      } else {
+        b.up = std::move(first);
+      }
+      dims.push_back(std::move(b));
+    } while (accept(TokKind::Comma));
+    expect(TokKind::RParen, "after COMMON dimensioning");
+    VarDecl* existing = nullptr;
+    for (VarDecl& d : proc.decls)
+      if (d.name == name) existing = &d;
+    if (!existing) {
+      proc.decls.push_back(VarDecl{});
+      existing = &proc.decls.back();
+      existing->name = name;
+      existing->type = (name[0] >= 'i' && name[0] <= 'n') ? BaseType::Integer : BaseType::Real;
+    }
+    existing->dims = std::move(dims);
+  }
+
+  // -------------------------------------------------------- statement level
+  /// Parses statements until one of `terminators` (a keyword at statement
+  /// start) or an end label is reached; the terminator is left unconsumed.
+  void parseStatements(std::vector<StmtPtr>& out, std::vector<std::string_view> terminators,
+                       int endLabel = 0) {
+    for (;;) {
+      skipNewlines();
+      if (at(TokKind::Eof)) return;
+      int label = 0;
+      if (at(TokKind::IntLit)) {
+        label = static_cast<int>(cur().intValue);
+        // Peek past the label to check for a terminator keyword.
+      }
+      std::size_t save = pos_;
+      if (label != 0) take();
+      bool isTerm = std::any_of(terminators.begin(), terminators.end(),
+                                [&](std::string_view t) { return atWord(t); });
+      // "elseif"/"else if"/"endif"/"end if"/"enddo"/"end do" aliasing.
+      if (!isTerm && atWord("end") && !terminators.empty()) {
+        for (std::string_view t : terminators) {
+          if ((t == "enddo" && ahead().isWord("do")) || (t == "endif" && ahead().isWord("if")))
+            isTerm = true;
+        }
+        if (std::find(terminators.begin(), terminators.end(), "end") != terminators.end())
+          isTerm = true;
+      }
+      if (!isTerm && atWord("else") &&
+          std::find(terminators.begin(), terminators.end(), "else") != terminators.end())
+        isTerm = true;
+      if (isTerm && label == 0) {
+        pos_ = save;
+        return;
+      }
+      pos_ = save;
+      if (label != 0) take();
+
+      StmtPtr stmt = parseStatement();
+      if (recovering_) skipToNewline();
+      if (stmt) {
+        stmt->label = label;
+        bool closes = endLabel != 0 && label == endLabel;
+        out.push_back(std::move(stmt));
+        if (closes) return;
+      } else if (label != 0 && endLabel != 0 && label == endLabel) {
+        return;
+      }
+    }
+  }
+
+  StmtPtr parseStatement() {
+    SourceLoc loc = cur().loc;
+    if (atWord("do") && !(ahead().kind == TokKind::Assign)) return parseDo();
+    if (atWord("if") && ahead().kind == TokKind::LParen) return parseIf();
+    if (atWord("goto") || (atWord("go") && ahead().isWord("to"))) return parseGoto();
+    if (atWord("continue")) {
+      take();
+      endStatement();
+      return makeStmt(Stmt::Kind::Continue, loc);
+    }
+    if (atWord("call") && ahead().kind == TokKind::Ident) return parseCall();
+    if (atWord("return")) {
+      take();
+      endStatement();
+      return makeStmt(Stmt::Kind::Return, loc);
+    }
+    if (atWord("stop")) {
+      take();
+      if (at(TokKind::IntLit)) take();
+      endStatement();
+      return makeStmt(Stmt::Kind::Stop, loc);
+    }
+    return parseAssignment();
+  }
+
+  StmtPtr makeStmt(Stmt::Kind k, SourceLoc loc) {
+    auto s = std::make_unique<Stmt>();
+    s->kind = k;
+    s->loc = loc;
+    return s;
+  }
+
+  StmtPtr parseDo() {
+    SourceLoc loc = cur().loc;
+    take();  // DO
+    int endLabel = 0;
+    if (at(TokKind::IntLit)) endLabel = static_cast<int>(take().intValue);
+    auto s = makeStmt(Stmt::Kind::Do, loc);
+    s->doVar = expectIdent("as DO index");
+    expect(TokKind::Assign, "in DO header");
+    s->lo = parseExpr();
+    expect(TokKind::Comma, "in DO header");
+    s->hi = parseExpr();
+    if (accept(TokKind::Comma)) s->step = parseExpr();
+    endStatement();
+    if (endLabel == 0) {
+      parseStatements(s->body, {"enddo"});
+      if (!acceptWord("enddo")) {
+        if (acceptWord("end")) acceptWord("do");
+        else error("expected ENDDO");
+      }
+      endStatement();
+    } else {
+      parseStatements(s->body, {}, endLabel);
+    }
+    return s;
+  }
+
+  StmtPtr parseIf() {
+    SourceLoc loc = cur().loc;
+    take();  // IF
+    expect(TokKind::LParen, "after IF");
+    auto s = makeStmt(Stmt::Kind::If, loc);
+    s->cond = parseExpr();
+    expect(TokKind::RParen, "after IF condition");
+    if (acceptWord("then")) {
+      endStatement();
+      parseStatements(s->thenBody, {"else", "elseif", "endif"});
+      for (;;) {
+        if (acceptWord("elseif") || (atWord("else") && ahead().isWord("if"))) {
+          if (!tokens_[pos_ - 1].isWord("elseif")) {
+            take();  // else
+            take();  // if
+          }
+          // ELSE IF (...) THEN ... : nest as a fresh If in the else branch.
+          expect(TokKind::LParen, "after ELSE IF");
+          auto nested = makeStmt(Stmt::Kind::If, cur().loc);
+          nested->cond = parseExpr();
+          expect(TokKind::RParen, "after ELSE IF condition");
+          if (!acceptWord("then")) error("expected THEN after ELSE IF");
+          endStatement();
+          parseStatements(nested->thenBody, {"else", "elseif", "endif"});
+          Stmt* nestedRaw = nested.get();
+          s->elseBody.push_back(std::move(nested));
+          // Continue collecting further ELSE/ELSEIF into the nested If.
+          parseIfTail(*nestedRaw);
+          break;
+        }
+        if (acceptWord("else")) {
+          endStatement();
+          parseStatements(s->elseBody, {"endif"});
+        }
+        if (acceptWord("endif")) {
+          endStatement();
+        } else if (acceptWord("end")) {
+          acceptWord("if");
+          endStatement();
+        } else {
+          error("expected ENDIF");
+        }
+        break;
+      }
+      return s;
+    }
+    // Logical IF: one simple statement on the same line.
+    StmtPtr inner = parseStatement();
+    if (inner) s->thenBody.push_back(std::move(inner));
+    return s;
+  }
+
+  /// Collects the ELSE / ELSE IF / ENDIF chain belonging to `s` (which is a
+  /// nested ELSE IF already holding its THEN body).
+  void parseIfTail(Stmt& s) {
+    for (;;) {
+      if (acceptWord("elseif") || (atWord("else") && ahead().isWord("if"))) {
+        if (!tokens_[pos_ - 1].isWord("elseif")) {
+          take();
+          take();
+        }
+        expect(TokKind::LParen, "after ELSE IF");
+        auto nested = makeStmt(Stmt::Kind::If, cur().loc);
+        nested->cond = parseExpr();
+        expect(TokKind::RParen, "after ELSE IF condition");
+        if (!acceptWord("then")) error("expected THEN after ELSE IF");
+        endStatement();
+        parseStatements(nested->thenBody, {"else", "elseif", "endif"});
+        Stmt* nestedRaw = nested.get();
+        s.elseBody.push_back(std::move(nested));
+        parseIfTail(*nestedRaw);
+        return;
+      }
+      if (acceptWord("else")) {
+        endStatement();
+        parseStatements(s.elseBody, {"endif"});
+      }
+      if (acceptWord("endif")) {
+        endStatement();
+      } else if (acceptWord("end")) {
+        acceptWord("if");
+        endStatement();
+      } else {
+        error("expected ENDIF");
+      }
+      return;
+    }
+  }
+
+  StmtPtr parseGoto() {
+    SourceLoc loc = cur().loc;
+    take();  // goto | go
+    if (tokens_[pos_ - 1].isWord("go")) take();  // to
+    auto s = makeStmt(Stmt::Kind::Goto, loc);
+    if (at(TokKind::IntLit)) {
+      s->gotoLabel = static_cast<int>(take().intValue);
+    } else {
+      error("expected label after GOTO");
+    }
+    endStatement();
+    return s;
+  }
+
+  StmtPtr parseCall() {
+    SourceLoc loc = cur().loc;
+    take();  // CALL
+    auto s = makeStmt(Stmt::Kind::Call, loc);
+    s->callee = expectIdent("after CALL");
+    if (accept(TokKind::LParen)) {
+      if (!at(TokKind::RParen)) {
+        do {
+          s->args.push_back(parseExpr());
+        } while (accept(TokKind::Comma));
+      }
+      expect(TokKind::RParen, "after CALL arguments");
+    }
+    endStatement();
+    return s;
+  }
+
+  StmtPtr parseAssignment() {
+    SourceLoc loc = cur().loc;
+    if (!at(TokKind::Ident)) {
+      error("expected a statement");
+      return nullptr;
+    }
+    ExprPtr lhs = parsePrimary();
+    if (!lhs || (lhs->kind != Expr::Kind::VarRef && lhs->kind != Expr::Kind::ArrayRef)) {
+      error("invalid assignment target");
+      return nullptr;
+    }
+    auto s = makeStmt(Stmt::Kind::Assign, loc);
+    expect(TokKind::Assign, "in assignment");
+    s->lhs = std::move(lhs);
+    s->rhs = parseExpr();
+    endStatement();
+    return s;
+  }
+
+  // ------------------------------------------------------- expression level
+  ExprPtr parseExpr() { return parseOr(); }
+
+  ExprPtr parseOr() {
+    ExprPtr l = parseAnd();
+    while (at(TokKind::Or)) {
+      SourceLoc loc = take().loc;
+      l = Expr::binary(BinOp::Or, std::move(l), parseAnd(), loc);
+    }
+    return l;
+  }
+
+  ExprPtr parseAnd() {
+    ExprPtr l = parseNot();
+    while (at(TokKind::And)) {
+      SourceLoc loc = take().loc;
+      l = Expr::binary(BinOp::And, std::move(l), parseNot(), loc);
+    }
+    return l;
+  }
+
+  ExprPtr parseNot() {
+    if (at(TokKind::Not)) {
+      SourceLoc loc = take().loc;
+      return Expr::unary(UnOp::Not, parseNot(), loc);
+    }
+    return parseRelational();
+  }
+
+  ExprPtr parseRelational() {
+    ExprPtr l = parseAdditive();
+    BinOp op;
+    switch (cur().kind) {
+      case TokKind::Lt: op = BinOp::Lt; break;
+      case TokKind::Le: op = BinOp::Le; break;
+      case TokKind::Gt: op = BinOp::Gt; break;
+      case TokKind::Ge: op = BinOp::Ge; break;
+      case TokKind::EqEq: op = BinOp::Eq; break;
+      case TokKind::Ne: op = BinOp::Ne; break;
+      default: return l;
+    }
+    SourceLoc loc = take().loc;
+    return Expr::binary(op, std::move(l), parseAdditive(), loc);
+  }
+
+  ExprPtr parseAdditive() {
+    ExprPtr l = parseMultiplicative();
+    for (;;) {
+      if (at(TokKind::Plus)) {
+        SourceLoc loc = take().loc;
+        l = Expr::binary(BinOp::Add, std::move(l), parseMultiplicative(), loc);
+      } else if (at(TokKind::Minus)) {
+        SourceLoc loc = take().loc;
+        l = Expr::binary(BinOp::Sub, std::move(l), parseMultiplicative(), loc);
+      } else {
+        return l;
+      }
+    }
+  }
+
+  ExprPtr parseMultiplicative() {
+    ExprPtr l = parseUnary();
+    for (;;) {
+      if (at(TokKind::Star)) {
+        SourceLoc loc = take().loc;
+        l = Expr::binary(BinOp::Mul, std::move(l), parseUnary(), loc);
+      } else if (at(TokKind::Slash)) {
+        SourceLoc loc = take().loc;
+        l = Expr::binary(BinOp::Div, std::move(l), parseUnary(), loc);
+      } else {
+        return l;
+      }
+    }
+  }
+
+  ExprPtr parseUnary() {
+    if (at(TokKind::Minus)) {
+      SourceLoc loc = take().loc;
+      return Expr::unary(UnOp::Neg, parseUnary(), loc);
+    }
+    accept(TokKind::Plus);
+    return parsePower();
+  }
+
+  ExprPtr parsePower() {
+    ExprPtr base = parsePrimary();
+    if (at(TokKind::Power)) {
+      SourceLoc loc = take().loc;
+      // Right associative.
+      return Expr::binary(BinOp::Pow, std::move(base), parseUnary(), loc);
+    }
+    return base;
+  }
+
+  ExprPtr parsePrimary() {
+    SourceLoc loc = cur().loc;
+    switch (cur().kind) {
+      case TokKind::IntLit: return Expr::intLit(take().intValue, loc);
+      case TokKind::RealLit: return Expr::realLit(take().realValue, loc);
+      case TokKind::TrueLit: take(); return Expr::logicalLit(true, loc);
+      case TokKind::FalseLit: take(); return Expr::logicalLit(false, loc);
+      case TokKind::LParen: {
+        take();
+        ExprPtr e = parseExpr();
+        expect(TokKind::RParen, "after parenthesized expression");
+        return e;
+      }
+      case TokKind::Ident: {
+        std::string name = take().text;
+        if (accept(TokKind::LParen)) {
+          std::vector<ExprPtr> args;
+          if (!at(TokKind::RParen)) {
+            do {
+              args.push_back(parseExpr());
+            } while (accept(TokKind::Comma));
+          }
+          expect(TokKind::RParen, "after subscript list");
+          return Expr::arrayRef(std::move(name), std::move(args), loc);
+        }
+        return Expr::var(std::move(name), loc);
+      }
+      default:
+        error(std::string("unexpected ") + tokKindName(cur().kind) + " in expression");
+        take();
+        return Expr::intLit(0, loc);
+    }
+  }
+
+  std::vector<Token> tokens_;
+  DiagnosticEngine& diags_;
+  std::size_t pos_ = 0;
+  bool recovering_ = false;
+};
+
+}  // namespace
+
+std::optional<Program> parseProgram(std::string_view source, DiagnosticEngine& diags) {
+  std::vector<Token> tokens = lex(source, diags);
+  if (diags.hasErrors()) return std::nullopt;
+  return Parser(std::move(tokens), diags).parseProgram();
+}
+
+ExprPtr parseExpression(std::string_view source, DiagnosticEngine& diags) {
+  std::vector<Token> tokens = lex(source, diags);
+  if (diags.hasErrors()) return nullptr;
+  return Parser(std::move(tokens), diags).parseSingleExpression();
+}
+
+}  // namespace panorama

@@ -1,0 +1,121 @@
+// SCC condensation (§5.4): cycles produced by backward GOTOs are collapsed
+// into single Condensed nodes whose summaries the analyzer approximates
+// conservatively. Tarjan's algorithm, iterative post-processing.
+#include <algorithm>
+#include <functional>
+
+#include "panorama/hsg/hsg.h"
+
+namespace panorama {
+
+namespace {
+
+struct TarjanState {
+  std::vector<int> index;
+  std::vector<int> low;
+  std::vector<bool> onStack;
+  std::vector<int> stack;
+  int counter = 0;
+  std::vector<std::vector<int>> sccs;
+};
+
+void strongConnect(const HsgGraph& g, int v, TarjanState& st) {
+  st.index[v] = st.low[v] = st.counter++;
+  st.stack.push_back(v);
+  st.onStack[v] = true;
+  for (int w : g.node(v).succs) {
+    if (st.index[w] < 0) {
+      strongConnect(g, w, st);
+      st.low[v] = std::min(st.low[v], st.low[w]);
+    } else if (st.onStack[w]) {
+      st.low[v] = std::min(st.low[v], st.index[w]);
+    }
+  }
+  if (st.low[v] == st.index[v]) {
+    std::vector<int> scc;
+    int w;
+    do {
+      w = st.stack.back();
+      st.stack.pop_back();
+      st.onStack[w] = false;
+      scc.push_back(w);
+    } while (w != v);
+    st.sccs.push_back(std::move(scc));
+  }
+}
+
+void collectStmts(const HsgNode& n, std::vector<const Stmt*>& out) {
+  out.insert(out.end(), n.stmts.begin(), n.stmts.end());
+  if (n.callStmt) out.push_back(n.callStmt);
+  if (n.loopStmt) out.push_back(n.loopStmt);
+  if (n.body)
+    for (const auto& inner : n.body->nodes) collectStmts(*inner, out);
+  out.insert(out.end(), n.condensed.begin(), n.condensed.end());
+}
+
+bool hasSelfLoop(const HsgGraph& g, int v) {
+  const auto& succs = g.node(v).succs;
+  return std::find(succs.begin(), succs.end(), v) != succs.end();
+}
+
+}  // namespace
+
+void condenseCycles(HsgGraph& g) {
+  const int n = static_cast<int>(g.nodes.size());
+  TarjanState st;
+  st.index.assign(n, -1);
+  st.low.assign(n, 0);
+  st.onStack.assign(n, false);
+  for (int v = 0; v < n; ++v)
+    if (st.index[v] < 0) strongConnect(g, v, st);
+
+  bool any = std::any_of(st.sccs.begin(), st.sccs.end(), [&](const std::vector<int>& scc) {
+    return scc.size() > 1 || hasSelfLoop(g, scc[0]);
+  });
+  if (!any) return;
+
+  // Map every condensed member to its replacement node.
+  std::vector<int> replacement(n);
+  for (int v = 0; v < n; ++v) replacement[v] = v;
+  for (const std::vector<int>& scc : st.sccs) {
+    if (scc.size() == 1 && !hasSelfLoop(g, scc[0])) continue;
+    auto node = std::make_unique<HsgNode>();
+    node->kind = HsgNode::Kind::Condensed;
+    node->id = static_cast<int>(g.nodes.size());
+    for (int v : scc) collectStmts(g.node(v), node->condensed);
+    int condensedId = node->id;
+    g.nodes.push_back(std::move(node));
+    for (int v : scc) replacement[v] = condensedId;
+  }
+  replacement.resize(g.nodes.size());
+  for (std::size_t v = n; v < g.nodes.size(); ++v) replacement[v] = static_cast<int>(v);
+
+  // Rewire edges through the replacement map, dropping intra-SCC edges.
+  std::vector<std::vector<int>> succs(g.nodes.size());
+  for (int v = 0; v < n; ++v) {
+    for (int w : g.node(v).succs) {
+      int rv = replacement[v];
+      int rw = replacement[w];
+      if (rv == rw) continue;
+      if (std::find(succs[rv].begin(), succs[rv].end(), rw) == succs[rv].end())
+        succs[rv].push_back(rw);
+    }
+  }
+  for (auto& nd : g.nodes) {
+    nd->succs.clear();
+    nd->preds.clear();
+  }
+  for (std::size_t v = 0; v < succs.size(); ++v) {
+    for (int w : succs[v]) {
+      g.node(static_cast<int>(v)).succs.push_back(w);
+      g.node(w).preds.push_back(static_cast<int>(v));
+    }
+  }
+  // Members of condensed SCCs become unreachable; entry/exit stay intact
+  // (entry/exit can never be inside a cycle: entry has no preds, exit no
+  // succs).
+  g.entry = replacement[g.entry];
+  g.exit = replacement[g.exit];
+}
+
+}  // namespace panorama

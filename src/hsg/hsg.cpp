@@ -1,0 +1,82 @@
+#include "panorama/hsg/hsg.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+namespace panorama {
+
+std::vector<int> HsgGraph::topoOrder() const {
+  // DFS post-order from the entry, reversed. Unreachable nodes (condensed
+  // SCC members) are excluded by construction.
+  std::vector<int> order;
+  std::vector<char> state(nodes.size(), 0);
+  std::function<void(int)> dfs = [&](int v) {
+    state[static_cast<std::size_t>(v)] = 1;
+    for (int w : node(v).succs)
+      if (!state[static_cast<std::size_t>(w)]) dfs(w);
+    order.push_back(v);
+  };
+  if (entry >= 0) dfs(entry);
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+bool HsgGraph::isDag() const {
+  std::vector<char> state(nodes.size(), 0);  // 0 unseen, 1 on path, 2 done
+  bool ok = true;
+  std::function<void(int)> dfs = [&](int v) {
+    state[static_cast<std::size_t>(v)] = 1;
+    for (int w : node(v).succs) {
+      char s = state[static_cast<std::size_t>(w)];
+      if (s == 1) ok = false;
+      if (s == 0) dfs(w);
+    }
+    state[static_cast<std::size_t>(v)] = 2;
+  };
+  if (entry >= 0) dfs(entry);
+  for (const auto& n : nodes)
+    if (n->body && !n->body->isDag()) ok = false;
+  return ok;
+}
+
+namespace {
+
+const char* kindName(HsgNode::Kind k) {
+  switch (k) {
+    case HsgNode::Kind::Entry: return "entry";
+    case HsgNode::Kind::Exit: return "exit";
+    case HsgNode::Kind::Block: return "block";
+    case HsgNode::Kind::Cond: return "cond";
+    case HsgNode::Kind::Loop: return "loop";
+    case HsgNode::Kind::Call: return "call";
+    case HsgNode::Kind::Condensed: return "condensed";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string HsgGraph::str(int indent) const {
+  std::ostringstream os;
+  std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  for (int id : topoOrder()) {
+    const HsgNode& n = node(id);
+    os << pad << '#' << id << ' ' << kindName(n.kind);
+    if (n.kind == HsgNode::Kind::Cond && n.cond) os << " (" << toString(*n.cond) << ")";
+    if (n.kind == HsgNode::Kind::Loop && n.loopStmt)
+      os << " do " << n.loopStmt->doVar << (n.prematureExit ? " [premature-exit]" : "");
+    if (n.kind == HsgNode::Kind::Call && n.callStmt) os << " -> " << n.callStmt->callee;
+    if (n.kind == HsgNode::Kind::Block && !n.stmts.empty())
+      os << " [" << n.stmts.size() << " stmt(s)]";
+    if (n.kind == HsgNode::Kind::Condensed)
+      os << " [" << n.condensed.size() << " stmt(s)]";
+    os << " ->";
+    for (int s : n.succs) os << ' ' << s;
+    os << '\n';
+    if (n.body) os << n.body->str(indent + 1);
+  }
+  return os.str();
+}
+
+}  // namespace panorama

@@ -1,0 +1,31 @@
+#include "panorama/machine/machine_model.h"
+
+#include <algorithm>
+
+namespace panorama {
+
+SpeedupEstimate estimateSpeedup(const std::vector<std::uint64_t>& iterOps,
+                                const MachineConfig& config) {
+  SpeedupEstimate out;
+  for (std::uint64_t ops : iterOps) out.serialOps += static_cast<double>(ops);
+  if (iterOps.empty() || config.processors <= 0) return out;
+
+  // Block scheduling: processor p takes a contiguous chunk; the parallel
+  // time is the heaviest chunk.
+  const std::size_t n = iterOps.size();
+  const std::size_t p = static_cast<std::size_t>(config.processors);
+  const std::size_t chunk = (n + p - 1) / p;
+  double heaviest = 0.0;
+  for (std::size_t start = 0; start < n; start += chunk) {
+    double sum = 0.0;
+    for (std::size_t k = start; k < std::min(n, start + chunk); ++k)
+      sum += static_cast<double>(iterOps[k]);
+    heaviest = std::max(heaviest, sum);
+  }
+  double vf = config.vectorFactor > 0 ? config.vectorFactor : 1.0;
+  out.parallelOps = heaviest / vf + config.forkJoinOverhead;
+  out.speedup = out.parallelOps > 0 ? out.serialOps / out.parallelOps : 1.0;
+  return out;
+}
+
+}  // namespace panorama

@@ -1,0 +1,53 @@
+#include <algorithm>
+
+#include "panorama/predicate/predicate.h"
+
+namespace panorama {
+
+Disjunct Disjunct::single(Atom a) {
+  Disjunct d;
+  d.atoms.push_back(std::move(a));
+  return d;
+}
+
+void Disjunct::normalize() {
+  std::sort(atoms.begin(), atoms.end(),
+            [](const Atom& a, const Atom& b) { return Atom::compare(a, b) < 0; });
+  atoms.erase(std::unique(atoms.begin(), atoms.end()), atoms.end());
+}
+
+std::optional<bool> Disjunct::evaluate(const Binding& binding) const {
+  bool sawUnknown = false;
+  for (const Atom& a : atoms) {
+    auto v = a.evaluate(binding);
+    if (!v)
+      sawUnknown = true;
+    else if (*v)
+      return true;
+  }
+  if (sawUnknown) return std::nullopt;
+  return false;
+}
+
+std::string Disjunct::str(const SymbolTable& symtab) const {
+  if (atoms.empty()) return "false";
+  std::string out;
+  if (atoms.size() > 1) out += '(';
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    if (i) out += " or ";
+    out += atoms[i].str(symtab);
+  }
+  if (atoms.size() > 1) out += ')';
+  return out;
+}
+
+int Disjunct::compare(const Disjunct& a, const Disjunct& b) {
+  if (a.atoms.size() != b.atoms.size()) return a.atoms.size() < b.atoms.size() ? -1 : 1;
+  for (std::size_t i = 0; i < a.atoms.size(); ++i) {
+    int c = Atom::compare(a.atoms[i], b.atoms[i]);
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+}  // namespace panorama

@@ -1,0 +1,66 @@
+// Entailment between guard predicates, used by the GAR union fast paths
+// (P1 => P2 collapses the three-way union of §3.1 to two terms) and by the
+// privatizability proofs.
+#include "panorama/predicate/predicate.h"
+
+namespace panorama {
+
+namespace {
+
+/// Syntactic entailment of a clause: some hypothesis clause whose every atom
+/// implies an atom of `goal`.
+bool clauseSubsumed(const std::vector<Disjunct>& hyp, const Disjunct& goal,
+                    const SimplifyOptions& opts) {
+  for (const Disjunct& h : hyp) {
+    bool all = true;
+    for (const Atom& a : h.atoms) {
+      bool covered = false;
+      for (const Atom& b : goal.atoms) {
+        if (atomImplies(a, b, opts.fmBudget) == Truth::True) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Truth Pred::implies(const Pred& other, const SimplifyOptions& opts) const {
+  // A false hypothesis implies anything; anything implies True.
+  if (isFalse()) return Truth::True;
+  if (other.isTrue()) return Truth::True;
+  // The goal's Δ conjunct is an unknowable obligation.
+  if (other.unknown_) return compare(*this, other) == 0 ? Truth::True : Truth::Unknown;
+
+  // The hypothesis context available to FM: unit clauses of the CNF
+  // over-approximation. (actual => CNF => goal suffices.)
+  ConstraintSet context = unitConstraints();
+
+  for (const Disjunct& goal : other.clauses_) {
+    if (clauseSubsumed(clauses_, goal, opts)) continue;
+    if (!opts.useFourierMotzkin) return Truth::Unknown;
+    // FM refutation: context ∧ ¬goal must be infeasible. ¬goal is the
+    // conjunction of the negated atoms of the clause.
+    ConstraintSet cs = context;
+    bool representable = true;
+    for (const Atom& a : goal.atoms) {
+      if (!a.negated().addToConstraints(cs)) {
+        representable = false;
+        break;
+      }
+    }
+    if (!representable) return Truth::Unknown;
+    if (cs.contradictory(opts.fmBudget) != Truth::True) return Truth::Unknown;
+  }
+  return Truth::True;
+}
+
+}  // namespace panorama

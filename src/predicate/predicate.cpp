@@ -1,0 +1,238 @@
+#include "panorama/predicate/predicate.h"
+
+#include <algorithm>
+
+namespace panorama {
+
+Pred Pred::makeFalse() {
+  Pred p;
+  p.clauses_.push_back(Disjunct{});  // the empty disjunction
+  return p;
+}
+
+Pred Pred::makeUnknown() {
+  Pred p;
+  p.unknown_ = true;
+  return p;
+}
+
+Pred Pred::atom(Atom a) {
+  if (a.isPoisoned()) return makeUnknown();
+  switch (a.constFold()) {
+    case Truth::True: return makeTrue();
+    case Truth::False: return makeFalse();
+    case Truth::Unknown: break;
+  }
+  Pred p;
+  p.clauses_.push_back(Disjunct::single(std::move(a)));
+  return p;
+}
+
+bool Pred::isFalse() const {
+  // False ∧ Δ is still False, so the unknown flag does not matter here.
+  for (const Disjunct& d : clauses_)
+    if (d.isFalse()) return true;
+  return false;
+}
+
+void Pred::markUnknownOnly() {
+  clauses_.clear();
+  unknown_ = true;
+}
+
+void Pred::normalize() {
+  if (isFalse()) {
+    clauses_.assign(1, Disjunct{});
+    return;
+  }
+  for (Disjunct& d : clauses_) d.normalize();
+  std::sort(clauses_.begin(), clauses_.end(),
+            [](const Disjunct& a, const Disjunct& b) { return Disjunct::compare(a, b) < 0; });
+  clauses_.erase(std::unique(clauses_.begin(), clauses_.end()), clauses_.end());
+}
+
+Pred operator&&(const Pred& a, const Pred& b) {
+  if (a.isFalse() || b.isFalse()) return Pred::makeFalse();
+  Pred r;
+  r.clauses_ = a.clauses_;
+  r.clauses_.insert(r.clauses_.end(), b.clauses_.begin(), b.clauses_.end());
+  r.unknown_ = a.unknown_ || b.unknown_;
+  r.normalize();
+  return r;
+}
+
+Pred operator||(const Pred& a, const Pred& b) {
+  if (a.isFalse()) return b;
+  if (b.isFalse()) return a;
+  if (a.isTrue() || b.isTrue()) {
+    // True absorbs even a Δ-tainted operand: (P ∧ Δ) ∨ True = True.
+    return Pred::makeTrue();
+  }
+  Pred r;
+  r.unknown_ = a.unknown_ || b.unknown_;
+  // CNF ∨ CNF: clause-pair distribution. (over-approximations stay such)
+  SimplifyOptions opts;
+  if (a.clauses_.size() * b.clauses_.size() > opts.maxClauses) {
+    r.markUnknownOnly();
+    return r;
+  }
+  for (const Disjunct& da : a.clauses_) {
+    for (const Disjunct& db : b.clauses_) {
+      Disjunct merged;
+      merged.atoms = da.atoms;
+      merged.atoms.insert(merged.atoms.end(), db.atoms.begin(), db.atoms.end());
+      if (merged.atoms.size() > opts.maxAtomsPerClause) {
+        r.markUnknownOnly();
+        return r;
+      }
+      r.clauses_.push_back(std::move(merged));
+    }
+  }
+  r.normalize();
+  return r;
+}
+
+Pred Pred::operator!() const {
+  if (isFalse()) return makeTrue();
+  if (unknown_) return makeUnknown();  // ¬(P ∧ Δ) degrades to Δ
+  if (clauses_.empty()) return makeFalse();
+  // ¬(∧ Cj) = ∨ ¬Cj; each ¬Cj is a conjunction of negated atoms. Distribute
+  // clause by clause, bounding the intermediate size.
+  SimplifyOptions opts;
+  std::vector<Disjunct> result;  // CNF under construction, starts as True
+  for (const Disjunct& clause : clauses_) {
+    // next = result ∨ (∧_k ¬atom_k): distribute each negated atom.
+    std::vector<Disjunct> next;
+    if (result.empty()) {
+      for (const Atom& a : clause.atoms) next.push_back(Disjunct::single(a.negated()));
+    } else {
+      if (result.size() * clause.atoms.size() > opts.maxClauses) return makeUnknown();
+      for (const Disjunct& d : result) {
+        for (const Atom& a : clause.atoms) {
+          Disjunct merged = d;
+          merged.atoms.push_back(a.negated());
+          if (merged.atoms.size() > opts.maxAtomsPerClause) return makeUnknown();
+          next.push_back(std::move(merged));
+        }
+      }
+    }
+    result = std::move(next);
+    if (result.size() > opts.maxClauses) return makeUnknown();
+  }
+  Pred p;
+  p.clauses_ = std::move(result);
+  p.normalize();
+  p.simplify();
+  return p;
+}
+
+std::optional<bool> Pred::evaluateCnf(const Binding& binding) const {
+  bool sawUnknown = false;
+  for (const Disjunct& d : clauses_) {
+    auto v = d.evaluate(binding);
+    if (!v)
+      sawUnknown = true;
+    else if (!*v)
+      return false;
+  }
+  if (sawUnknown) return std::nullopt;
+  return true;
+}
+
+std::optional<bool> Pred::evaluate(const Binding& binding) const {
+  auto cnf = evaluateCnf(binding);
+  if (cnf.has_value() && !*cnf) return false;  // False ∧ Δ = False
+  if (unknown_) return std::nullopt;
+  return cnf;
+}
+
+Pred Pred::substituted(VarId v, const SymExpr& replacement) const {
+  Pred r;
+  r.unknown_ = unknown_;
+  for (const Disjunct& d : clauses_) {
+    Disjunct nd;
+    for (const Atom& a : d.atoms) {
+      Atom na = a.substituted(v, replacement);
+      if (na.isPoisoned()) return makeUnknown();
+      nd.atoms.push_back(std::move(na));
+    }
+    r.clauses_.push_back(std::move(nd));
+  }
+  r.normalize();
+  r.simplify();
+  return r;
+}
+
+Pred Pred::substituted(const std::map<VarId, SymExpr>& replacements) const {
+  Pred r;
+  r.unknown_ = unknown_;
+  for (const Disjunct& d : clauses_) {
+    Disjunct nd;
+    for (const Atom& a : d.atoms) {
+      Atom na = a.substituted(replacements);
+      if (na.isPoisoned()) return makeUnknown();
+      nd.atoms.push_back(std::move(na));
+    }
+    r.clauses_.push_back(std::move(nd));
+  }
+  r.normalize();
+  r.simplify();
+  return r;
+}
+
+bool Pred::containsVar(VarId v) const {
+  for (const Disjunct& d : clauses_)
+    for (const Atom& a : d.atoms)
+      if (a.containsVar(v)) return true;
+  return false;
+}
+
+void Pred::collectVars(std::vector<VarId>& out) const {
+  for (const Disjunct& d : clauses_)
+    for (const Atom& a : d.atoms) a.collectVars(out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+ConstraintSet Pred::unitConstraints() const {
+  ConstraintSet cs;
+  for (const Disjunct& d : clauses_) {
+    if (d.atoms.size() != 1) continue;
+    d.atoms[0].addToConstraints(cs);  // failure just weakens the context
+  }
+  return cs;
+}
+
+void Pred::andAtom(Atom a) {
+  Pred p = Pred::atom(std::move(a));
+  *this = *this && p;
+}
+
+int Pred::compare(const Pred& a, const Pred& b) {
+  if (a.unknown_ != b.unknown_) return a.unknown_ ? 1 : -1;
+  if (a.clauses_.size() != b.clauses_.size())
+    return a.clauses_.size() < b.clauses_.size() ? -1 : 1;
+  for (std::size_t i = 0; i < a.clauses_.size(); ++i) {
+    int c = Disjunct::compare(a.clauses_[i], b.clauses_[i]);
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+std::string Pred::str(const SymbolTable& symtab) const {
+  std::string out;
+  if (clauses_.empty()) {
+    out = unknown_ ? "" : "true";
+  } else if (isFalse()) {
+    return "false";
+  } else {
+    for (std::size_t i = 0; i < clauses_.size(); ++i) {
+      if (i) out += " and ";
+      out += clauses_[i].str(symtab);
+    }
+  }
+  if (unknown_) out += out.empty() ? "DELTA" : " and DELTA";
+  return out;
+}
+
+}  // namespace panorama

@@ -1,0 +1,68 @@
+#include "panorama/region/range.h"
+
+namespace panorama {
+
+SymRange SymRange::point(SymExpr e) {
+  SymRange r;
+  r.lo = e;
+  r.up = std::move(e);
+  return r;
+}
+
+SymRange SymRange::unknown() {
+  SymRange r;
+  r.lo = SymExpr::poisoned();
+  r.up = SymExpr::poisoned();
+  return r;
+}
+
+Pred SymRange::validity() const {
+  if (isUnknown()) return Pred::makeUnknown();
+  if (isPoint()) return Pred::makeTrue();
+  return Pred::atom(Atom::le(lo, up));
+}
+
+SymRange SymRange::substituted(VarId v, const SymExpr& r) const {
+  return {lo.substitute(v, r), up.substitute(v, r), step.substitute(v, r)};
+}
+
+SymRange SymRange::substituted(const std::map<VarId, SymExpr>& r) const {
+  return {lo.substitute(r), up.substitute(r), step.substitute(r)};
+}
+
+bool SymRange::containsVar(VarId v) const {
+  return lo.containsVar(v) || up.containsVar(v) || step.containsVar(v);
+}
+
+void SymRange::collectVars(std::vector<VarId>& out) const {
+  lo.collectVars(out);
+  up.collectVars(out);
+  step.collectVars(out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+std::optional<std::vector<std::int64_t>> SymRange::enumerate(const Binding& binding,
+                                                             std::size_t maxCount) const {
+  if (isUnknown()) return std::nullopt;
+  auto l = lo.evaluate(binding);
+  auto u = up.evaluate(binding);
+  auto s = step.evaluate(binding);
+  if (!l || !u || !s || *s <= 0) return std::nullopt;
+  std::vector<std::int64_t> out;
+  for (std::int64_t v = *l; v <= *u; v += *s) {
+    if (out.size() >= maxCount) return std::nullopt;
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::string SymRange::str(const SymbolTable& symtab) const {
+  if (isUnknown()) return "?";
+  if (isPoint()) return lo.str(symtab);
+  std::string out = lo.str(symtab) + ":" + up.str(symtab);
+  if (!(step == SymExpr::constant(1))) out += ":" + step.str(symtab);
+  return out;
+}
+
+}  // namespace panorama

@@ -1,0 +1,95 @@
+#include "panorama/region/region.h"
+
+#include <algorithm>
+
+namespace panorama {
+
+ArrayId ArrayTable::intern(std::string name, std::vector<SymRange> declaredDims) {
+  for (std::size_t i = 0; i < shapes_.size(); ++i)
+    if (shapes_[i].name == name) return ArrayId{static_cast<std::uint32_t>(i)};
+  shapes_.push_back(ArrayShape{std::move(name), std::move(declaredDims)});
+  return ArrayId{static_cast<std::uint32_t>(shapes_.size() - 1)};
+}
+
+std::optional<ArrayId> ArrayTable::lookup(std::string_view name) const {
+  for (std::size_t i = 0; i < shapes_.size(); ++i)
+    if (shapes_[i].name == name) return ArrayId{static_cast<std::uint32_t>(i)};
+  return std::nullopt;
+}
+
+bool Region::hasUnknownDim() const {
+  return std::any_of(dims.begin(), dims.end(), [](const SymRange& r) { return r.isUnknown(); });
+}
+
+Pred Region::validity() const {
+  Pred p = Pred::makeTrue();
+  for (const SymRange& r : dims) p = p && r.validity();
+  return p;
+}
+
+Region Region::substituted(VarId v, const SymExpr& r) const {
+  Region out{array, {}};
+  out.dims.reserve(dims.size());
+  for (const SymRange& d : dims) out.dims.push_back(d.substituted(v, r));
+  return out;
+}
+
+Region Region::substituted(const std::map<VarId, SymExpr>& r) const {
+  Region out{array, {}};
+  out.dims.reserve(dims.size());
+  for (const SymRange& d : dims) out.dims.push_back(d.substituted(r));
+  return out;
+}
+
+bool Region::containsVar(VarId v) const {
+  return std::any_of(dims.begin(), dims.end(),
+                     [&](const SymRange& r) { return r.containsVar(v); });
+}
+
+void Region::collectVars(std::vector<VarId>& out) const {
+  for (const SymRange& d : dims) d.collectVars(out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+std::optional<std::set<std::vector<std::int64_t>>> Region::enumerate(
+    const Binding& binding, std::size_t maxCount) const {
+  std::vector<std::vector<std::int64_t>> perDim;
+  std::size_t total = 1;
+  for (const SymRange& d : dims) {
+    auto vals = d.enumerate(binding, maxCount);
+    if (!vals) return std::nullopt;
+    if (vals->empty()) return std::set<std::vector<std::int64_t>>{};
+    total *= vals->size();
+    if (total > maxCount) return std::nullopt;
+    perDim.push_back(std::move(*vals));
+  }
+  std::set<std::vector<std::int64_t>> out;
+  std::vector<std::size_t> idx(perDim.size(), 0);
+  while (true) {
+    std::vector<std::int64_t> tuple(perDim.size());
+    for (std::size_t k = 0; k < perDim.size(); ++k) tuple[k] = perDim[k][idx[k]];
+    out.insert(std::move(tuple));
+    std::size_t k = 0;
+    for (; k < perDim.size(); ++k) {
+      if (++idx[k] < perDim[k].size()) break;
+      idx[k] = 0;
+    }
+    if (k == perDim.size()) break;
+    if (perDim.empty()) break;
+  }
+  if (perDim.empty()) out.insert({});
+  return out;
+}
+
+std::string Region::str(const SymbolTable& symtab, const ArrayTable& arrays) const {
+  std::string out = arrays.name(array) + "(";
+  for (int i = 0; i < rank(); ++i) {
+    if (i) out += ", ";
+    out += dims[i].str(symtab);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace panorama

@@ -1,0 +1,44 @@
+#include "panorama/support/diagnostics.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace panorama {
+
+void DiagnosticEngine::error(SourceLoc loc, std::string message) {
+  diags_.push_back({DiagKind::Error, loc, std::move(message)});
+  ++errorCount_;
+}
+
+void DiagnosticEngine::warning(SourceLoc loc, std::string message) {
+  diags_.push_back({DiagKind::Warning, loc, std::move(message)});
+}
+
+void DiagnosticEngine::note(SourceLoc loc, std::string message) {
+  diags_.push_back({DiagKind::Note, loc, std::move(message)});
+}
+
+namespace {
+const char* kindName(DiagKind k) {
+  switch (k) {
+    case DiagKind::Error: return "error";
+    case DiagKind::Warning: return "warning";
+    default: return "note";
+  }
+}
+}  // namespace
+
+void DiagnosticEngine::print(std::ostream& os) const {
+  for (const Diagnostic& d : diags_) {
+    if (d.loc.isValid()) os << d.loc.line << ':' << d.loc.column << ": ";
+    os << kindName(d.kind) << ": " << d.message << '\n';
+  }
+}
+
+std::string DiagnosticEngine::str() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace panorama

@@ -1,0 +1,106 @@
+#include "panorama/symbolic/constraint.h"
+
+#include <algorithm>
+
+namespace panorama {
+
+bool ConstraintSet::addExprLE0(const SymExpr& e) {
+  auto f = AffineForm::fromExpr(e);
+  if (!f) return false;
+  add({std::move(*f), ConstraintKind::LE0});
+  return true;
+}
+
+bool ConstraintSet::addExprEQ0(const SymExpr& e) {
+  auto f = AffineForm::fromExpr(e);
+  if (!f) return false;
+  add({std::move(*f), ConstraintKind::EQ0});
+  return true;
+}
+
+bool ConstraintSet::addExprNE0(const SymExpr& e) {
+  auto f = AffineForm::fromExpr(e);
+  if (!f) return false;
+  add({std::move(*f), ConstraintKind::NE0});
+  return true;
+}
+
+namespace {
+
+/// Canonical key of the variable part for syntactic clash detection.
+bool sameVarPart(const AffineForm& a, const AffineForm& b) { return a.coeffs == b.coeffs; }
+
+}  // namespace
+
+Truth ConstraintSet::contradictory(const FmBudget& budget) const {
+  std::vector<AffineForm> system;
+  std::vector<AffineForm> disequalities;
+  system.reserve(constraints_.size() * 2);
+  for (const LinearConstraint& c : constraints_) {
+    if (c.form.overflow) return Truth::Unknown;
+    switch (c.kind) {
+      case ConstraintKind::LE0:
+        system.push_back(c.form);
+        break;
+      case ConstraintKind::EQ0:
+        system.push_back(c.form);
+        system.push_back(c.form.scaled(-1));
+        break;
+      case ConstraintKind::NE0:
+        disequalities.push_back(c.form);
+        break;
+    }
+  }
+  // Disequality handling. Syntactic clash first (`form == 0 ∧ form != 0`),
+  // then — for a small number of disequalities — the semantic version: the
+  // inequality system *entails* form == 0 while a NE forbids it.
+  for (const AffineForm& d : disequalities) {
+    for (const LinearConstraint& c : constraints_) {
+      if (c.kind == ConstraintKind::EQ0 && sameVarPart(c.form, d) &&
+          c.form.constant == d.constant)
+        return Truth::True;
+    }
+    if (d.coeffs.empty() && d.constant == 0) return Truth::True;  // 0 != 0
+  }
+  if (disequalities.size() <= 4) {
+    for (const AffineForm& d : disequalities) {
+      if (d.coeffs.empty()) continue;
+      // system ⊨ d == 0 iff both (d <= -1) and (d >= 1) are infeasible.
+      std::vector<AffineForm> lower = system;
+      AffineForm dl = d;
+      dl.constant += 1;  // d + 1 <= 0, i.e. d <= -1
+      lower.push_back(std::move(dl));
+      if (fourierMotzkinInfeasible(std::move(lower), budget) != Truth::True) continue;
+      std::vector<AffineForm> upper = system;
+      AffineForm du = d.scaled(-1);
+      du.constant += 1;  // -d + 1 <= 0, i.e. d >= 1
+      upper.push_back(std::move(du));
+      if (fourierMotzkinInfeasible(std::move(upper), budget) == Truth::True)
+        return Truth::True;  // pinned to the excluded value
+    }
+  }
+  return fourierMotzkinInfeasible(std::move(system), budget);
+}
+
+Truth ConstraintSet::impliesLE0(const SymExpr& e, const FmBudget& budget) const {
+  auto f = AffineForm::fromExpr(e);
+  if (!f) return Truth::Unknown;
+  // negation of (e <= 0) over the integers: e >= 1, i.e. -e + 1 <= 0
+  AffineForm neg = f->scaled(-1);
+  neg.constant += 1;
+  ConstraintSet augmented = *this;
+  augmented.add({std::move(neg), ConstraintKind::LE0});
+  Truth infeasible = augmented.contradictory(budget);
+  if (infeasible == Truth::True) return Truth::True;
+  return Truth::Unknown;  // feasible negation does not refute entailment over all models
+}
+
+Truth ConstraintSet::impliesEQ0(const SymExpr& e, const FmBudget& budget) const {
+  Truth a = impliesLE0(e, budget);
+  if (a != Truth::True) return Truth::Unknown;
+  Truth b = impliesLE0(-e, budget);
+  if (b != Truth::True) return Truth::Unknown;
+  return Truth::True;
+}
+
+}  // namespace panorama

@@ -1,0 +1,287 @@
+#include "panorama/symbolic/expr.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace panorama {
+
+namespace {
+
+/// Checked int64 arithmetic: nullopt on overflow.
+std::optional<std::int64_t> checkedAdd(std::int64_t a, std::int64_t b) {
+  std::int64_t r;
+  if (__builtin_add_overflow(a, b, &r)) return std::nullopt;
+  return r;
+}
+
+std::optional<std::int64_t> checkedMul(std::int64_t a, std::int64_t b) {
+  std::int64_t r;
+  if (__builtin_mul_overflow(a, b, &r)) return std::nullopt;
+  return r;
+}
+
+}  // namespace
+
+bool monomialLess(const std::vector<VarId>& a, const std::vector<VarId>& b) {
+  if (a.size() != b.size()) return a.size() < b.size();
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+SymExpr SymExpr::constant(std::int64_t c) {
+  SymExpr e;
+  if (c != 0) e.terms_.push_back(Term{c, {}});
+  return e;
+}
+
+SymExpr SymExpr::variable(VarId v) {
+  SymExpr e;
+  e.terms_.push_back(Term{1, {v}});
+  return e;
+}
+
+SymExpr SymExpr::poisoned() {
+  SymExpr e;
+  e.poisoned_ = true;
+  return e;
+}
+
+std::optional<std::int64_t> SymExpr::constantValue() const {
+  if (!isConstant()) return std::nullopt;
+  return terms_.empty() ? 0 : terms_[0].coef;
+}
+
+int SymExpr::degree() const {
+  int d = 0;
+  for (const Term& t : terms_) d = std::max(d, t.degree());
+  return d;
+}
+
+bool SymExpr::containsVar(VarId v) const {
+  for (const Term& t : terms_)
+    if (std::find(t.vars.begin(), t.vars.end(), v) != t.vars.end()) return true;
+  return false;
+}
+
+void SymExpr::collectVars(std::vector<VarId>& out) const {
+  for (const Term& t : terms_) out.insert(out.end(), t.vars.begin(), t.vars.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+std::int64_t SymExpr::affineCoeff(VarId v) const {
+  for (const Term& t : terms_)
+    if (t.vars.size() == 1 && t.vars[0] == v) return t.coef;
+  return 0;
+}
+
+std::int64_t SymExpr::constantPart() const {
+  for (const Term& t : terms_)
+    if (t.vars.empty()) return t.coef;
+  return 0;
+}
+
+void SymExpr::normalize() {
+  std::sort(terms_.begin(), terms_.end(),
+            [](const Term& a, const Term& b) { return monomialLess(a.vars, b.vars); });
+  std::vector<Term> merged;
+  merged.reserve(terms_.size());
+  for (Term& t : terms_) {
+    if (!merged.empty() && merged.back().vars == t.vars) {
+      auto sum = checkedAdd(merged.back().coef, t.coef);
+      if (!sum) {
+        poisoned_ = true;
+        terms_.clear();
+        return;
+      }
+      merged.back().coef = *sum;
+    } else {
+      merged.push_back(std::move(t));
+    }
+  }
+  std::erase_if(merged, [](const Term& t) { return t.coef == 0; });
+  terms_ = std::move(merged);
+}
+
+SymExpr SymExpr::operator-() const { return mulConst(-1); }
+
+SymExpr operator+(const SymExpr& a, const SymExpr& b) {
+  if (a.poisoned_ || b.poisoned_) return SymExpr::poisoned();
+  SymExpr r;
+  r.terms_ = a.terms_;
+  r.terms_.insert(r.terms_.end(), b.terms_.begin(), b.terms_.end());
+  r.normalize();
+  return r;
+}
+
+SymExpr operator-(const SymExpr& a, const SymExpr& b) { return a + (-b); }
+
+SymExpr operator*(const SymExpr& a, const SymExpr& b) {
+  if (a.poisoned_ || b.poisoned_) return SymExpr::poisoned();
+  SymExpr r;
+  r.terms_.reserve(a.terms_.size() * b.terms_.size());
+  for (const Term& ta : a.terms_) {
+    for (const Term& tb : b.terms_) {
+      auto coef = checkedMul(ta.coef, tb.coef);
+      if (!coef) return SymExpr::poisoned();
+      Term t;
+      t.coef = *coef;
+      t.vars = ta.vars;
+      t.vars.insert(t.vars.end(), tb.vars.begin(), tb.vars.end());
+      std::sort(t.vars.begin(), t.vars.end());
+      r.terms_.push_back(std::move(t));
+    }
+  }
+  r.normalize();
+  return r;
+}
+
+SymExpr SymExpr::mulConst(std::int64_t k) const {
+  if (poisoned_) return poisoned();
+  if (k == 0) return SymExpr();
+  SymExpr r;
+  r.terms_.reserve(terms_.size());
+  for (const Term& t : terms_) {
+    auto coef = checkedMul(t.coef, k);
+    if (!coef) return poisoned();
+    r.terms_.push_back(Term{*coef, t.vars});
+  }
+  return r;  // scaling by a non-zero constant preserves order and uniqueness
+}
+
+std::optional<SymExpr> SymExpr::divExact(std::int64_t k) const {
+  if (poisoned_ || k == 0) return std::nullopt;
+  SymExpr r;
+  r.terms_.reserve(terms_.size());
+  for (const Term& t : terms_) {
+    if (t.coef % k != 0) return std::nullopt;
+    r.terms_.push_back(Term{t.coef / k, t.vars});
+  }
+  return r;  // monomial keys are untouched, so the sorted invariant holds
+}
+
+std::int64_t SymExpr::coeffGcd() const {
+  std::int64_t g = 0;
+  for (const Term& t : terms_) g = std::gcd(g, t.coef);
+  return g;
+}
+
+SymExpr SymExpr::substitute(VarId v, const SymExpr& replacement) const {
+  if (poisoned_) return poisoned();
+  if (!containsVar(v)) return *this;
+  if (replacement.poisoned_) return poisoned();
+  SymExpr result;
+  for (const Term& t : terms_) {
+    int power = static_cast<int>(std::count(t.vars.begin(), t.vars.end(), v));
+    if (power == 0) {
+      SymExpr piece;
+      piece.terms_.push_back(t);
+      result = result + piece;
+      continue;
+    }
+    Term rest;
+    rest.coef = t.coef;
+    for (VarId w : t.vars)
+      if (w != v) rest.vars.push_back(w);
+    SymExpr piece;
+    piece.terms_.push_back(std::move(rest));
+    for (int p = 0; p < power; ++p) piece = piece * replacement;
+    result = result + piece;
+    if (result.poisoned_) return poisoned();
+  }
+  return result;
+}
+
+SymExpr SymExpr::substitute(const std::map<VarId, SymExpr>& replacements) const {
+  // Simultaneous substitution: route every original variable through a fresh
+  // copy of the term so replacements cannot feed each other.
+  if (poisoned_) return poisoned();
+  SymExpr result;
+  for (const Term& t : terms_) {
+    SymExpr piece = SymExpr::constant(t.coef);
+    for (VarId w : t.vars) {
+      auto it = replacements.find(w);
+      piece = piece * (it != replacements.end() ? it->second : SymExpr::variable(w));
+      if (piece.poisoned_) return poisoned();
+    }
+    result = result + piece;
+    if (result.poisoned_) return poisoned();
+  }
+  return result;
+}
+
+std::optional<std::int64_t> SymExpr::evaluate(const Binding& binding) const {
+  if (poisoned_) return std::nullopt;
+  std::int64_t total = 0;
+  for (const Term& t : terms_) {
+    std::int64_t prod = t.coef;
+    for (VarId v : t.vars) {
+      auto it = binding.find(v);
+      if (it == binding.end()) return std::nullopt;
+      auto p = checkedMul(prod, it->second);
+      if (!p) return std::nullopt;
+      prod = *p;
+    }
+    auto s = checkedAdd(total, prod);
+    if (!s) return std::nullopt;
+    total = *s;
+  }
+  return total;
+}
+
+int SymExpr::compare(const SymExpr& a, const SymExpr& b) {
+  if (a.poisoned_ != b.poisoned_) return a.poisoned_ ? 1 : -1;
+  if (a.terms_.size() != b.terms_.size()) return a.terms_.size() < b.terms_.size() ? -1 : 1;
+  for (std::size_t i = 0; i < a.terms_.size(); ++i) {
+    const Term& ta = a.terms_[i];
+    const Term& tb = b.terms_[i];
+    if (ta.vars != tb.vars) return monomialLess(ta.vars, tb.vars) ? -1 : 1;
+    if (ta.coef != tb.coef) return ta.coef < tb.coef ? -1 : 1;
+  }
+  return 0;
+}
+
+std::string SymExpr::str(const SymbolTable& symtab) const {
+  if (poisoned_) return "<?>";
+  if (terms_.empty()) return "0";
+  std::string out;
+  bool first = true;
+  // Print highest-degree terms first for readability (storage is ascending),
+  // but keep the ascending variable order within a degree.
+  std::vector<const Term*> order;
+  order.reserve(terms_.size());
+  for (const Term& t : terms_) order.push_back(&t);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const Term* a, const Term* b) { return a->degree() > b->degree(); });
+  for (const Term* tp : order) {
+    const Term& t = *tp;
+    std::int64_t c = t.coef;
+    if (first) {
+      if (c < 0) out += '-';
+    } else {
+      out += c < 0 ? " - " : " + ";
+    }
+    first = false;
+    std::int64_t mag = c < 0 ? -c : c;
+    bool needCoef = mag != 1 || t.vars.empty();
+    if (needCoef) out += std::to_string(mag);
+    for (std::size_t k = 0; k < t.vars.size(); ++k) {
+      if (needCoef || k > 0) out += '*';
+      out += symtab.name(t.vars[k]);
+    }
+  }
+  return out;
+}
+
+std::size_t SymExpr::hashValue() const {
+  std::size_t h = poisoned_ ? 0x9e3779b9u : 0;
+  for (const Term& t : terms_) {
+    h = h * 131 + static_cast<std::size_t>(t.coef);
+    for (VarId v : t.vars) h = h * 131 + v.value;
+  }
+  return h;
+}
+
+SymExpr operator+(const SymExpr& a, std::int64_t c) { return a + SymExpr::constant(c); }
+SymExpr operator-(const SymExpr& a, std::int64_t c) { return a + SymExpr::constant(-c); }
+
+}  // namespace panorama

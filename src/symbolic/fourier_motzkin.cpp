@@ -1,0 +1,116 @@
+// Bounded Fourier-Motzkin elimination with integer tightening.
+//
+// Input: a system of affine forms, each meaning `form <= 0`. Variables are
+// eliminated one at a time; a lower bound (-b*x + g <= 0) combines with an
+// upper bound (a*x + f <= 0) into a*g + b*f <= 0. Elimination order greedily
+// picks the variable with the fewest resulting combinations. All combined
+// coefficients are computed in 128-bit and rejected on overflow, and every
+// derived inequality is tightened by its coefficient gcd, which catches many
+// integer-only contradictions (e.g. 1 <= 2x <= 1).
+#include <algorithm>
+#include <numeric>
+
+#include "panorama/symbolic/constraint.h"
+
+namespace panorama {
+
+namespace {
+
+/// a*g_form + b*f_form computed with overflow checking; nullopt on overflow.
+std::optional<AffineForm> combine(const AffineForm& lower, std::int64_t b,
+                                  const AffineForm& upper, std::int64_t a) {
+  // lower: -b*x + g <= 0 (b>0), upper: a*x + f <= 0 (a>0). Result: a*g + b*f <= 0.
+  AffineForm left = lower.scaled(a);
+  AffineForm right = upper.scaled(b);
+  AffineForm sum = left + right;
+  if (sum.overflow) return std::nullopt;
+  sum.tightenLE();
+  return sum;
+}
+
+bool constantInfeasible(const AffineForm& f) { return f.coeffs.empty() && f.constant > 0; }
+
+}  // namespace
+
+Truth fourierMotzkinInfeasible(std::vector<AffineForm> system, const FmBudget& budget) {
+  // Normalize and screen the initial system.
+  for (AffineForm& f : system) {
+    if (f.overflow) return Truth::Unknown;
+    f.tightenLE();
+    if (constantInfeasible(f)) return Truth::True;
+  }
+  std::erase_if(system, [](const AffineForm& f) { return f.coeffs.empty(); });
+
+  std::vector<VarId> vars;
+  for (const AffineForm& f : system)
+    for (const auto& [v, c] : f.coeffs) vars.push_back(v);
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  if (vars.size() > budget.maxVariables) return Truth::Unknown;
+
+  while (!vars.empty()) {
+    if (system.size() > budget.maxConstraints) return Truth::Unknown;
+
+    // Pick the variable minimizing (#lower bounds) * (#upper bounds).
+    VarId best = vars.front();
+    std::size_t bestCost = SIZE_MAX;
+    for (VarId v : vars) {
+      std::size_t lo = 0;
+      std::size_t hi = 0;
+      for (const AffineForm& f : system) {
+        std::int64_t c = f.coeffOf(v);
+        if (c > 0)
+          ++hi;
+        else if (c < 0)
+          ++lo;
+      }
+      std::size_t cost = lo * hi;
+      if (cost < bestCost) {
+        bestCost = cost;
+        best = v;
+      }
+    }
+
+    std::vector<AffineForm> lowers;
+    std::vector<AffineForm> uppers;
+    std::vector<AffineForm> rest;
+    std::vector<std::int64_t> lowerCoef;
+    std::vector<std::int64_t> upperCoef;
+    for (AffineForm& f : system) {
+      std::int64_t c = f.coeffOf(best);
+      if (c > 0) {
+        upperCoef.push_back(c);
+        uppers.push_back(std::move(f));
+      } else if (c < 0) {
+        lowerCoef.push_back(-c);
+        lowers.push_back(std::move(f));
+      } else {
+        rest.push_back(std::move(f));
+      }
+    }
+    if (lowers.size() * uppers.size() + rest.size() > budget.maxConstraints)
+      return Truth::Unknown;
+
+    for (std::size_t i = 0; i < lowers.size(); ++i) {
+      AffineForm lower = lowers[i];
+      lower.extractVar(best);
+      for (std::size_t j = 0; j < uppers.size(); ++j) {
+        AffineForm upper = uppers[j];
+        upper.extractVar(best);
+        auto derived = combine(lower, lowerCoef[i], upper, upperCoef[j]);
+        if (!derived) return Truth::Unknown;
+        if (constantInfeasible(*derived)) return Truth::True;
+        if (!derived->coeffs.empty()) rest.push_back(std::move(*derived));
+      }
+    }
+
+    system = std::move(rest);
+    vars.erase(std::remove(vars.begin(), vars.end(), best), vars.end());
+  }
+
+  for (const AffineForm& f : system)
+    if (constantInfeasible(f)) return Truth::True;
+  return Truth::False;
+}
+
+}  // namespace panorama

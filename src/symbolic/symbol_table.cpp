@@ -1,0 +1,43 @@
+#include "panorama/symbolic/symbol_table.h"
+
+#include <cctype>
+
+namespace panorama {
+
+std::string SymbolTable::normalize(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  return out;
+}
+
+VarId SymbolTable::intern(std::string_view name) {
+  std::string key = normalize(name);
+  auto it = index_.find(key);
+  if (it != index_.end()) return VarId{it->second};
+  std::uint32_t id = static_cast<std::uint32_t>(names_.size());
+  names_.push_back(key);
+  index_.emplace(std::move(key), id);
+  return VarId{id};
+}
+
+std::optional<VarId> SymbolTable::lookup(std::string_view name) const {
+  auto it = index_.find(normalize(name));
+  if (it == index_.end()) return std::nullopt;
+  return VarId{it->second};
+}
+
+VarId SymbolTable::fresh(std::string_view hint) {
+  std::string base = normalize(hint);
+  for (int n = 0;; ++n) {
+    std::string candidate = base + "'" + (n == 0 ? std::string() : std::to_string(n));
+    if (!index_.contains(candidate)) {
+      std::uint32_t id = static_cast<std::uint32_t>(names_.size());
+      names_.push_back(candidate);
+      index_.emplace(std::move(candidate), id);
+      return VarId{id};
+    }
+  }
+}
+
+}  // namespace panorama

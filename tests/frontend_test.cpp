@@ -1,0 +1,439 @@
+// Tests for the lexer, parser, and semantic analysis of the Fortran subset.
+#include <gtest/gtest.h>
+
+#include "panorama/ast/sema.h"
+#include "panorama/frontend/parser.h"
+
+namespace panorama {
+namespace {
+
+Program mustParse(std::string_view src) {
+  DiagnosticEngine diags;
+  auto p = parseProgram(src, diags);
+  EXPECT_TRUE(p.has_value()) << diags.str();
+  return p ? std::move(*p) : Program{};
+}
+
+SemaResult mustAnalyze(Program& p) {
+  DiagnosticEngine diags;
+  auto r = analyze(p, diags);
+  EXPECT_TRUE(r.has_value()) << diags.str();
+  return r ? std::move(*r) : SemaResult{};
+}
+
+TEST(LexerTest, TokenKinds) {
+  DiagnosticEngine diags;
+  auto toks = lex("x = a + 2.5e1 .and. i .le. 3 ** 2", diags);
+  ASSERT_FALSE(diags.hasErrors());
+  std::vector<TokKind> kinds;
+  for (const Token& t : toks) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds, (std::vector<TokKind>{
+                       TokKind::Ident, TokKind::Assign, TokKind::Ident, TokKind::Plus,
+                       TokKind::RealLit, TokKind::And, TokKind::Ident, TokKind::Le,
+                       TokKind::IntLit, TokKind::Power, TokKind::IntLit, TokKind::Newline,
+                       TokKind::Eof}));
+}
+
+TEST(LexerTest, DottedOperatorsAfterNumber) {
+  DiagnosticEngine diags;
+  auto toks = lex("if (kc.NE.0) goto 2", diags);
+  ASSERT_FALSE(diags.hasErrors());
+  bool sawNe = false;
+  for (const Token& t : toks) sawNe = sawNe || t.kind == TokKind::Ne;
+  EXPECT_TRUE(sawNe);
+}
+
+TEST(LexerTest, CommentsAndContinuation) {
+  DiagnosticEngine diags;
+  auto toks = lex("C a classic comment line\n x = 1 + &\n     2   ! trailing\n", diags);
+  ASSERT_FALSE(diags.hasErrors()) << diags.str();
+  int idents = 0;
+  int ints = 0;
+  for (const Token& t : toks) {
+    idents += t.kind == TokKind::Ident;
+    ints += t.kind == TokKind::IntLit;
+  }
+  EXPECT_EQ(idents, 1);
+  EXPECT_EQ(ints, 2);
+}
+
+TEST(LexerTest, CaseInsensitive) {
+  DiagnosticEngine diags;
+  auto toks = lex("SuBrOuTiNe FOO", diags);
+  EXPECT_EQ(toks[0].text, "subroutine");
+  EXPECT_EQ(toks[1].text, "foo");
+}
+
+TEST(ParserTest, MinimalProgram) {
+  Program p = mustParse(R"(
+      program main
+      integer i
+      i = 1
+      end
+  )");
+  ASSERT_EQ(p.procedures.size(), 1u);
+  EXPECT_TRUE(p.procedures[0].isMain);
+  EXPECT_EQ(p.procedures[0].name, "main");
+  ASSERT_EQ(p.procedures[0].body.size(), 1u);
+  EXPECT_EQ(p.procedures[0].body[0]->kind, Stmt::Kind::Assign);
+}
+
+TEST(ParserTest, DeclarationForms) {
+  Program p = mustParse(R"(
+      program d
+      integer n, m
+      parameter (n = 100, m = 2*n)
+      real a(n), b(0:n, 1:m)
+      dimension c(10)
+      integer c
+      logical flag
+      common /shared/ a, b
+      end
+  )");
+  const Procedure& proc = p.procedures[0];
+  ASSERT_EQ(proc.paramConsts.size(), 2u);
+  const VarDecl* a = proc.findDecl("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->dims.size(), 1u);
+  const VarDecl* b = proc.findDecl("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->dims.size(), 2u);
+  const VarDecl* c = proc.findDecl("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->type, BaseType::Integer);
+  EXPECT_EQ(c->dims.size(), 1u);
+  ASSERT_EQ(proc.commons.size(), 1u);
+  EXPECT_EQ(proc.commons[0].name, "shared");
+}
+
+TEST(ParserTest, DoLoopForms) {
+  Program p = mustParse(R"(
+      program loops
+      real a(100)
+      do i = 1, 10
+        a(i) = 0
+      enddo
+      do 100 j = 1, 20, 2
+        a(j) = 1
+ 100  continue
+      do k = 10, 1, -1
+        a(k) = 2
+      end do
+      end
+  )");
+  const auto& body = p.procedures[0].body;
+  ASSERT_EQ(body.size(), 3u);
+  EXPECT_EQ(body[0]->kind, Stmt::Kind::Do);
+  EXPECT_EQ(body[0]->doVar, "i");
+  EXPECT_EQ(body[0]->body.size(), 1u);
+  // Labeled DO: terminating CONTINUE belongs to the body.
+  EXPECT_EQ(body[1]->kind, Stmt::Kind::Do);
+  ASSERT_EQ(body[1]->body.size(), 2u);
+  EXPECT_EQ(body[1]->body[1]->kind, Stmt::Kind::Continue);
+  EXPECT_EQ(body[1]->body[1]->label, 100);
+  ASSERT_TRUE(body[1]->step != nullptr);
+  EXPECT_EQ(body[2]->kind, Stmt::Kind::Do);
+}
+
+TEST(ParserTest, IfForms) {
+  Program p = mustParse(R"(
+      program ifs
+      real a(10)
+      integer i, n
+      if (n .gt. 0) a(1) = 1
+      if (n .gt. 1) then
+        a(2) = 2
+      else if (n .gt. 2) then
+        a(3) = 3
+      else
+        a(4) = 4
+      endif
+      if (.not. (n .eq. 5)) then
+        a(5) = 5
+      end if
+      end
+  )");
+  const auto& body = p.procedures[0].body;
+  ASSERT_EQ(body.size(), 3u);
+  EXPECT_EQ(body[0]->kind, Stmt::Kind::If);
+  EXPECT_TRUE(body[0]->elseBody.empty());
+  ASSERT_EQ(body[1]->elseBody.size(), 1u);
+  EXPECT_EQ(body[1]->elseBody[0]->kind, Stmt::Kind::If);  // nested ELSE IF
+  EXPECT_EQ(body[1]->elseBody[0]->elseBody.size(), 1u);   // the final ELSE
+}
+
+TEST(ParserTest, GotoAndLabels) {
+  Program p = mustParse(R"(
+      program g
+      integer kc
+      if (kc .ne. 0) goto 2
+      kc = 1
+ 2    continue
+      go to 3
+ 3    continue
+      end
+  )");
+  const auto& body = p.procedures[0].body;
+  ASSERT_EQ(body.size(), 5u);
+  EXPECT_EQ(body[0]->thenBody[0]->kind, Stmt::Kind::Goto);
+  EXPECT_EQ(body[0]->thenBody[0]->gotoLabel, 2);
+  EXPECT_EQ(body[1]->kind, Stmt::Kind::Assign);
+  EXPECT_EQ(body[2]->label, 2);
+  EXPECT_EQ(body[3]->kind, Stmt::Kind::Goto);
+  EXPECT_EQ(body[3]->gotoLabel, 3);
+  EXPECT_EQ(body[4]->label, 3);
+}
+
+TEST(ParserTest, SubroutineAndCall) {
+  Program p = mustParse(R"(
+      program main
+      real a(10)
+      integer x, m
+      call work(a, x, m)
+      end
+      subroutine work(b, y, mm)
+      real b(*)
+      integer y, mm
+      if (y .gt. 5) return
+      do j = 1, mm
+        b(j) = 0
+      enddo
+      end
+  )");
+  ASSERT_EQ(p.procedures.size(), 2u);
+  EXPECT_EQ(p.procedures[0].body[0]->kind, Stmt::Kind::Call);
+  EXPECT_EQ(p.procedures[0].body[0]->args.size(), 3u);
+  EXPECT_EQ(p.procedures[1].params.size(), 3u);
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  DiagnosticEngine diags;
+  ExprPtr e = parseExpression("1 + 2 * 3 .lt. n .and. .not. p", diags);
+  ASSERT_TRUE(e != nullptr) << diags.str();
+  // ((1 + (2*3)) < n) .and. (.not. p)
+  EXPECT_EQ(toString(*e), "(((1 + (2*3)) .lt. n) .and. (.not. p))");
+}
+
+TEST(ParserTest, SyntaxErrorReported) {
+  DiagnosticEngine diags;
+  auto p = parseProgram("program x\n i = (1 + \n end\n", diags);
+  EXPECT_FALSE(p.has_value());
+  EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(SemaTest, SymbolResolution) {
+  Program p = mustParse(R"(
+      program s
+      integer n
+      real a(100)
+      do i = 1, n
+        a(i) = i
+      enddo
+      end
+  )");
+  SemaResult r = mustAnalyze(p);
+  const ProcSymbols& sym = r.procs.at("s");
+  EXPECT_TRUE(sym.isArray("a"));
+  EXPECT_TRUE(sym.isScalar("n"));
+  EXPECT_TRUE(sym.isScalar("i"));  // implicit
+  EXPECT_EQ(sym.typeOf("i"), BaseType::Integer);
+  EXPECT_EQ(sym.typeOf("a"), BaseType::Real);
+  const ArrayShape& shape = r.arrays.shape(*sym.arrayId("a"));
+  EXPECT_EQ(shape.rank(), 1);
+  EXPECT_EQ(shape.declaredDims[0].up.constantValue(), 100);
+}
+
+TEST(SemaTest, IntrinsicClassification) {
+  Program p = mustParse(R"(
+      program s
+      real a(10)
+      integer i
+      a(1) = max(i, 3) + abs(i)
+      end
+  )");
+  SemaResult r = mustAnalyze(p);
+  const Expr& rhs = *p.procedures[0].body[0]->rhs;
+  EXPECT_EQ(rhs.args[0]->kind, Expr::Kind::Intrinsic);
+  EXPECT_EQ(rhs.args[1]->kind, Expr::Kind::Intrinsic);
+}
+
+TEST(SemaTest, UndeclaredArrayIsError) {
+  Program p = mustParse(R"(
+      program s
+      x = q(3)
+      end
+  )");
+  DiagnosticEngine diags;
+  EXPECT_FALSE(analyze(p, diags).has_value());
+  EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(SemaTest, CommonUnifiesAcrossProcedures) {
+  Program p = mustParse(R"(
+      program main
+      real w(50)
+      common /pool/ w
+      call touch
+      end
+      subroutine touch
+      real w(50)
+      common /pool/ w
+      w(1) = 0
+      end
+  )");
+  SemaResult r = mustAnalyze(p);
+  EXPECT_EQ(*r.procs.at("main").arrayId("w"), *r.procs.at("touch").arrayId("w"));
+}
+
+TEST(SemaTest, LocalArraysStayDistinct) {
+  Program p = mustParse(R"(
+      program main
+      real w(50)
+      call touch
+      end
+      subroutine touch
+      real w(50)
+      w(1) = 0
+      end
+  )");
+  SemaResult r = mustAnalyze(p);
+  EXPECT_NE(*r.procs.at("main").arrayId("w"), *r.procs.at("touch").arrayId("w"));
+}
+
+TEST(SemaTest, CallGraphBottomUpOrder) {
+  Program p = mustParse(R"(
+      program main
+      call a
+      end
+      subroutine a
+      call b
+      end
+      subroutine b
+      x = 1
+      end
+  )");
+  SemaResult r = mustAnalyze(p);
+  ASSERT_EQ(r.bottomUpOrder.size(), 3u);
+  EXPECT_EQ(r.bottomUpOrder[0]->name, "b");
+  EXPECT_EQ(r.bottomUpOrder[1]->name, "a");
+  EXPECT_EQ(r.bottomUpOrder[2]->name, "main");
+}
+
+TEST(SemaTest, RecursionRejected) {
+  Program p = mustParse(R"(
+      program main
+      call a
+      end
+      subroutine a
+      call a
+      end
+  )");
+  DiagnosticEngine diags;
+  EXPECT_FALSE(analyze(p, diags).has_value());
+}
+
+TEST(SemaTest, ArityMismatchRejected) {
+  Program p = mustParse(R"(
+      program main
+      call a(1)
+      end
+      subroutine a(x, y)
+      end
+  )");
+  DiagnosticEngine diags;
+  EXPECT_FALSE(analyze(p, diags).has_value());
+}
+
+TEST(SemaTest, LowerIntExpressions) {
+  Program p = mustParse(R"(
+      program s
+      integer n, m
+      parameter (m = 10)
+      n = 1
+      end
+  )");
+  SemaResult r = mustAnalyze(p);
+  const ProcSymbols& sym = r.procs.at("s");
+  DiagnosticEngine diags;
+
+  auto lower = [&](std::string_view src) {
+    ExprPtr e = parseExpression(src, diags);
+    EXPECT_TRUE(e != nullptr);
+    return lowerInt(*e, sym);
+  };
+  EXPECT_EQ(lower("2 + 3 * 4").constantValue(), 14);
+  EXPECT_EQ(lower("m + 1").constantValue(), 11);  // PARAMETER folded
+  SymExpr e1 = lower("2 * n - 1");
+  EXPECT_EQ(e1.affineCoeff(*sym.scalarId("n")), 2);
+  EXPECT_EQ(lower("n ** 2").degree(), 2);
+  EXPECT_EQ(lower("(4 * n) / 2").affineCoeff(*sym.scalarId("n")), 2);
+  EXPECT_TRUE(lower("n / 2").isPoisoned());      // inexact integer division
+  EXPECT_TRUE(lower("max(n, 1)").isPoisoned());  // intrinsics are opaque
+}
+
+TEST(SemaTest, LowerCondIntegerVsReal) {
+  Program p = mustParse(R"(
+      program s
+      integer i, n
+      real x, cut
+      logical flag
+      i = 1
+      end
+  )");
+  SemaResult r = mustAnalyze(p);
+  const ProcSymbols& sym = r.procs.at("s");
+  DiagnosticEngine diags;
+  auto lower = [&](std::string_view src) {
+    ExprPtr e = parseExpression(src, diags);
+    EXPECT_TRUE(e != nullptr);
+    return lowerCond(*e, sym);
+  };
+
+  // Integer comparison: strict < becomes the tightened integer atom.
+  Pred pi = lower("i .lt. n");
+  ASSERT_EQ(pi.clauses().size(), 1u);
+  EXPECT_EQ(pi.clauses()[0].atoms[0].op(), RelOp::LE);
+
+  // Real comparison: uninterpreted strict atom.
+  Pred pr = lower("x .gt. cut");
+  ASSERT_EQ(pr.clauses().size(), 1u);
+  EXPECT_EQ(pr.clauses()[0].atoms[0].op(), RelOp::RLT);
+
+  // Negation of a real comparison complements exactly.
+  Pred nr = lower(".not. (x .gt. cut)");
+  EXPECT_TRUE((pr && nr).provablyFalse() == Truth::True);
+
+  // Logical variable.
+  Pred pf = lower(".not. flag");
+  ASSERT_EQ(pf.clauses().size(), 1u);
+  EXPECT_EQ(pf.clauses()[0].atoms[0].kind(), Atom::Kind::LogVar);
+
+  // Array reference in a condition: Δ (the paper's implementation limit).
+  Program p2 = mustParse(R"(
+      program t
+      real b(10), cut
+      b(1) = 0
+      end
+  )");
+  SemaResult r2 = mustAnalyze(p2);
+  ExprPtr e = parseExpression("b(1) .gt. cut", diags);
+  EXPECT_TRUE(lowerCond(*e, r2.procs.at("t")).isUnknown());
+}
+
+TEST(SemaTest, PrinterRoundTrip) {
+  Program p = mustParse(R"(
+      program rt
+      real a(10)
+      do i = 1, 10
+        if (i .gt. 5) a(i) = i + 1
+      enddo
+      end
+  )");
+  std::string printed = toString(p);
+  // The printed form must re-parse to the same shape.
+  Program p2 = mustParse(printed);
+  EXPECT_EQ(toString(p2), printed);
+}
+
+}  // namespace
+}  // namespace panorama

@@ -1,0 +1,351 @@
+// Unit and property tests for the guard predicate library: atoms, CNF
+// operations, the pairwise simplifier, and entailment.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "panorama/predicate/predicate.h"
+
+namespace panorama {
+namespace {
+
+class PredicateTest : public ::testing::Test {
+ protected:
+  SymbolTable tab;
+  VarId x = tab.intern("x");
+  VarId y = tab.intern("y");
+  VarId p = tab.intern("p");
+  SymExpr X = SymExpr::variable(x);
+  SymExpr Y = SymExpr::variable(y);
+};
+
+TEST_F(PredicateTest, AtomConstructorsAndNegation) {
+  Atom a = Atom::lt(X, Y);  // x < y
+  Atom na = a.negated();    // x >= y
+  EXPECT_EQ(na.negated(), a);
+  EXPECT_EQ(Atom::le(X, Y).negated(), Atom::gt(X, Y));
+  EXPECT_EQ(Atom::eq(X, Y).negated(), Atom::ne(X, Y));
+  Atom lv = Atom::logicalVar(p, true);
+  EXPECT_EQ(lv.negated(), Atom::logicalVar(p, false));
+}
+
+TEST_F(PredicateTest, AtomEvaluate) {
+  Binding b{{x, 3}, {y, 5}, {p, 1}};
+  EXPECT_EQ(Atom::lt(X, Y).evaluate(b), true);
+  EXPECT_EQ(Atom::ge(X, Y).evaluate(b), false);
+  EXPECT_EQ(Atom::eq(X, SymExpr::constant(3)).evaluate(b), true);
+  EXPECT_EQ(Atom::logicalVar(p, true).evaluate(b), true);
+  EXPECT_EQ(Atom::logicalVar(p, false).evaluate(b), false);
+  EXPECT_FALSE(Atom::lt(X, SymExpr::variable(tab.intern("unbound"))).evaluate(b).has_value());
+}
+
+TEST_F(PredicateTest, AtomCanonicalEquality) {
+  // x == y and y == x must be the same atom; likewise tightened LE forms.
+  EXPECT_EQ(Atom::eq(X, Y), Atom::eq(Y, X));
+  EXPECT_EQ(Atom::rel(X.mulConst(2) - 1, RelOp::LE), Atom::rel(X, RelOp::LE));
+}
+
+TEST_F(PredicateTest, AtomImplication) {
+  // x <= 3 implies x <= 5
+  EXPECT_EQ(atomImplies(Atom::le(X, SymExpr::constant(3)), Atom::le(X, SymExpr::constant(5))),
+            Truth::True);
+  EXPECT_NE(atomImplies(Atom::le(X, SymExpr::constant(5)), Atom::le(X, SymExpr::constant(3))),
+            Truth::True);
+  // x == 2 implies x <= 2
+  EXPECT_EQ(atomImplies(Atom::eq(X, SymExpr::constant(2)), Atom::le(X, SymExpr::constant(2))),
+            Truth::True);
+}
+
+TEST_F(PredicateTest, AtomContradictionAndExhaustion) {
+  EXPECT_EQ(atomsContradict(Atom::le(X, SymExpr::constant(1)), Atom::ge(X, SymExpr::constant(2))),
+            Truth::True);
+  EXPECT_EQ(atomsExhaustive(Atom::le(X, Y), Atom::gt(X, Y)), Truth::True);
+  EXPECT_NE(atomsExhaustive(Atom::le(X, Y), Atom::ge(X, Y + 2)), Truth::True);
+}
+
+TEST_F(PredicateTest, TrueFalseUnknownBasics) {
+  EXPECT_TRUE(Pred::makeTrue().isTrue());
+  EXPECT_TRUE(Pred::makeFalse().isFalse());
+  EXPECT_TRUE(Pred::makeUnknown().isUnknown());
+  EXPECT_FALSE(Pred::makeUnknown().isTrue());
+  EXPECT_FALSE(Pred::makeUnknown().isFalse());
+  EXPECT_TRUE(Pred::makeUnknown().mayHold());
+}
+
+TEST_F(PredicateTest, DeltaAbsorption) {
+  // Δ ∧ False = False and Δ ∨ True = True (§5.3 special cases).
+  EXPECT_TRUE((Pred::makeUnknown() && Pred::makeFalse()).isFalse());
+  EXPECT_TRUE((Pred::makeUnknown() || Pred::makeTrue()).isTrue());
+  EXPECT_TRUE((Pred::makeUnknown() && Pred::makeTrue()).isUnknown());
+  EXPECT_TRUE((Pred::makeUnknown() || Pred::makeFalse()).isUnknown());
+}
+
+TEST_F(PredicateTest, AndOrBasicAlgebra) {
+  Pred a = Pred::atom(Atom::le(X, SymExpr::constant(5)));
+  Pred b = Pred::atom(Atom::ge(X, SymExpr::constant(1)));
+  Pred both = a && b;
+  EXPECT_EQ(both.clauses().size(), 2u);
+  EXPECT_EQ(both.evaluate({{x, 3}}), true);
+  EXPECT_EQ(both.evaluate({{x, 9}}), false);
+  Pred either = a || b;
+  EXPECT_EQ(either.evaluate({{x, 100}}), true);  // x >= 1 holds
+}
+
+TEST_F(PredicateTest, NegationRoundTrip) {
+  Pred a = Pred::atom(Atom::le(X, SymExpr::constant(5))) &&
+           Pred::atom(Atom::ge(Y, SymExpr::constant(0)));
+  Pred na = !a;
+  // Evaluate both at a grid of points and check complementarity.
+  for (std::int64_t vx = 3; vx <= 7; ++vx) {
+    for (std::int64_t vy = -2; vy <= 2; ++vy) {
+      Binding bnd{{x, vx}, {y, vy}};
+      auto va = a.evaluate(bnd);
+      auto vna = na.evaluate(bnd);
+      ASSERT_TRUE(va.has_value());
+      ASSERT_TRUE(vna.has_value());
+      EXPECT_NE(*va, *vna);
+    }
+  }
+}
+
+TEST_F(PredicateTest, SimplifierConstantFolding) {
+  Pred p1 = Pred::atom(Atom::le(SymExpr::constant(3), SymExpr::constant(5)));
+  EXPECT_TRUE(p1.isTrue());
+  Pred p2 = Pred::atom(Atom::le(SymExpr::constant(5), SymExpr::constant(3)));
+  EXPECT_TRUE(p2.isFalse());
+}
+
+TEST_F(PredicateTest, SimplifierDetectsContradiction) {
+  Pred a = Pred::atom(Atom::le(X, SymExpr::constant(1)));
+  Pred b = Pred::atom(Atom::ge(X, SymExpr::constant(2)));
+  Pred both = a && b;
+  both.simplify();
+  EXPECT_TRUE(both.isFalse());
+}
+
+TEST_F(PredicateTest, SimplifierDropsRedundantClause) {
+  Pred strong = Pred::atom(Atom::le(X, SymExpr::constant(3)));
+  Pred weak = Pred::atom(Atom::le(X, SymExpr::constant(10)));
+  Pred both = strong && weak;
+  both.simplify();
+  EXPECT_EQ(both.clauses().size(), 1u);
+  EXPECT_EQ(both, strong);
+}
+
+TEST_F(PredicateTest, SimplifierTautologicalClause) {
+  // (x <= y or x > y) ∧ (y <= 2)  ==  y <= 2
+  Disjunct d;
+  d.atoms = {Atom::le(X, Y), Atom::gt(X, Y)};
+  Pred p1 = Pred::atom(Atom::le(Y, SymExpr::constant(2)));
+  Pred tauto = Pred::atom(d.atoms[0]) || Pred::atom(d.atoms[1]);
+  Pred all = tauto && p1;
+  all.simplify();
+  EXPECT_EQ(all, p1);
+}
+
+TEST_F(PredicateTest, UnitResolution) {
+  // (x <= 0) ∧ (x >= 1 or y <= 5) simplifies to (x <= 0) ∧ (y <= 5).
+  Pred unit = Pred::atom(Atom::le(X, SymExpr::constant(0)));
+  Pred clause = Pred::atom(Atom::ge(X, SymExpr::constant(1))) ||
+                Pred::atom(Atom::le(Y, SymExpr::constant(5)));
+  Pred all = unit && clause;
+  all.simplify();
+  Pred expected = unit && Pred::atom(Atom::le(Y, SymExpr::constant(5)));
+  EXPECT_EQ(all, expected);
+}
+
+TEST_F(PredicateTest, ImplicationBetweenPredicates) {
+  Pred strong = Pred::atom(Atom::le(X, SymExpr::constant(2))) &&
+                Pred::atom(Atom::ge(X, SymExpr::constant(0)));
+  Pred weak = Pred::atom(Atom::le(X, SymExpr::constant(5)));
+  EXPECT_EQ(strong.implies(weak), Truth::True);
+  EXPECT_NE(weak.implies(strong), Truth::True);
+  EXPECT_EQ(Pred::makeFalse().implies(strong), Truth::True);
+  EXPECT_EQ(strong.implies(Pred::makeTrue()), Truth::True);
+}
+
+TEST_F(PredicateTest, ImplicationThroughArithmetic) {
+  // The Figure 1(c) pattern: x > SIZE in `out` implies x > SIZE in `in`.
+  VarId size = tab.intern("size");
+  SymExpr S = SymExpr::variable(size);
+  Pred inGuard = Pred::atom(Atom::le(X, S));   // call-in executes loop
+  Pred outGuard = Pred::atom(Atom::le(X, S));  // call-out executes loop
+  EXPECT_EQ(outGuard.implies(inGuard), Truth::True);
+}
+
+TEST_F(PredicateTest, ImplicationWithDisjunctiveGoal) {
+  Pred hyp = Pred::atom(Atom::le(X, SymExpr::constant(0)));
+  Pred goal = Pred::atom(Atom::le(X, SymExpr::constant(3))) ||
+              Pred::atom(Atom::ge(Y, SymExpr::constant(7)));
+  EXPECT_EQ(hyp.implies(goal), Truth::True);
+}
+
+TEST_F(PredicateTest, SubstitutionRewritesAtoms) {
+  Pred g = Pred::atom(Atom::le(X, SymExpr::constant(9)));
+  Pred g2 = g.substituted(x, Y + 4);  // y + 4 <= 9  ==  y <= 5
+  EXPECT_EQ(g2.evaluate({{y, 5}}), true);
+  EXPECT_EQ(g2.evaluate({{y, 6}}), false);
+  EXPECT_FALSE(g2.containsVar(x));
+}
+
+TEST_F(PredicateTest, ProvablyFalseWithCaseSplit) {
+  // (x <= 0 or x >= 10) ∧ (x >= 1) ∧ (x <= 9) is unsatisfiable but needs a
+  // split on the non-unit clause.
+  Pred split = Pred::atom(Atom::le(X, SymExpr::constant(0))) ||
+               Pred::atom(Atom::ge(X, SymExpr::constant(10)));
+  Pred box = Pred::atom(Atom::ge(X, SymExpr::constant(1))) &&
+             Pred::atom(Atom::le(X, SymExpr::constant(9)));
+  Pred all = split && box;
+  EXPECT_EQ(all.provablyFalse(), Truth::True);
+}
+
+TEST_F(PredicateTest, LogicalVariableGuards) {
+  // The Figure 1(b) pattern: .NOT.p is loop-invariant; p ∧ ¬p contradicts.
+  Pred notP = Pred::atom(Atom::logicalVar(p, false));
+  Pred isP = Pred::atom(Atom::logicalVar(p, true));
+  Pred both = notP && isP;
+  both.simplify();
+  EXPECT_TRUE(both.isFalse());
+  EXPECT_EQ(notP.implies(isP), Truth::Unknown);
+}
+
+TEST_F(PredicateTest, StringRendering) {
+  Pred g = Pred::atom(Atom::le(X, SymExpr::constant(3)));
+  EXPECT_EQ(g.str(tab), "x - 3 <= 0");
+  EXPECT_EQ(Pred::makeTrue().str(tab), "true");
+  EXPECT_EQ(Pred::makeFalse().str(tab), "false");
+  EXPECT_EQ(Pred::makeUnknown().str(tab), "DELTA");
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: CNF algebra must agree with boolean evaluation, and the
+// simplifier must preserve meaning.
+// ---------------------------------------------------------------------------
+
+class PredicatePropertyTest : public ::testing::TestWithParam<unsigned> {
+ protected:
+  SymbolTable tab;
+  std::vector<VarId> ivars{tab.intern("i"), tab.intern("j")};
+  VarId lvar = tab.intern("flag");
+
+  Atom randomAtom(std::mt19937& rng) {
+    std::uniform_int_distribution<int> kind(0, 10);
+    std::uniform_int_distribution<int> c(-4, 4);
+    int k = kind(rng);
+    if (k == 0) return Atom::logicalVar(lvar, c(rng) > 0);
+    SymExpr e = SymExpr::variable(ivars[k % 2]).mulConst(1 + (c(rng) & 1)) +
+                SymExpr::constant(c(rng));
+    switch (k % 7) {
+      case 0: return Atom::rel(e, RelOp::LE);
+      case 1: return Atom::rel(e, RelOp::EQ);
+      case 2: return Atom::rel(e, RelOp::NE);
+      // Real-valued atoms participate with the same boolean semantics under
+      // integer bindings but different proof rules.
+      case 3: return Atom::rel(e, RelOp::RLT);
+      case 4: return Atom::rel(e, RelOp::RLE);
+      case 5: return Atom::rel(e, RelOp::REQ);
+      default: return Atom::rel(e, RelOp::RNE);
+    }
+  }
+
+  Pred randomPred(std::mt19937& rng, int depth) {
+    std::uniform_int_distribution<int> op(0, 3);
+    if (depth == 0) return Pred::atom(randomAtom(rng));
+    Pred a = randomPred(rng, depth - 1);
+    Pred b = randomPred(rng, depth - 1);
+    switch (op(rng)) {
+      case 0: return a && b;
+      case 1: return a || b;
+      case 2: return !a;
+      default: return a;
+    }
+  }
+};
+
+TEST_P(PredicatePropertyTest, OperatorsAgreeWithBooleanSemantics) {
+  std::mt19937 rng(GetParam() * 31u + 1u);
+  std::uniform_int_distribution<int> val(-6, 6);
+  for (int iter = 0; iter < 120; ++iter) {
+    Pred a = randomPred(rng, 2);
+    Pred b = randomPred(rng, 2);
+    Binding bnd{{ivars[0], val(rng)}, {ivars[1], val(rng)}, {lvar, val(rng) > 0 ? 1 : 0}};
+    auto va = a.evaluate(bnd);
+    auto vb = b.evaluate(bnd);
+    if (!va || !vb) continue;  // Δ-tainted: no exact semantics to check
+    auto vand = (a && b).evaluate(bnd);
+    auto vor = (a || b).evaluate(bnd);
+    auto vnot = (!a).evaluate(bnd);
+    if (vand) {
+      EXPECT_EQ(*vand, *va && *vb);
+    }
+    if (vor) {
+      EXPECT_EQ(*vor, *va || *vb);
+    }
+    if (vnot) {
+      EXPECT_EQ(*vnot, !*va);
+    }
+  }
+}
+
+TEST_P(PredicatePropertyTest, SimplifyPreservesMeaning) {
+  std::mt19937 rng(GetParam() * 977u + 5u);
+  std::uniform_int_distribution<int> val(-6, 6);
+  for (int iter = 0; iter < 120; ++iter) {
+    Pred a = randomPred(rng, 2);
+    Pred s = a;
+    s.simplify();
+    for (int pt = 0; pt < 6; ++pt) {
+      Binding bnd{{ivars[0], val(rng)}, {ivars[1], val(rng)}, {lvar, val(rng) > 0 ? 1 : 0}};
+      auto va = a.evaluate(bnd);
+      auto vs = s.evaluate(bnd);
+      if (!va) continue;
+      if (vs) {
+        EXPECT_EQ(*vs, *va) << "simplify changed meaning: " << a.str(tab) << "  vs  "
+                            << s.str(tab);
+      } else {
+        // simplified form became Δ-tainted: allowed only as over-approximation
+        EXPECT_TRUE(s.isUnknown() || !s.isFalse());
+      }
+    }
+  }
+}
+
+TEST_P(PredicatePropertyTest, ProvablyFalseIsSound) {
+  std::mt19937 rng(GetParam() * 613u + 11u);
+  std::uniform_int_distribution<int> val(-6, 6);
+  for (int iter = 0; iter < 80; ++iter) {
+    Pred a = randomPred(rng, 2);
+    if (a.provablyFalse() != Truth::True) continue;
+    // A provably false predicate must evaluate to false at every point.
+    for (int pt = 0; pt < 10; ++pt) {
+      Binding bnd{{ivars[0], val(rng)}, {ivars[1], val(rng)}, {lvar, val(rng) > 0 ? 1 : 0}};
+      auto v = a.evaluateCnf(bnd);
+      if (v) {
+        EXPECT_FALSE(*v) << a.str(tab);
+      }
+    }
+  }
+}
+
+TEST_P(PredicatePropertyTest, ImpliesIsSound) {
+  std::mt19937 rng(GetParam() * 389u + 3u);
+  std::uniform_int_distribution<int> val(-6, 6);
+  for (int iter = 0; iter < 80; ++iter) {
+    Pred a = randomPred(rng, 2);
+    Pred b = randomPred(rng, 2);
+    if (a.implies(b) != Truth::True) continue;
+    for (int pt = 0; pt < 10; ++pt) {
+      Binding bnd{{ivars[0], val(rng)}, {ivars[1], val(rng)}, {lvar, val(rng) > 0 ? 1 : 0}};
+      auto va = a.evaluate(bnd);
+      auto vb = b.evaluate(bnd);
+      if (va && vb && *va) {
+        EXPECT_TRUE(*vb) << a.str(tab) << "  =/=>  " << b.str(tab);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PredicatePropertyTest, ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+}  // namespace
+}  // namespace panorama
