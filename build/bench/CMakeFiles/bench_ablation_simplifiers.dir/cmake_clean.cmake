@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_simplifiers.dir/bench_ablation_simplifiers.cpp.o"
+  "CMakeFiles/bench_ablation_simplifiers.dir/bench_ablation_simplifiers.cpp.o.d"
+  "bench_ablation_simplifiers"
+  "bench_ablation_simplifiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_simplifiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_omp_witness.dir/bench_omp_witness.cpp.o"
+  "CMakeFiles/bench_omp_witness.dir/bench_omp_witness.cpp.o.d"
+  "bench_omp_witness"
+  "bench_omp_witness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_omp_witness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_privatization.dir/bench_table2_privatization.cpp.o"
+  "CMakeFiles/bench_table2_privatization.dir/bench_table2_privatization.cpp.o.d"
+  "bench_table2_privatization"
+  "bench_table2_privatization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_privatization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

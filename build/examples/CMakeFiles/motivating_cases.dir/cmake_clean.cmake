@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motivating_cases.dir/motivating_cases.cpp.o"
+  "CMakeFiles/motivating_cases.dir/motivating_cases.cpp.o.d"
+  "motivating_cases"
+  "motivating_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivating_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/panorama_driver.dir/panorama_driver.cpp.o"
+  "CMakeFiles/panorama_driver.dir/panorama_driver.cpp.o.d"
+  "panorama_driver"
+  "panorama_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/panorama_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

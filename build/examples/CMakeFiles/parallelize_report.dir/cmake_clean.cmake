@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallelize_report.dir/parallelize_report.cpp.o"
+  "CMakeFiles/parallelize_report.dir/parallelize_report.cpp.o.d"
+  "parallelize_report"
+  "parallelize_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallelize_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_algebra.dir/region_algebra.cpp.o"
+  "CMakeFiles/region_algebra.dir/region_algebra.cpp.o.d"
+  "region_algebra"
+  "region_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

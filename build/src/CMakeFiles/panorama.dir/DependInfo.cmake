@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/privatization.cpp" "src/CMakeFiles/panorama.dir/analysis/privatization.cpp.o" "gcc" "src/CMakeFiles/panorama.dir/analysis/privatization.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/CMakeFiles/panorama.dir/analysis/report.cpp.o" "gcc" "src/CMakeFiles/panorama.dir/analysis/report.cpp.o.d"
+  "/root/repo/src/ast/ast.cpp" "src/CMakeFiles/panorama.dir/ast/ast.cpp.o" "gcc" "src/CMakeFiles/panorama.dir/ast/ast.cpp.o.d"
+  "/root/repo/src/ast/printer.cpp" "src/CMakeFiles/panorama.dir/ast/printer.cpp.o" "gcc" "src/CMakeFiles/panorama.dir/ast/printer.cpp.o.d"
+  "/root/repo/src/ast/sema.cpp" "src/CMakeFiles/panorama.dir/ast/sema.cpp.o" "gcc" "src/CMakeFiles/panorama.dir/ast/sema.cpp.o.d"
+  "/root/repo/src/codegen/annotate.cpp" "src/CMakeFiles/panorama.dir/codegen/annotate.cpp.o" "gcc" "src/CMakeFiles/panorama.dir/codegen/annotate.cpp.o.d"
+  "/root/repo/src/corpus/corpus.cpp" "src/CMakeFiles/panorama.dir/corpus/corpus.cpp.o" "gcc" "src/CMakeFiles/panorama.dir/corpus/corpus.cpp.o.d"
+  "/root/repo/src/deptest/banerjee.cpp" "src/CMakeFiles/panorama.dir/deptest/banerjee.cpp.o" "gcc" "src/CMakeFiles/panorama.dir/deptest/banerjee.cpp.o.d"
+  "/root/repo/src/deptest/conventional.cpp" "src/CMakeFiles/panorama.dir/deptest/conventional.cpp.o" "gcc" "src/CMakeFiles/panorama.dir/deptest/conventional.cpp.o.d"
+  "/root/repo/src/deptest/gcd_test.cpp" "src/CMakeFiles/panorama.dir/deptest/gcd_test.cpp.o" "gcc" "src/CMakeFiles/panorama.dir/deptest/gcd_test.cpp.o.d"
+  "/root/repo/src/frontend/lexer.cpp" "src/CMakeFiles/panorama.dir/frontend/lexer.cpp.o" "gcc" "src/CMakeFiles/panorama.dir/frontend/lexer.cpp.o.d"
+  "/root/repo/src/frontend/parser.cpp" "src/CMakeFiles/panorama.dir/frontend/parser.cpp.o" "gcc" "src/CMakeFiles/panorama.dir/frontend/parser.cpp.o.d"
+  "/root/repo/src/hsg/cfg_builder.cpp" "src/CMakeFiles/panorama.dir/hsg/cfg_builder.cpp.o" "gcc" "src/CMakeFiles/panorama.dir/hsg/cfg_builder.cpp.o.d"
+  "/root/repo/src/hsg/condense.cpp" "src/CMakeFiles/panorama.dir/hsg/condense.cpp.o" "gcc" "src/CMakeFiles/panorama.dir/hsg/condense.cpp.o.d"
+  "/root/repo/src/hsg/hsg.cpp" "src/CMakeFiles/panorama.dir/hsg/hsg.cpp.o" "gcc" "src/CMakeFiles/panorama.dir/hsg/hsg.cpp.o.d"
+  "/root/repo/src/interp/interpreter.cpp" "src/CMakeFiles/panorama.dir/interp/interpreter.cpp.o" "gcc" "src/CMakeFiles/panorama.dir/interp/interpreter.cpp.o.d"
+  "/root/repo/src/machine/machine_model.cpp" "src/CMakeFiles/panorama.dir/machine/machine_model.cpp.o" "gcc" "src/CMakeFiles/panorama.dir/machine/machine_model.cpp.o.d"
+  "/root/repo/src/predicate/atom.cpp" "src/CMakeFiles/panorama.dir/predicate/atom.cpp.o" "gcc" "src/CMakeFiles/panorama.dir/predicate/atom.cpp.o.d"
+  "/root/repo/src/predicate/disjunct.cpp" "src/CMakeFiles/panorama.dir/predicate/disjunct.cpp.o" "gcc" "src/CMakeFiles/panorama.dir/predicate/disjunct.cpp.o.d"
+  "/root/repo/src/predicate/implication.cpp" "src/CMakeFiles/panorama.dir/predicate/implication.cpp.o" "gcc" "src/CMakeFiles/panorama.dir/predicate/implication.cpp.o.d"
+  "/root/repo/src/predicate/predicate.cpp" "src/CMakeFiles/panorama.dir/predicate/predicate.cpp.o" "gcc" "src/CMakeFiles/panorama.dir/predicate/predicate.cpp.o.d"
+  "/root/repo/src/predicate/simplifier.cpp" "src/CMakeFiles/panorama.dir/predicate/simplifier.cpp.o" "gcc" "src/CMakeFiles/panorama.dir/predicate/simplifier.cpp.o.d"
+  "/root/repo/src/region/expansion.cpp" "src/CMakeFiles/panorama.dir/region/expansion.cpp.o" "gcc" "src/CMakeFiles/panorama.dir/region/expansion.cpp.o.d"
+  "/root/repo/src/region/gar.cpp" "src/CMakeFiles/panorama.dir/region/gar.cpp.o" "gcc" "src/CMakeFiles/panorama.dir/region/gar.cpp.o.d"
+  "/root/repo/src/region/gar_ops.cpp" "src/CMakeFiles/panorama.dir/region/gar_ops.cpp.o" "gcc" "src/CMakeFiles/panorama.dir/region/gar_ops.cpp.o.d"
+  "/root/repo/src/region/gar_simplifier.cpp" "src/CMakeFiles/panorama.dir/region/gar_simplifier.cpp.o" "gcc" "src/CMakeFiles/panorama.dir/region/gar_simplifier.cpp.o.d"
+  "/root/repo/src/region/range.cpp" "src/CMakeFiles/panorama.dir/region/range.cpp.o" "gcc" "src/CMakeFiles/panorama.dir/region/range.cpp.o.d"
+  "/root/repo/src/region/range_ops.cpp" "src/CMakeFiles/panorama.dir/region/range_ops.cpp.o" "gcc" "src/CMakeFiles/panorama.dir/region/range_ops.cpp.o.d"
+  "/root/repo/src/region/region.cpp" "src/CMakeFiles/panorama.dir/region/region.cpp.o" "gcc" "src/CMakeFiles/panorama.dir/region/region.cpp.o.d"
+  "/root/repo/src/region/region_ops.cpp" "src/CMakeFiles/panorama.dir/region/region_ops.cpp.o" "gcc" "src/CMakeFiles/panorama.dir/region/region_ops.cpp.o.d"
+  "/root/repo/src/summary/quantified.cpp" "src/CMakeFiles/panorama.dir/summary/quantified.cpp.o" "gcc" "src/CMakeFiles/panorama.dir/summary/quantified.cpp.o.d"
+  "/root/repo/src/summary/sum_bb.cpp" "src/CMakeFiles/panorama.dir/summary/sum_bb.cpp.o" "gcc" "src/CMakeFiles/panorama.dir/summary/sum_bb.cpp.o.d"
+  "/root/repo/src/summary/sum_call.cpp" "src/CMakeFiles/panorama.dir/summary/sum_call.cpp.o" "gcc" "src/CMakeFiles/panorama.dir/summary/sum_call.cpp.o.d"
+  "/root/repo/src/summary/sum_loop.cpp" "src/CMakeFiles/panorama.dir/summary/sum_loop.cpp.o" "gcc" "src/CMakeFiles/panorama.dir/summary/sum_loop.cpp.o.d"
+  "/root/repo/src/summary/summary.cpp" "src/CMakeFiles/panorama.dir/summary/summary.cpp.o" "gcc" "src/CMakeFiles/panorama.dir/summary/summary.cpp.o.d"
+  "/root/repo/src/support/diagnostics.cpp" "src/CMakeFiles/panorama.dir/support/diagnostics.cpp.o" "gcc" "src/CMakeFiles/panorama.dir/support/diagnostics.cpp.o.d"
+  "/root/repo/src/symbolic/constraint.cpp" "src/CMakeFiles/panorama.dir/symbolic/constraint.cpp.o" "gcc" "src/CMakeFiles/panorama.dir/symbolic/constraint.cpp.o.d"
+  "/root/repo/src/symbolic/expr.cpp" "src/CMakeFiles/panorama.dir/symbolic/expr.cpp.o" "gcc" "src/CMakeFiles/panorama.dir/symbolic/expr.cpp.o.d"
+  "/root/repo/src/symbolic/expr_ops.cpp" "src/CMakeFiles/panorama.dir/symbolic/expr_ops.cpp.o" "gcc" "src/CMakeFiles/panorama.dir/symbolic/expr_ops.cpp.o.d"
+  "/root/repo/src/symbolic/fourier_motzkin.cpp" "src/CMakeFiles/panorama.dir/symbolic/fourier_motzkin.cpp.o" "gcc" "src/CMakeFiles/panorama.dir/symbolic/fourier_motzkin.cpp.o.d"
+  "/root/repo/src/symbolic/symbol_table.cpp" "src/CMakeFiles/panorama.dir/symbolic/symbol_table.cpp.o" "gcc" "src/CMakeFiles/panorama.dir/symbolic/symbol_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deptest.dir/deptest_test.cpp.o"
+  "CMakeFiles/test_deptest.dir/deptest_test.cpp.o.d"
+  "test_deptest"
+  "test_deptest.pdb"
+  "test_deptest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deptest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gar.dir/gar_test.cpp.o"
+  "CMakeFiles/test_gar.dir/gar_test.cpp.o.d"
+  "test_gar"
+  "test_gar.pdb"
+  "test_gar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hsg.dir/hsg_test.cpp.o"
+  "CMakeFiles/test_hsg.dir/hsg_test.cpp.o.d"
+  "test_hsg"
+  "test_hsg.pdb"
+  "test_hsg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hsg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_miniperfect.dir/miniperfect_test.cpp.o"
+  "CMakeFiles/test_miniperfect.dir/miniperfect_test.cpp.o.d"
+  "test_miniperfect"
+  "test_miniperfect.pdb"
+  "test_miniperfect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_miniperfect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

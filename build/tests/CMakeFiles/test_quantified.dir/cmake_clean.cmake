@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quantified.dir/quantified_test.cpp.o"
+  "CMakeFiles/test_quantified.dir/quantified_test.cpp.o.d"
+  "test_quantified"
+  "test_quantified.pdb"
+  "test_quantified[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quantified.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_twodim.dir/twodim_test.cpp.o"
+  "CMakeFiles/test_twodim.dir/twodim_test.cpp.o.d"
+  "test_twodim"
+  "test_twodim.pdb"
+  "test_twodim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_twodim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
