@@ -1,0 +1,132 @@
+// The parallel analysis driver bench: corpus-wide wall time across the
+// {1, 2, 4, 8} thread × {cache on, cache off} matrix, emitted as JSON (to
+// stdout and, when a path is given as argv[1], to that file).
+//
+// The headline metric compares the driver's default configuration
+// (4 threads, memo cache on) against the pre-driver behavior (1 thread,
+// cache off). On a single-core host the thread axis cannot improve wall
+// time — the JSON records hardware_concurrency so readers can tell — and
+// the speedup there comes from the memoized symbolic queries; on multi-core
+// hosts both axes contribute.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "panorama/analysis/driver.h"
+
+using namespace panorama;
+
+namespace {
+
+struct ConfigResult {
+  std::size_t threads = 1;
+  bool cache = false;
+  double bestMs = 0;
+  std::size_t loops = 0;
+  QueryCache::Stats cacheStats;
+  QueryCache::Stats simplifyStats;
+  std::string fingerprint;  ///< per-loop classifications, for identity checks
+};
+
+std::string fingerprintOf(const CorpusAnalysisResult& r) {
+  std::string out;
+  for (const CorpusRoutineResult& loop : r.loops) {
+    out += loop.kernelId;
+    out += '|';
+    out += loop.procName;
+    out += '|';
+    out += std::to_string(loop.line);
+    out += '|';
+    out += toString(loop.classification);
+    out += '\n';
+    out += loop.report;
+  }
+  return out;
+}
+
+ConfigResult runConfig(std::size_t threads, bool cache, int repeats) {
+  ConfigResult cr;
+  cr.threads = threads;
+  cr.cache = cache;
+  cr.bestMs = 1e18;
+  for (int r = 0; r < repeats; ++r) {
+    AnalysisOptions options;
+    options.numThreads = threads;
+    options.cacheCapacity = cache ? QueryCache::kDefaultCapacity : 0;
+    auto t0 = std::chrono::steady_clock::now();
+    CorpusAnalysisResult result = analyzeCorpusParallel(options);
+    double ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+    cr.bestMs = std::min(cr.bestMs, ms);
+    cr.loops = result.loops.size();
+    cr.cacheStats = result.cacheStats;
+    cr.simplifyStats = result.simplifyStats;
+    cr.fingerprint = fingerprintOf(result);
+  }
+  return cr;
+}
+
+void emit(FILE* f, const std::vector<ConfigResult>& matrix, bool identical, double baselineMs,
+          double defaultMs) {
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"parallel_driver\",\n");
+  std::fprintf(f, "  \"corpus\": \"perfect (Table 1/2 kernels)\",\n");
+  std::fprintf(f, "  \"hardware_concurrency\": %zu, \n", ThreadPool::defaultConcurrency());
+  std::fprintf(f, "  \"configs\": [\n");
+  for (std::size_t k = 0; k < matrix.size(); ++k) {
+    const ConfigResult& c = matrix[k];
+    std::fprintf(f,
+                 "    {\"threads\": %zu, \"cache\": %s, \"wall_ms\": %.2f, \"loops\": %zu, "
+                 "\"query_cache\": {\"hits\": %llu, \"misses\": %llu, \"hit_rate\": %.3f}, "
+                 "\"simplify_memo\": {\"hits\": %llu, \"misses\": %llu, \"hit_rate\": %.3f}}%s\n",
+                 c.threads, c.cache ? "true" : "false", c.bestMs, c.loops,
+                 static_cast<unsigned long long>(c.cacheStats.hits),
+                 static_cast<unsigned long long>(c.cacheStats.misses), c.cacheStats.hitRate(),
+                 static_cast<unsigned long long>(c.simplifyStats.hits),
+                 static_cast<unsigned long long>(c.simplifyStats.misses),
+                 c.simplifyStats.hitRate(), k + 1 == matrix.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"results_identical_across_configs\": %s,\n", identical ? "true" : "false");
+  std::fprintf(f, "  \"headline\": {\n");
+  std::fprintf(f, "    \"baseline\": \"1 thread, cache off (pre-driver behavior)\",\n");
+  std::fprintf(f, "    \"comparison\": \"4 threads, cache on (driver default)\",\n");
+  std::fprintf(f, "    \"baseline_wall_ms\": %.2f,\n", baselineMs);
+  std::fprintf(f, "    \"comparison_wall_ms\": %.2f,\n", defaultMs);
+  std::fprintf(f, "    \"speedup\": %.2f\n", baselineMs / defaultMs);
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  constexpr int kRepeats = 5;
+  std::vector<ConfigResult> matrix;
+  for (std::size_t threads : {1u, 2u, 4u, 8u})
+    for (bool cache : {false, true}) matrix.push_back(runConfig(threads, cache, kRepeats));
+
+  bool identical = true;
+  for (const ConfigResult& c : matrix)
+    identical = identical && c.fingerprint == matrix.front().fingerprint;
+
+  double baselineMs = 0, defaultMs = 0;
+  for (const ConfigResult& c : matrix) {
+    if (c.threads == 1 && !c.cache) baselineMs = c.bestMs;
+    if (c.threads == 4 && c.cache) defaultMs = c.bestMs;
+  }
+
+  emit(stdout, matrix, identical, baselineMs, defaultMs);
+  if (argc > 1) {
+    if (FILE* f = std::fopen(argv[1], "w")) {
+      emit(f, matrix, identical, baselineMs, defaultMs);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", argv[1]);
+      return 1;
+    }
+  }
+  return identical ? 0 : 2;
+}

@@ -7,12 +7,15 @@
 //   panorama_driver --corpus NAME         analyze a built-in kernel
 //   flags: --no-symbolic --no-if-conditions --no-interprocedural
 //          --quantified --summaries --hsg
+//          --threads=N --no-cache --stats
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
 #include "panorama/analysis/analysis.h"
+#include "panorama/analysis/driver.h"
 #include "panorama/codegen/annotate.h"
 #include "panorama/corpus/corpus.h"
 #include "panorama/frontend/parser.h"
@@ -26,7 +29,8 @@ int usage() {
                "usage: panorama_driver [flags] <file.f>\n"
                "       panorama_driver --corpus [NAME]\n"
                "flags: --no-symbolic --no-if-conditions --no-interprocedural\n"
-               "       --quantified --summaries --hsg --annotate\n");
+               "       --quantified --summaries --hsg --annotate\n"
+               "       --threads=N (0 = all cores) --no-cache --stats\n");
   return 2;
 }
 
@@ -34,9 +38,11 @@ int usage() {
 
 int main(int argc, char** argv) {
   AnalysisOptions options;
+  options.numThreads = 1;  // interactive default: the serial driver
   bool showSummaries = false;
   bool showHsg = false;
   bool annotateOutput = false;
+  bool showStats = false;
   std::string source;
   std::string inputName;
 
@@ -56,6 +62,12 @@ int main(int argc, char** argv) {
       showHsg = true;
     } else if (arg == "--annotate") {
       annotateOutput = true;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      options.numThreads = std::strtoul(argv[k] + 10, nullptr, 10);
+    } else if (arg == "--no-cache") {
+      options.cacheCapacity = 0;
+    } else if (arg == "--stats") {
+      showStats = true;
     } else if (arg == "--corpus") {
       if (k + 1 >= argc) {
         for (const CorpusLoop& cl : perfectCorpus()) std::printf("%s\n", cl.id.c_str());
@@ -115,9 +127,11 @@ int main(int argc, char** argv) {
     }
   }
 
+  QueryCache::global().configure(options.cacheCapacity);
+  clearSimplifyMemo();
+  ThreadPool pool(options.numThreads);
   SummaryAnalyzer analyzer(*program, *sema, hsg, options);
-  LoopParallelizer parallelizer(analyzer);
-  std::vector<LoopAnalysis> loops = parallelizer.analyzeProgram();
+  std::vector<LoopAnalysis> loops = analyzeProgramParallel(analyzer, pool);
 
   if (annotateOutput) {
     std::printf("%s", emitParallelSource(*program, loops).c_str());
@@ -141,6 +155,17 @@ int main(int argc, char** argv) {
       }
     }
     std::printf("\n");
+  }
+  if (showStats) {
+    SummaryStats s = analyzer.stats();
+    std::printf("summary cost: %zu block steps, %zu loop expansions, %zu call mappings, "
+                "peak list length %zu, %zu GARs created\n",
+                s.blockSteps, s.loopExpansions, s.callMappings, s.peakListLength, s.garsCreated);
+    std::printf("%s\n", formatQueryCacheStats(QueryCache::global().stats()).c_str());
+    QueryCache::Stats m = simplifyMemoStats();
+    std::printf("simplify memo: %zu hits / %zu misses, %zu entries, %zu evictions\n",
+                static_cast<std::size_t>(m.hits), static_cast<std::size_t>(m.misses),
+                static_cast<std::size_t>(m.entries), static_cast<std::size_t>(m.evictions));
   }
   return 0;
 }

@@ -1,0 +1,72 @@
+// The parallel analysis driver: schedules per-procedure summary
+// construction in reverse-topological call-graph waves on a work-stealing
+// thread pool, then fans the per-loop analyses out across the same pool.
+//
+// Correctness model (see DESIGN.md §"Parallel driver"):
+//   * Procedures in one wave only call procedures of earlier waves, so a
+//     wave's summaries never race on each other's memo entries — every
+//     callee lookup hits an already-published summary.
+//   * Per-loop analyses (LoopParallelizer::analyzeLoop) are read-only with
+//     respect to the analyzer, so they fan out freely once the summaries
+//     exist.
+//   * Symbolic query verdicts are memoized in the process-global QueryCache
+//     under exact structural keys; numThreads == 1 bypasses the wave
+//     scheduler entirely and runs the original serial driver, bit-identical
+//     to the pre-parallel analyzer.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "panorama/analysis/analysis.h"
+#include "panorama/support/memo_cache.h"
+#include "panorama/support/thread_pool.h"
+
+namespace panorama {
+
+/// Reverse-topological waves over the (acyclic, per sema) call graph:
+/// wave k holds the procedures whose longest callee chain has length k, so
+/// everything a wave-k procedure calls lives in waves < k. Within a wave,
+/// procedures keep their bottomUpOrder relative order (determinism).
+std::vector<std::vector<const Procedure*>> callGraphWaves(const SemaResult& sema);
+
+/// Parallel analogue of LoopParallelizer::analyzeProgram(): summarizes
+/// procedures wave-by-wave on `pool`, then analyzes every DO loop
+/// concurrently. The result vector order is identical to the serial
+/// driver's. With pool.threadCount() <= 1 this *is* the serial driver.
+std::vector<LoopAnalysis> analyzeProgramParallel(SummaryAnalyzer& analyzer, ThreadPool& pool);
+
+/// One analyzed loop of one corpus kernel.
+struct CorpusRoutineResult {
+  std::string kernelId;   ///< CorpusLoop::id, e.g. "TRACK nlfilt/300"
+  std::string procName;   ///< procedure containing the loop
+  int line = 0;           ///< source line of the DO statement
+  LoopClass classification = LoopClass::Serial;
+  std::string report;     ///< formatLoopAnalysis rendering
+};
+
+/// Corpus-wide run: per-loop verdicts plus the cost/cache counters the
+/// report layer and the parallel-driver bench surface.
+struct CorpusAnalysisResult {
+  std::vector<CorpusRoutineResult> loops;
+  SummaryStats summaryStats;        ///< summed over every kernel's analyzer
+  QueryCache::Stats cacheStats;     ///< verdict-cache counters for the run
+  QueryCache::Stats simplifyStats;  ///< Pred::simplify memo counters
+  std::size_t threadsUsed = 1;
+};
+
+/// Parses and analyzes every Table 1/2 corpus kernel under `options`,
+/// scheduling kernels — and the call-graph waves inside each — on one
+/// shared pool sized by options.numThreads, with the global query cache
+/// configured to options.cacheCapacity. Kernel and loop order in the
+/// result is fixed (corpus order, serial walk order) regardless of thread
+/// count. Quantified runs serialize the kernel level (the ψ dimension
+/// slots are process-global) but still parallelize inside each kernel.
+CorpusAnalysisResult analyzeCorpusParallel(const AnalysisOptions& options = {});
+
+/// One-paragraph rendering of a corpus run: loop classifications, summary
+/// cost counters, and the query-cache hit/miss line (report layer).
+std::string formatCorpusStats(const CorpusAnalysisResult& result);
+
+}  // namespace panorama

@@ -1,0 +1,22 @@
+// Thread-safe hash-consing of atoms and predicates into 64-bit keys,
+// layered on the expression interner: an atom's key is allocated from the
+// exact tuple (kind, op, interned sub-expression keys, flags), a
+// predicate's key from its clause structure over atom keys. Key equality is
+// structural equality, so memo-cache entries keyed this way can never
+// confuse two different queries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "panorama/predicate/predicate.h"
+
+namespace panorama {
+
+/// Canonical key of an atom; atomKey(a) == atomKey(b) iff a == b.
+std::uint64_t atomKey(const Atom& a);
+
+/// Canonical key of a predicate (clauses + the Δ flag).
+std::uint64_t predKey(const Pred& p);
+
+}  // namespace panorama

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "panorama/predicate/atom.h"
+#include "panorama/support/memo_cache.h"
 
 namespace panorama {
 
@@ -72,6 +73,8 @@ class Pred {
 
   /// In-place cleanup: constant folding, clause/atom dedup, pairwise
   /// subsumption, contradiction detection (the paper's predicate simplifier).
+  /// The result is a pure function of (predicate, opts) and is memoized in
+  /// a bounded global value cache gated by QueryCache::global()'s capacity.
   void simplify(const SimplifyOptions& opts = {});
 
   /// Deep check: is the CNF part unsatisfiable? Uses pairwise rules first,
@@ -109,9 +112,18 @@ class Pred {
  private:
   void normalize();
   void markUnknownOnly();
+  /// The actual simplifier passes; simplify() wraps this in the memo.
+  void simplifyUncached(const SimplifyOptions& opts);
 
   std::vector<Disjunct> clauses_;  // sorted by Disjunct::compare
   bool unknown_ = false;           // the Δ conjunct
 };
+
+/// Counters of the global Pred::simplify value memo (hits/misses/evictions;
+/// `entries` is the resident count). Shares QueryCache::global()'s capacity
+/// gate, so configure(0) disables it too.
+QueryCache::Stats simplifyMemoStats();
+/// Drops the simplify memo's entries and counters (capacity-independent).
+void clearSimplifyMemo();
 
 }  // namespace panorama

@@ -24,9 +24,14 @@ namespace panorama {
 /// (diagonal, triangular) and element-conditional regions — e.g. the paper's
 /// A(i,i) diagonal is [ψ1 = ψ2, A(1:n, 1:n)]. Invalid (and inert) unless
 /// activated (the analyzer sets ψ1 for the quantified extension; users of
-/// the region API may set both). The tool is single-threaded.
-VarId& psiDim1();
-VarId& psiDim2();
+/// the region API may set both). The slots are process-global and
+/// atomically accessed; concurrent analyses must either leave them invalid
+/// or agree on the value — the parallel corpus driver serializes kernels
+/// that activate them (see AnalysisOptions::quantified).
+VarId psiDim1();
+VarId psiDim2();
+void setPsiDim1(VarId v);
+void setPsiDim2(VarId v);
 
 class Gar {
  public:

@@ -9,12 +9,15 @@
 // poisoned expressions and from there to Ω regions / Δ guards.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <set>
+#include <shared_mutex>
 #include <unordered_set>
 
 #include "panorama/hsg/hsg.h"
 #include "panorama/region/gar.h"
+#include "panorama/support/memo_cache.h"
 
 namespace panorama {
 
@@ -28,6 +31,14 @@ struct AnalysisOptions {
   bool computeDE = true;         ///< §3.2.2 DE sets (skippable to save time)
   bool garSimplifier = true;     ///< ablation: GAR list cleanup
   SimplifyOptions simplify;      ///< predicate-simplifier budgets
+
+  // ----- execution options (the parallel analysis driver) -----
+  /// Analysis workers, calling thread included. 0 = hardware_concurrency().
+  /// 1 selects the serial path, bit-identical to the pre-driver analyzer.
+  std::size_t numThreads = 0;
+  /// Entry capacity of the global FM/implication memo cache; 0 disables
+  /// memoization (every query is answered cold).
+  std::size_t cacheCapacity = QueryCache::kDefaultCapacity;
 };
 
 /// Everything the applications need about one DO loop.
@@ -85,7 +96,8 @@ class SummaryAnalyzer {
   void analyzeAll();
 
   const AnalysisOptions& options() const { return options_; }
-  const SummaryStats& stats() const { return stats_; }
+  /// Snapshot of the cost counters (safe to call while analysis runs).
+  SummaryStats stats() const;
   SemaResult& sema() { return sema_; }
   const SemaResult& sema() const { return sema_; }
 
@@ -173,12 +185,33 @@ class SummaryAnalyzer {
   const Hsg& hsg_;
   AnalysisOptions options_;
   CmpCtx ctx_;  // empty global context
+
+  // Thread-safety invariants (see DESIGN.md §"Parallel driver"): the
+  // memo maps below are guarded by reader-writer locks; entries are
+  // node-stable (std::map), so references handed out stay valid across
+  // concurrent insertions of *other* keys. A procedure's loop summaries
+  // are only ever written by the thread summarizing that procedure.
   std::map<std::string, ProcSummary> procSummaries_;
   std::map<const Stmt*, LoopSummary> loopSummaries_;
   std::map<std::string, std::vector<VarId>> modifiedScalarCache_;
   mutable std::map<const Procedure*, std::set<VarId>> indexVarCache_;
   std::map<const Procedure*, std::map<const Stmt*, CounterIdiom>> idiomCache_;
-  SummaryStats stats_;
+  mutable std::shared_mutex procMutex_;
+  mutable std::shared_mutex loopMutex_;
+  mutable std::shared_mutex scalarCacheMutex_;
+  mutable std::shared_mutex indexVarMutex_;
+  mutable std::shared_mutex idiomMutex_;
+
+  /// Cost counters, atomically updated so concurrent procedure analyses
+  /// can share them; stats() snapshots into the plain SummaryStats.
+  struct AtomicStats {
+    std::atomic<std::size_t> blockSteps{0};
+    std::atomic<std::size_t> loopExpansions{0};
+    std::atomic<std::size_t> callMappings{0};
+    std::atomic<std::size_t> peakListLength{0};
+    std::atomic<std::size_t> garsCreated{0};
+  };
+  AtomicStats stats_;
 };
 
 }  // namespace panorama

@@ -1,0 +1,125 @@
+// A bounded, sharded memo table for symbolic query verdicts.
+//
+// The analyzer answers the same Fourier-Motzkin feasibility checks,
+// atom-pair queries, and predicate-implication tests over and over as
+// guards flow through the propagation. Verdicts are pure functions of the
+// query structure, so they memoize safely: this cache maps an exact query
+// encoding — a tag plus a word vector built from interned expression /
+// atom / predicate keys and the query budget — to its Truth verdict.
+//
+// Properties the parallel driver and its tests rely on:
+//   * Exact keys. Entries are stored under the full encoded key (word
+//     vector compare, not its hash), so two different queries can never
+//     alias: a cached verdict is always the verdict a cold evaluation
+//     would produce, regardless of query order or thread interleaving.
+//   * Bounded. Capacity is split across shards; each shard evicts its
+//     oldest entries (FIFO) once full. Eviction only forgets — the next
+//     lookup recomputes and re-stores the identical verdict.
+//   * Sharded locking. A key's shard is chosen by its hash; each shard has
+//     its own mutex, so concurrent analysis threads rarely contend.
+//   * Observable. Hit/miss/eviction counters are surfaced through the
+//     report layer (formatQueryCacheStats) and the parallel-driver bench.
+//
+// configure(0) disables the cache entirely: every lookup misses and
+// nothing is stored, which restores the seed's cold-query behavior.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "panorama/support/diagnostics.h"
+
+namespace panorama {
+
+class QueryCache {
+ public:
+  /// Namespaces for the memoized query families. Every key starts with its
+  /// tag, so families can never collide.
+  enum class Tag : std::uint64_t {
+    FmContradictory = 1,  ///< ConstraintSet::contradictory
+    AtomsContradict = 2,  ///< atomsContradict (also serves atomImplies)
+    PredImplies = 3,      ///< Pred::implies
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t entries = 0;
+
+    double hitRate() const {
+      const double total = static_cast<double>(hits + misses);
+      return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    }
+  };
+
+  /// The process-wide cache every analysis thread shares.
+  static QueryCache& global();
+
+  /// Sets the entry capacity. 0 disables the cache. Existing entries and
+  /// counters are dropped either way.
+  void configure(std::size_t capacity);
+  std::size_t capacity() const;
+  bool enabled() const { return capacity() > 0; }
+
+  /// The memoized verdict for (tag, words), or nullopt (also counts the
+  /// miss). Disabled caches always return nullopt.
+  std::optional<Truth> lookup(Tag tag, const std::vector<std::uint64_t>& words);
+
+  /// Stores a verdict, evicting the shard's oldest entries when full.
+  /// No-op when disabled.
+  void store(Tag tag, std::vector<std::uint64_t> words, Truth verdict);
+
+  Stats stats() const;
+  /// Drops entries and counters but keeps the capacity.
+  void clear();
+
+ private:
+  static constexpr std::size_t kShards = 16;
+
+  struct Key {
+    std::uint64_t tag = 0;
+    std::vector<std::uint64_t> words;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHasher {
+    std::size_t operator()(const Key& k) const {
+      std::size_t h = 0xcbf29ce484222325ull ^ static_cast<std::size_t>(k.tag);
+      for (std::uint64_t w : k.words) {
+        h ^= static_cast<std::size_t>(w);
+        h *= 0x100000001b3ull;
+      }
+      return h;
+    }
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<Key, Truth, KeyHasher> map;
+    std::deque<Key> order;  ///< FIFO eviction order
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  Shard& shardFor(const Key& k) const;
+
+  mutable std::array<Shard, kShards> shards_;
+  /// Default mirrors the seed's always-on (but unbounded, single-threaded)
+  /// atom-pair memo; AnalysisOptions::cacheCapacity overrides per run.
+  std::atomic<std::size_t> capacity_{kDefaultCapacity};
+
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 18;
+};
+
+/// One-line rendering of the global cache counters for reports and benches.
+std::string formatQueryCacheStats(const QueryCache::Stats& stats);
+
+}  // namespace panorama

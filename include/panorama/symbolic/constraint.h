@@ -54,7 +54,11 @@ class ConstraintSet {
   /// Truth::True  => the conjunction has no rational/integer solution.
   /// Truth::False => a rational solution exists (so not provably empty).
   /// Truth::Unknown => budget exhausted or non-affine data encountered.
+  /// Memoized in QueryCache::global() under the exact (constraints, budget)
+  /// encoding; `contradictoryUncached` is the cold path (exposed for the
+  /// cache-consistency tests).
   Truth contradictory(const FmBudget& budget = {}) const;
+  Truth contradictoryUncached(const FmBudget& budget = {}) const;
 
   /// Does this set entail `e <= 0`? True only when (set ∧ e > 0) is
   /// contradictory.

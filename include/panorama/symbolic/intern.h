@@ -1,0 +1,51 @@
+// Thread-safe hash-consing of symbolic expressions into dense 64-bit keys.
+//
+// The memo cache (support/memo_cache.h) keys Fourier-Motzkin and
+// implication queries by the *structure* of the expressions involved. To
+// keep those keys small, every distinct SymExpr is interned once into a
+// process-global table and addressed by a 64-bit key thereafter: equal
+// expressions (and only equal expressions) share a key, so key equality is
+// exact structural equality — no hash-collision risk can ever change a
+// cached verdict.
+//
+// The table is sharded: each shard owns a reader-writer lock, and the key
+// encodes the shard in its low bits so shards allocate independently.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "panorama/symbolic/expr.h"
+
+namespace panorama {
+
+class ExprInterner {
+ public:
+  /// The process-wide interner every analysis thread shares.
+  static ExprInterner& global();
+
+  /// The canonical key of `e`. keyOf(a) == keyOf(b) iff a == b.
+  std::uint64_t keyOf(const SymExpr& e);
+
+  /// Number of distinct expressions interned so far.
+  std::size_t size() const;
+
+ private:
+  struct Hasher {
+    std::size_t operator()(const SymExpr& e) const { return e.hashValue(); }
+  };
+
+  static constexpr std::size_t kShardBits = 4;
+  static constexpr std::size_t kShards = 1u << kShardBits;
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    std::unordered_map<SymExpr, std::uint64_t, Hasher> map;
+    std::uint64_t next = 0;
+  };
+
+  std::array<Shard, kShards> shards_;
+};
+
+}  // namespace panorama

@@ -1,0 +1,175 @@
+// The parallel analysis driver (see driver.h for the correctness model).
+#include "panorama/analysis/driver.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "panorama/corpus/corpus.h"
+#include "panorama/frontend/parser.h"
+#include "panorama/hsg/hsg.h"
+
+namespace panorama {
+
+std::vector<std::vector<const Procedure*>> callGraphWaves(const SemaResult& sema) {
+  // Procedures keyed by name for callee resolution; the graph is acyclic
+  // (sema rejects recursion), so the longest-callee-chain depth is well
+  // defined and bottomUpOrder already lists callees before callers.
+  std::map<std::string, const Procedure*> byName;
+  for (const Procedure* p : sema.bottomUpOrder) byName.emplace(p->name, p);
+
+  std::map<const Procedure*, std::size_t> depth;
+  std::size_t maxDepth = 0;
+  for (const Procedure* p : sema.bottomUpOrder) {
+    std::size_t d = 0;
+    std::function<void(const std::vector<StmtPtr>&)> walk =
+        [&](const std::vector<StmtPtr>& body) {
+          for (const StmtPtr& s : body) {
+            if (s->kind == Stmt::Kind::Call) {
+              auto callee = byName.find(s->callee);
+              if (callee != byName.end()) {
+                auto it = depth.find(callee->second);
+                // Calls resolve into earlier bottomUpOrder entries only.
+                if (it != depth.end()) d = std::max(d, it->second + 1);
+              }
+            }
+            walk(s->thenBody);
+            walk(s->elseBody);
+            walk(s->body);
+          }
+        };
+    walk(p->body);
+    depth.emplace(p, d);
+    maxDepth = std::max(maxDepth, d);
+  }
+
+  std::vector<std::vector<const Procedure*>> waves(maxDepth + 1);
+  for (const Procedure* p : sema.bottomUpOrder) waves[depth.at(p)].push_back(p);
+  return waves;
+}
+
+std::vector<LoopAnalysis> analyzeProgramParallel(SummaryAnalyzer& analyzer, ThreadPool& pool) {
+  LoopParallelizer lp(analyzer);
+  if (pool.threadCount() <= 1) return lp.analyzeProgram();  // serial, bit-identical
+
+  // Wave k's procedures only call procedures summarized in earlier waves,
+  // so each batch races on nothing but the (lock-guarded) memo maps.
+  for (const auto& wave : callGraphWaves(analyzer.sema())) {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(wave.size());
+    for (const Procedure* p : wave)
+      tasks.push_back([&analyzer, p] { analyzer.procSummary(*p); });
+    pool.runBatch(std::move(tasks));
+  }
+
+  // Fan the per-loop analyses out. Loops are collected in the serial
+  // driver's walk order and written by index, so the result vector is
+  // position-identical to analyzeProgram() regardless of completion order.
+  struct Item {
+    const Stmt* loop;
+    const Procedure* proc;
+  };
+  std::vector<Item> items;
+  for (const Procedure* proc : analyzer.sema().bottomUpOrder) {
+    std::function<void(const std::vector<StmtPtr>&)> walk =
+        [&](const std::vector<StmtPtr>& body) {
+          for (const StmtPtr& s : body) {
+            if (s->kind == Stmt::Kind::Do) items.push_back({s.get(), proc});
+            walk(s->thenBody);
+            walk(s->elseBody);
+            walk(s->body);
+          }
+        };
+    walk(proc->body);
+  }
+
+  std::vector<LoopAnalysis> out(items.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(items.size());
+  for (std::size_t k = 0; k < items.size(); ++k)
+    tasks.push_back([&lp, &out, &items, k] { out[k] = lp.analyzeLoop(*items[k].loop, *items[k].proc); });
+  pool.runBatch(std::move(tasks));
+  return out;
+}
+
+namespace {
+
+/// Everything one corpus kernel's analysis owns (the analyzer keeps
+/// references into program/sema/hsg, so they live together).
+struct KernelJob {
+  const CorpusLoop* cl = nullptr;
+  Program program;
+  SemaResult sema;
+  Hsg hsg;
+  std::unique_ptr<SummaryAnalyzer> analyzer;
+  std::vector<LoopAnalysis> loops;
+  bool ok = false;
+};
+
+void runKernel(KernelJob& job, const AnalysisOptions& options, ThreadPool& pool) {
+  DiagnosticEngine diags;
+  auto parsed = parseProgram(job.cl->source, diags);
+  if (!parsed) return;
+  job.program = std::move(*parsed);
+  auto sr = analyze(job.program, diags);
+  if (!sr) return;
+  job.sema = std::move(*sr);
+  job.hsg = buildHsg(job.program, job.sema, diags);
+  job.analyzer = std::make_unique<SummaryAnalyzer>(job.program, job.sema, job.hsg, options);
+  job.loops = analyzeProgramParallel(*job.analyzer, pool);
+  job.ok = true;
+}
+
+}  // namespace
+
+CorpusAnalysisResult analyzeCorpusParallel(const AnalysisOptions& options) {
+  QueryCache::global().configure(options.cacheCapacity);
+  clearSimplifyMemo();  // fresh counters; the memo is capacity-gated too
+  ThreadPool pool(options.numThreads);
+
+  const std::vector<CorpusLoop>& corpus = perfectCorpus();
+  std::vector<KernelJob> jobs(corpus.size());
+  for (std::size_t k = 0; k < corpus.size(); ++k) jobs[k].cl = &corpus[k];
+
+  if (options.quantified && pool.threadCount() > 1) {
+    // The ψ dimension slots are process-global and per-symbol-table:
+    // quantified kernels must not overlap each other. Each kernel still
+    // parallelizes internally across its waves and loops.
+    for (KernelJob& job : jobs) runKernel(job, options, pool);
+  } else {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(jobs.size());
+    for (KernelJob& job : jobs)
+      tasks.push_back([&job, &options, &pool] { runKernel(job, options, pool); });
+    pool.runBatch(std::move(tasks));
+  }
+
+  CorpusAnalysisResult result;
+  result.threadsUsed = pool.threadCount();
+  for (const KernelJob& job : jobs) {
+    if (!job.ok) continue;
+    SummaryStats s = job.analyzer->stats();
+    result.summaryStats.blockSteps += s.blockSteps;
+    result.summaryStats.loopExpansions += s.loopExpansions;
+    result.summaryStats.callMappings += s.callMappings;
+    result.summaryStats.peakListLength =
+        std::max(result.summaryStats.peakListLength, s.peakListLength);
+    result.summaryStats.garsCreated += s.garsCreated;
+    for (const LoopAnalysis& la : job.loops) {
+      CorpusRoutineResult r;
+      r.kernelId = job.cl->id;
+      r.procName = la.procName;
+      r.line = la.line;
+      r.classification = la.classification;
+      r.report = formatLoopAnalysis(la, *job.analyzer);
+      result.loops.push_back(std::move(r));
+    }
+  }
+  result.cacheStats = QueryCache::global().stats();
+  result.simplifyStats = simplifyMemoStats();
+  return result;
+}
+
+}  // namespace panorama

@@ -1,6 +1,7 @@
 #include <sstream>
 
 #include "panorama/analysis/analysis.h"
+#include "panorama/analysis/driver.h"
 
 namespace panorama {
 
@@ -31,6 +32,33 @@ std::string formatLoopAnalysis(const LoopAnalysis& la, const SummaryAnalyzer& an
       os << "    scalar " << si.name << ": exposed across iterations\n";
   }
   (void)analyzer;
+  return os.str();
+}
+
+std::string formatCorpusStats(const CorpusAnalysisResult& result) {
+  std::size_t parallel = 0, afterPriv = 0, serial = 0;
+  for (const CorpusRoutineResult& r : result.loops) {
+    switch (r.classification) {
+      case LoopClass::Parallel: ++parallel; break;
+      case LoopClass::ParallelAfterPrivatization: ++afterPriv; break;
+      case LoopClass::Serial: ++serial; break;
+    }
+  }
+  std::ostringstream os;
+  os << "corpus: " << result.loops.size() << " loops analyzed on " << result.threadsUsed
+     << " thread" << (result.threadsUsed == 1 ? "" : "s") << " — " << parallel << " parallel, "
+     << afterPriv << " parallel after privatization, " << serial << " serial\n";
+  os << "summary cost: " << result.summaryStats.blockSteps << " block steps, "
+     << result.summaryStats.loopExpansions << " loop expansions, "
+     << result.summaryStats.callMappings << " call mappings, peak list length "
+     << result.summaryStats.peakListLength << ", " << result.summaryStats.garsCreated
+     << " GARs created\n";
+  os << formatQueryCacheStats(result.cacheStats) << '\n';
+  os << "simplify memo: " << result.simplifyStats.hits << " hits / "
+     << result.simplifyStats.misses << " misses ("
+     << static_cast<int>(result.simplifyStats.hitRate() * 100.0) << "% hit rate), "
+     << result.simplifyStats.entries << " entries, " << result.simplifyStats.evictions
+     << " evictions\n";
   return os.str();
 }
 

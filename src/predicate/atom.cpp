@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "panorama/predicate/intern.h"
+#include "panorama/support/memo_cache.h"
+
 namespace panorama {
 
 Atom Atom::rel(SymExpr e, RelOp op) {
@@ -344,34 +347,21 @@ Truth realPairImplies(const Atom& a, const Atom& b) {
 
 }  // namespace
 
-namespace {
-
-/// Memo for the pairwise queries: the simplifier asks about the same atom
-/// pairs over and over as guards flow through the propagation. Keys are
-/// full atoms (no hash-collision risk); the cache resets when oversized.
-struct PairKey {
-  Atom a;
-  Atom b;
-  friend bool operator<(const PairKey& x, const PairKey& y) {
-    if (int c = Atom::compare(x.a, y.a)) return c < 0;
-    return Atom::compare(x.b, y.b) < 0;
-  }
-};
-
-std::map<PairKey, Truth>& contradictCache() {
-  static std::map<PairKey, Truth> cache;
-  if (cache.size() > 200'000) cache.clear();
-  return cache;
-}
-
-}  // namespace
-
 Truth atomsContradict(const Atom& a, const Atom& b, const FmBudget& budget) {
   if (a.isPoisoned() || b.isPoisoned()) return Truth::Unknown;
-  auto& cache = contradictCache();
-  PairKey key{a, b};
-  if (Atom::compare(key.b, key.a) < 0) std::swap(key.a, key.b);  // symmetric
-  if (auto it = cache.find(key); it != cache.end()) return it->second;
+  // Memoized in the global query cache: the simplifier asks about the same
+  // atom pairs over and over as guards flow through the propagation. Keys
+  // are interned atom keys (exact structural identity, no collision risk),
+  // symmetric-normalized, plus the budget.
+  QueryCache& cache = QueryCache::global();
+  std::vector<std::uint64_t> key;
+  if (cache.enabled()) {
+    std::uint64_t ka = atomKey(a);
+    std::uint64_t kb = atomKey(b);
+    if (kb < ka) std::swap(ka, kb);  // contradiction is symmetric
+    key = {ka, kb, budget.maxConstraints, budget.maxVariables};
+    if (auto hit = cache.lookup(QueryCache::Tag::AtomsContradict, key)) return *hit;
+  }
   Truth result = [&] {
   if (a.kind() == Atom::Kind::LogVar && b.kind() == Atom::Kind::LogVar) {
     if (a.logical() == b.logical() && a.logicalValue() != b.logicalValue()) return Truth::True;
@@ -417,7 +407,7 @@ Truth atomsContradict(const Atom& a, const Atom& b, const FmBudget& budget) {
   Truth t = cs.contradictory(budget);
   return t == Truth::True ? Truth::True : Truth::Unknown;
   }();
-  cache.emplace(std::move(key), result);
+  if (cache.enabled()) cache.store(QueryCache::Tag::AtomsContradict, std::move(key), result);
   return result;
 }
 

@@ -3,6 +3,9 @@
 // privatizability proofs.
 #include "panorama/predicate/predicate.h"
 
+#include "panorama/predicate/intern.h"
+#include "panorama/support/memo_cache.h"
+
 namespace panorama {
 
 namespace {
@@ -40,27 +43,41 @@ Truth Pred::implies(const Pred& other, const SimplifyOptions& opts) const {
   // The goal's Δ conjunct is an unknowable obligation.
   if (other.unknown_) return compare(*this, other) == 0 ? Truth::True : Truth::Unknown;
 
-  // The hypothesis context available to FM: unit clauses of the CNF
-  // over-approximation. (actual => CNF => goal suffices.)
-  ConstraintSet context = unitConstraints();
-
-  for (const Disjunct& goal : other.clauses_) {
-    if (clauseSubsumed(clauses_, goal, opts)) continue;
-    if (!opts.useFourierMotzkin) return Truth::Unknown;
-    // FM refutation: context ∧ ¬goal must be infeasible. ¬goal is the
-    // conjunction of the negated atoms of the clause.
-    ConstraintSet cs = context;
-    bool representable = true;
-    for (const Atom& a : goal.atoms) {
-      if (!a.negated().addToConstraints(cs)) {
-        representable = false;
-        break;
-      }
-    }
-    if (!representable) return Truth::Unknown;
-    if (cs.contradictory(opts.fmBudget) != Truth::True) return Truth::Unknown;
+  // Memoized in the global query cache under interned predicate keys (exact
+  // structural identity) plus the simplifier knobs the verdict depends on.
+  QueryCache& cache = QueryCache::global();
+  std::vector<std::uint64_t> key;
+  if (cache.enabled()) {
+    key = {predKey(*this), predKey(other), opts.useFourierMotzkin ? 1u : 0u,
+           opts.fmBudget.maxConstraints, opts.fmBudget.maxVariables};
+    if (auto hit = cache.lookup(QueryCache::Tag::PredImplies, key)) return *hit;
   }
-  return Truth::True;
+
+  Truth verdict = [&] {
+    // The hypothesis context available to FM: unit clauses of the CNF
+    // over-approximation. (actual => CNF => goal suffices.)
+    ConstraintSet context = unitConstraints();
+
+    for (const Disjunct& goal : other.clauses_) {
+      if (clauseSubsumed(clauses_, goal, opts)) continue;
+      if (!opts.useFourierMotzkin) return Truth::Unknown;
+      // FM refutation: context ∧ ¬goal must be infeasible. ¬goal is the
+      // conjunction of the negated atoms of the clause.
+      ConstraintSet cs = context;
+      bool representable = true;
+      for (const Atom& a : goal.atoms) {
+        if (!a.negated().addToConstraints(cs)) {
+          representable = false;
+          break;
+        }
+      }
+      if (!representable) return Truth::Unknown;
+      if (cs.contradictory(opts.fmBudget) != Truth::True) return Truth::Unknown;
+    }
+    return Truth::True;
+  }();
+  if (cache.enabled()) cache.store(QueryCache::Tag::PredImplies, std::move(key), verdict);
+  return verdict;
 }
 
 }  // namespace panorama

@@ -1,0 +1,96 @@
+// Atom/predicate hash-consing. Keys are allocated from exact structural
+// encodings (never from raw hashes), so distinct atoms/predicates always
+// receive distinct keys.
+#include "panorama/predicate/intern.h"
+
+#include <array>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "panorama/symbolic/intern.h"
+
+namespace panorama {
+
+namespace {
+
+struct TupleHasher {
+  std::size_t operator()(const std::vector<std::uint64_t>& words) const {
+    std::size_t h = 0xcbf29ce484222325ull;
+    for (std::uint64_t w : words) {
+      h ^= static_cast<std::size_t>(w);
+      h *= 0x100000001b3ull;
+    }
+    return h;
+  }
+};
+
+/// Sharded exact-tuple interner shared by the atom and predicate key maps.
+class TupleInterner {
+ public:
+  std::uint64_t keyOf(std::vector<std::uint64_t> words) {
+    const std::size_t s = TupleHasher{}(words) % kShards;
+    Shard& shard = shards_[s];
+    {
+      std::shared_lock<std::shared_mutex> lock(shard.mutex);
+      if (auto it = shard.map.find(words); it != shard.map.end()) return it->second;
+    }
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    if (auto it = shard.map.find(words); it != shard.map.end()) return it->second;
+    std::uint64_t key = (shard.next++ << kShardBits) | static_cast<std::uint64_t>(s);
+    shard.map.emplace(std::move(words), key);
+    return key;
+  }
+
+ private:
+  static constexpr std::size_t kShardBits = 4;
+  static constexpr std::size_t kShards = 1u << kShardBits;
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    std::unordered_map<std::vector<std::uint64_t>, std::uint64_t, TupleHasher> map;
+    std::uint64_t next = 0;
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+TupleInterner& atomTable() {
+  static TupleInterner t;
+  return t;
+}
+
+TupleInterner& predTable() {
+  static TupleInterner t;
+  return t;
+}
+
+}  // namespace
+
+std::uint64_t atomKey(const Atom& a) {
+  ExprInterner& exprs = ExprInterner::global();
+  std::vector<std::uint64_t> words;
+  words.reserve(10);
+  words.push_back(static_cast<std::uint64_t>(a.kind()));
+  words.push_back(static_cast<std::uint64_t>(a.op()));
+  words.push_back(exprs.keyOf(a.expr()));
+  words.push_back(a.logical().value);
+  words.push_back(a.logicalValue() ? 1 : 0);
+  words.push_back(a.predArray().value);
+  words.push_back(a.boundVar().value);
+  words.push_back(exprs.keyOf(a.predRhs()));
+  words.push_back(exprs.keyOf(a.forallLo()));
+  words.push_back(exprs.keyOf(a.forallUp()));
+  return atomTable().keyOf(std::move(words));
+}
+
+std::uint64_t predKey(const Pred& p) {
+  std::vector<std::uint64_t> words;
+  words.push_back(p.isUnknown() ? 1 : 0);
+  words.push_back(p.clauses().size());
+  for (const Disjunct& clause : p.clauses()) {
+    words.push_back(clause.atoms.size());
+    for (const Atom& a : clause.atoms) words.push_back(atomKey(a));
+  }
+  return predTable().keyOf(std::move(words));
+}
+
+}  // namespace panorama

@@ -1,18 +1,19 @@
 #include "panorama/region/gar.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace panorama {
 
-VarId& psiDim1() {
-  static VarId psi;
-  return psi;
-}
+namespace {
+std::atomic<std::uint32_t> psi1Slot{UINT32_MAX};
+std::atomic<std::uint32_t> psi2Slot{UINT32_MAX};
+}  // namespace
 
-VarId& psiDim2() {
-  static VarId psi;
-  return psi;
-}
+VarId psiDim1() { return VarId{psi1Slot.load(std::memory_order_relaxed)}; }
+VarId psiDim2() { return VarId{psi2Slot.load(std::memory_order_relaxed)}; }
+void setPsiDim1(VarId v) { psi1Slot.store(v.value, std::memory_order_relaxed); }
+void setPsiDim2(VarId v) { psi2Slot.store(v.value, std::memory_order_relaxed); }
 
 Gar Gar::make(Pred guard, Region region) {
   Gar g;
@@ -84,7 +85,14 @@ std::optional<std::set<std::vector<std::int64_t>>> Gar::enumerate(
 }
 
 std::string Gar::str(const SymbolTable& symtab, const ArrayTable& arrays) const {
-  return "[" + guard_.str(symtab) + ", " + region_.str(symtab, arrays) + "]";
+  // Built by append: operator+ chains over temporaries trip GCC 12's
+  // spurious -Wrestrict on the inlined char_traits copy (PR 105329).
+  std::string out = "[";
+  out += guard_.str(symtab);
+  out += ", ";
+  out += region_.str(symtab, arrays);
+  out += ']';
+  return out;
 }
 
 GarList GarList::single(Gar g) {

@@ -60,8 +60,15 @@ std::optional<std::vector<std::int64_t>> SymRange::enumerate(const Binding& bind
 std::string SymRange::str(const SymbolTable& symtab) const {
   if (isUnknown()) return "?";
   if (isPoint()) return lo.str(symtab);
-  std::string out = lo.str(symtab) + ":" + up.str(symtab);
-  if (!(step == SymExpr::constant(1))) out += ":" + step.str(symtab);
+  // Built by append: operator+ chains over temporaries trip GCC 12's
+  // spurious -Wrestrict on the inlined char_traits copy (PR 105329).
+  std::string out = lo.str(symtab);
+  out += ':';
+  out += up.str(symtab);
+  if (!(step == SymExpr::constant(1))) {
+    out += ':';
+    out += step.str(symtab);
+  }
   return out;
 }
 

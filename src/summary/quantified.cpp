@@ -13,6 +13,7 @@
 //     (they describe values at their creation point only) — affected guard
 //     clauses degrade to Δ, preserving soundness.
 #include <functional>
+#include <mutex>
 
 #include "panorama/summary/summary.h"
 
@@ -125,7 +126,15 @@ Pred SummaryAnalyzer::lowerGuardQuantified(const Expr& e, const ProcSymbols& sym
 
 const SummaryAnalyzer::CounterIdiom* SummaryAnalyzer::counterIdiomFor(const Stmt* loop,
                                                                       const ProcSymbols& sym) {
-  auto& cache = idiomCache_[sym.proc];
+  // The outer map is shared across threads; a procedure's inner map is only
+  // touched by the thread summarizing that procedure (std::map nodes are
+  // stable, so the reference survives other procedures' insertions).
+  std::map<const Stmt*, CounterIdiom>* cachePtr;
+  {
+    std::unique_lock<std::shared_mutex> lock(idiomMutex_);
+    cachePtr = &idiomCache_[sym.proc];
+  }
+  auto& cache = *cachePtr;
   if (cache.empty() && sym.proc) {
     // Scan every statement list once for (counter = 0, matching DO) pairs.
     std::function<void(const std::vector<StmtPtr>&)> scan =

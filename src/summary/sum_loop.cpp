@@ -3,6 +3,8 @@
 // MOD_{<i} from UE_i, and expand everything to whole-loop sets.
 #include "panorama/summary/summary.h"
 
+#include <mutex>
+
 namespace panorama {
 
 namespace {
@@ -157,7 +159,10 @@ SummaryAnalyzer::NodeSets SummaryAnalyzer::sumLoop(const HsgNode& n, const ProcS
     for (const Gar& g : ueI.gars())
       out.ue.add(Gar::omega(g.array(), g.region().rank()));
     out.de = out.ue;
-    loopSummaries_[&s] = std::move(ls);
+    {
+      std::unique_lock<std::shared_mutex> lock(loopMutex_);
+      loopSummaries_[&s] = std::move(ls);
+    }
     return out;
   }
 
@@ -214,7 +219,10 @@ SummaryAnalyzer::NodeSets SummaryAnalyzer::sumLoop(const HsgNode& n, const ProcS
   ls.de = out.de;
   note(out.mod);
   note(out.ue);
-  loopSummaries_[&s] = std::move(ls);
+  {
+    std::unique_lock<std::shared_mutex> lock(loopMutex_);
+    loopSummaries_[&s] = std::move(ls);
+  }
   return out;
 }
 

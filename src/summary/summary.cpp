@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <mutex>
 
 namespace panorama {
 
@@ -10,8 +11,9 @@ SummaryAnalyzer::SummaryAnalyzer(const Program& program, SemaResult& sema, const
     : program_(program), sema_(sema), hsg_(hsg), options_(options) {
   // Activate (or deactivate) the ψ1 dimension symbol for this analyzer.
   // VarIds are per-SymbolTable, so the global slot is re-pointed per run;
-  // the tool is single-threaded.
-  psiDim1() = options_.quantified ? sema_.symbols.intern("psi$1") : VarId{};
+  // the parallel corpus driver serializes quantified kernels so concurrent
+  // analyzers never disagree on the slot.
+  setPsiDim1(options_.quantified ? sema_.symbols.intern("psi$1") : VarId{});
 }
 
 void SummaryAnalyzer::analyzeAll() {
@@ -19,19 +21,37 @@ void SummaryAnalyzer::analyzeAll() {
 }
 
 const LoopSummary* SummaryAnalyzer::loopSummary(const Stmt* doStmt) const {
+  std::shared_lock<std::shared_mutex> lock(loopMutex_);
   auto it = loopSummaries_.find(doStmt);
   return it == loopSummaries_.end() ? nullptr : &it->second;
 }
 
+SummaryStats SummaryAnalyzer::stats() const {
+  SummaryStats out;
+  out.blockSteps = stats_.blockSteps.load(std::memory_order_relaxed);
+  out.loopExpansions = stats_.loopExpansions.load(std::memory_order_relaxed);
+  out.callMappings = stats_.callMappings.load(std::memory_order_relaxed);
+  out.peakListLength = stats_.peakListLength.load(std::memory_order_relaxed);
+  out.garsCreated = stats_.garsCreated.load(std::memory_order_relaxed);
+  return out;
+}
+
 void SummaryAnalyzer::note(const GarList& list) {
-  stats_.peakListLength = std::max(stats_.peakListLength, list.size());
+  std::size_t prev = stats_.peakListLength.load(std::memory_order_relaxed);
+  while (list.size() > prev &&
+         !stats_.peakListLength.compare_exchange_weak(prev, list.size(),
+                                                      std::memory_order_relaxed)) {
+  }
   stats_.garsCreated += list.size();
 }
 
 const std::set<VarId>& SummaryAnalyzer::indexVarsOf(const ProcSymbols& sym) const {
-  auto it = indexVarCache_.find(sym.proc);
-  if (it != indexVarCache_.end()) return it->second;
-  std::set<VarId>& out = indexVarCache_[sym.proc];
+  {
+    std::shared_lock<std::shared_mutex> lock(indexVarMutex_);
+    auto it = indexVarCache_.find(sym.proc);
+    if (it != indexVarCache_.end()) return it->second;
+  }
+  std::set<VarId> out;
   std::function<void(const std::vector<StmtPtr>&)> walk = [&](const std::vector<StmtPtr>& b) {
     for (const StmtPtr& s : b) {
       if (s->kind == Stmt::Kind::Do)
@@ -42,7 +62,8 @@ const std::set<VarId>& SummaryAnalyzer::indexVarsOf(const ProcSymbols& sym) cons
     }
   };
   if (sym.proc) walk(sym.proc->body);
-  return out;
+  std::unique_lock<std::shared_mutex> lock(indexVarMutex_);
+  return indexVarCache_.emplace(sym.proc, std::move(out)).first->second;
 }
 
 SymExpr SummaryAnalyzer::lowerValue(const Expr& e, const ProcSymbols& sym) const {
@@ -170,10 +191,13 @@ void SummaryAnalyzer::collectAssignedScalars(const std::vector<const Stmt*>& stm
 }
 
 const std::vector<VarId>& SummaryAnalyzer::scalarsModifiedBy(const Procedure& proc) {
-  auto it = modifiedScalarCache_.find(proc.name);
-  if (it != modifiedScalarCache_.end()) return it->second;
-  // Seed the cache to cut (already rejected) recursion.
-  auto& slot = modifiedScalarCache_[proc.name];
+  {
+    std::shared_lock<std::shared_mutex> lock(scalarCacheMutex_);
+    auto it = modifiedScalarCache_.find(proc.name);
+    if (it != modifiedScalarCache_.end()) return it->second;
+  }
+  // Compute unlocked (sema rejects recursion, so the transitive callee
+  // lookups below terminate without a cache seed), then publish.
   std::vector<const Stmt*> roots;
   for (const StmtPtr& s : proc.body) roots.push_back(s.get());
   std::vector<VarId> all;
@@ -189,8 +213,8 @@ const std::vector<VarId>& SummaryAnalyzer::scalarsModifiedBy(const Procedure& pr
     bool isLocal = sema_.symbols.name(v).starts_with(proc.name + "::");
     if (isFormal || !isLocal) escaping.push_back(v);
   }
-  slot = std::move(escaping);
-  return slot;
+  std::unique_lock<std::shared_mutex> lock(scalarCacheMutex_);
+  return modifiedScalarCache_.emplace(proc.name, std::move(escaping)).first->second;
 }
 
 // ---------------------------------------------------------------------------
@@ -295,6 +319,9 @@ void SummaryAnalyzer::sumSegment(const HsgGraph& g, const ProcSymbols& sym, GarL
         poisonScalars(deOut, killed);
         if (n.kind == HsgNode::Kind::Loop) {
           // Record the downstream exposure for the live-out (copy-out) test.
+          // Shared lock suffices: only this thread summarizes this
+          // procedure, so only it writes this loop's entry.
+          std::shared_lock<std::shared_mutex> lock(loopMutex_);
           auto ls = loopSummaries_.find(n.loopStmt);
           if (ls != loopSummaries_.end()) ls->second.ueAfter = ueOut;
         }
@@ -326,9 +353,14 @@ void SummaryAnalyzer::sumSegment(const HsgGraph& g, const ProcSymbols& sym, GarL
 }
 
 const ProcSummary& SummaryAnalyzer::procSummary(const Procedure& proc) {
-  auto it = procSummaries_.find(proc.name);
-  if (it != procSummaries_.end()) return it->second;
-
+  {
+    std::shared_lock<std::shared_mutex> lock(procMutex_);
+    auto it = procSummaries_.find(proc.name);
+    if (it != procSummaries_.end()) return it->second;
+  }
+  // Compute unlocked. The parallel driver's wave schedule guarantees every
+  // callee summary already exists, so the recursive lookups below are
+  // read-only; under the serial path this is plain memoization.
   const ProcSymbols& sym = sema_.of(proc);
   GarList mod;
   GarList ue;
@@ -369,6 +401,7 @@ const ProcSummary& SummaryAnalyzer::procSummary(const Procedure& proc) {
   poisonScalars(summary.de, locals);
   summary.modifiedScalars = scalarsModifiedBy(proc);
 
+  std::unique_lock<std::shared_mutex> lock(procMutex_);
   return procSummaries_.emplace(proc.name, std::move(summary)).first->second;
 }
 

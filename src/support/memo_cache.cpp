@@ -1,0 +1,88 @@
+#include "panorama/support/memo_cache.h"
+
+#include <cstdio>
+
+namespace panorama {
+
+QueryCache& QueryCache::global() {
+  static QueryCache cache;
+  return cache;
+}
+
+QueryCache::Shard& QueryCache::shardFor(const Key& k) const {
+  return shards_[KeyHasher{}(k) % kShards];
+}
+
+void QueryCache::configure(std::size_t capacity) {
+  clear();
+  capacity_.store(capacity, std::memory_order_release);
+}
+
+std::size_t QueryCache::capacity() const {
+  return capacity_.load(std::memory_order_acquire);
+}
+
+std::optional<Truth> QueryCache::lookup(Tag tag, const std::vector<std::uint64_t>& words) {
+  if (!enabled()) return std::nullopt;
+  Key key{static_cast<std::uint64_t>(tag), words};
+  Shard& shard = shardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (auto it = shard.map.find(key); it != shard.map.end()) {
+    ++shard.hits;
+    return it->second;
+  }
+  ++shard.misses;
+  return std::nullopt;
+}
+
+void QueryCache::store(Tag tag, std::vector<std::uint64_t> words, Truth verdict) {
+  const std::size_t cap = capacity();
+  if (cap == 0) return;
+  const std::size_t perShard = cap / kShards > 0 ? cap / kShards : 1;
+  Key key{static_cast<std::uint64_t>(tag), std::move(words)};
+  Shard& shard = shardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.map.contains(key)) return;  // raced with another thread: same verdict
+  while (shard.map.size() >= perShard && !shard.order.empty()) {
+    shard.map.erase(shard.order.front());
+    shard.order.pop_front();
+    ++shard.evictions;
+  }
+  shard.order.push_back(key);
+  shard.map.emplace(std::move(key), verdict);
+}
+
+QueryCache::Stats QueryCache::stats() const {
+  Stats out;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    out.hits += shard.hits;
+    out.misses += shard.misses;
+    out.evictions += shard.evictions;
+    out.entries += shard.map.size();
+  }
+  return out;
+}
+
+void QueryCache::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.map.clear();
+    shard.order.clear();
+    shard.hits = shard.misses = shard.evictions = 0;
+  }
+}
+
+std::string formatQueryCacheStats(const QueryCache::Stats& stats) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "query cache: %llu hits / %llu misses (%.1f%% hit rate), %llu entries, "
+                "%llu evictions",
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses), stats.hitRate() * 100.0,
+                static_cast<unsigned long long>(stats.entries),
+                static_cast<unsigned long long>(stats.evictions));
+  return std::string(buf);
+}
+
+}  // namespace panorama

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "panorama/support/memo_cache.h"
+
 namespace panorama {
 
 bool ConstraintSet::addExprLE0(const SymExpr& e) {
@@ -33,6 +35,33 @@ bool sameVarPart(const AffineForm& a, const AffineForm& b) { return a.coeffs == 
 }  // namespace
 
 Truth ConstraintSet::contradictory(const FmBudget& budget) const {
+  // Memoized across the whole run: the verdict is a pure function of the
+  // exact constraint vector and the budget (both encoded in the key), so a
+  // cached answer is always the answer a cold evaluation would produce.
+  QueryCache& cache = QueryCache::global();
+  std::vector<std::uint64_t> key;
+  if (cache.enabled()) {
+    key.reserve(2 + constraints_.size() * 6);
+    key.push_back(budget.maxConstraints);
+    key.push_back(budget.maxVariables);
+    for (const LinearConstraint& c : constraints_) {
+      key.push_back(static_cast<std::uint64_t>(c.kind));
+      key.push_back(c.form.overflow ? 1 : 0);
+      key.push_back(static_cast<std::uint64_t>(c.form.constant));
+      key.push_back(c.form.coeffs.size());
+      for (const auto& [v, coeff] : c.form.coeffs) {
+        key.push_back(v.value);
+        key.push_back(static_cast<std::uint64_t>(coeff));
+      }
+    }
+    if (auto hit = cache.lookup(QueryCache::Tag::FmContradictory, key)) return *hit;
+  }
+  Truth verdict = contradictoryUncached(budget);
+  if (cache.enabled()) cache.store(QueryCache::Tag::FmContradictory, std::move(key), verdict);
+  return verdict;
+}
+
+Truth ConstraintSet::contradictoryUncached(const FmBudget& budget) const {
   std::vector<AffineForm> system;
   std::vector<AffineForm> disequalities;
   system.reserve(constraints_.size() * 2);

@@ -1,0 +1,35 @@
+#include "panorama/symbolic/intern.h"
+
+#include <mutex>
+
+namespace panorama {
+
+ExprInterner& ExprInterner::global() {
+  static ExprInterner interner;
+  return interner;
+}
+
+std::uint64_t ExprInterner::keyOf(const SymExpr& e) {
+  const std::size_t s = e.hashValue() % kShards;
+  Shard& shard = shards_[s];
+  {
+    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    if (auto it = shard.map.find(e); it != shard.map.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(shard.mutex);
+  if (auto it = shard.map.find(e); it != shard.map.end()) return it->second;
+  std::uint64_t key = (shard.next++ << kShardBits) | static_cast<std::uint64_t>(s);
+  shard.map.emplace(e, key);
+  return key;
+}
+
+std::size_t ExprInterner::size() const {
+  std::size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    n += shard.map.size();
+  }
+  return n;
+}
+
+}  // namespace panorama

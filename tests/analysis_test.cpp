@@ -427,7 +427,9 @@ TEST(AnalysisTest, Fig1bNeedsSymbolicAnalysis) {
   AnalysisRun r = runAnalysis(kFig1b, opt);
   const LoopAnalysis& la = r.loop("filerx");
   const ArrayPrivatization* ap = findArray(la, "a");
-  if (ap) EXPECT_FALSE(ap->privatizable);
+  if (ap) {
+    EXPECT_FALSE(ap->privatizable);
+  }
 }
 
 // Figure 1(c) — OCEAN: interprocedural implication between the guards of
@@ -480,7 +482,9 @@ TEST(AnalysisTest, Fig1cNeedsInterprocedural) {
   AnalysisRun r = runAnalysis(kFig1c, opt);
   const LoopAnalysis& la = r.loop("ocean");
   const ArrayPrivatization* ap = findArray(la, "a");
-  if (ap) EXPECT_FALSE(ap->privatizable);
+  if (ap) {
+    EXPECT_FALSE(ap->privatizable);
+  }
   EXPECT_EQ(la.classification, LoopClass::Serial);
 }
 

@@ -384,12 +384,12 @@ class PsiRegionTest : public GarTest {
   SymExpr P2 = SymExpr::variable(psi2);
 
   void SetUp() override {
-    psiDim1() = psi1;
-    psiDim2() = psi2;
+    setPsiDim1(psi1);
+    setPsiDim2(psi2);
   }
   void TearDown() override {
-    psiDim1() = VarId{};
-    psiDim2() = VarId{};
+    setPsiDim1(VarId{});
+    setPsiDim2(VarId{});
   }
 };
 

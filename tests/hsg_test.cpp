@@ -205,7 +205,9 @@ TEST(HsgTest, PrematureLoopExit) {
   EXPECT_TRUE(g.isDag());
   for (int id : g.topoOrder()) {
     const HsgNode& n = g.node(id);
-    if (n.kind == HsgNode::Kind::Loop) EXPECT_TRUE(n.prematureExit);
+    if (n.kind == HsgNode::Kind::Loop) {
+      EXPECT_TRUE(n.prematureExit);
+    }
   }
 }
 
@@ -223,7 +225,9 @@ TEST(HsgTest, ReturnInsideLoopMarksPremature) {
   const HsgGraph& g = b.hsg.of(b.program.procedures[0]).graph;
   for (int id : g.topoOrder()) {
     const HsgNode& n = g.node(id);
-    if (n.kind == HsgNode::Kind::Loop) EXPECT_TRUE(n.prematureExit);
+    if (n.kind == HsgNode::Kind::Loop) {
+      EXPECT_TRUE(n.prematureExit);
+    }
   }
 }
 
@@ -241,7 +245,9 @@ TEST(HsgTest, BackwardGotoCondenses) {
   EXPECT_GE(countKind(g, HsgNode::Kind::Condensed), 1);
   for (int id : g.topoOrder()) {
     const HsgNode& n = g.node(id);
-    if (n.kind == HsgNode::Kind::Condensed) EXPECT_GE(n.condensed.size(), 2u);
+    if (n.kind == HsgNode::Kind::Condensed) {
+      EXPECT_GE(n.condensed.size(), 2u);
+    }
   }
 }
 
@@ -267,7 +273,9 @@ TEST(HsgTest, ElseIfChain) {
   // Every cond has exactly two successors with the true branch first.
   for (int id : g.topoOrder()) {
     const HsgNode& n = g.node(id);
-    if (n.kind == HsgNode::Kind::Cond) EXPECT_EQ(n.succs.size(), 2u);
+    if (n.kind == HsgNode::Kind::Cond) {
+      EXPECT_EQ(n.succs.size(), 2u);
+    }
   }
 }
 
@@ -311,7 +319,9 @@ TEST(HsgTest, LogicalIfWithGotoMakesTwoWayBranch) {
   // The label-5 block must have two predecessors (fallthrough + goto).
   for (int id : g.topoOrder()) {
     const HsgNode& n = g.node(id);
-    if (!n.stmts.empty() && n.stmts[0]->label == 5) EXPECT_EQ(n.preds.size(), 2u);
+    if (!n.stmts.empty() && n.stmts[0]->label == 5) {
+      EXPECT_EQ(n.preds.size(), 2u);
+    }
   }
 }
 
@@ -330,7 +340,9 @@ TEST(HsgTest, EntryAndExitUnique) {
   // Every path ends at the unique exit.
   for (int id : order) {
     const HsgNode& n = g.node(id);
-    if (n.succs.empty()) EXPECT_EQ(id, g.exit);
+    if (n.succs.empty()) {
+      EXPECT_EQ(id, g.exit);
+    }
   }
 }
 

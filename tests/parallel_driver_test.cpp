@@ -1,0 +1,248 @@
+// Determinism guarantees of the parallel analysis driver and the query
+// memo cache:
+//   * an 8-thread corpus run produces results identical to the 1-thread
+//     (serial, pre-driver) run;
+//   * memoized verdicts equal cold (cache-disabled) verdicts no matter in
+//     which order the queries arrive;
+//   * a tiny cache capacity — constant eviction — never changes a verdict
+//     (eviction only forgets).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <sstream>
+#include <vector>
+
+#include "panorama/analysis/driver.h"
+#include "panorama/frontend/parser.h"
+#include "panorama/predicate/predicate.h"
+#include "panorama/support/memo_cache.h"
+#include "panorama/symbolic/constraint.h"
+
+namespace panorama {
+namespace {
+
+/// Restores the global cache to its default configuration when a test ends,
+/// so test order never matters.
+struct CacheGuard {
+  ~CacheGuard() { QueryCache::global().configure(QueryCache::kDefaultCapacity); }
+};
+
+std::string renderCorpus(const CorpusAnalysisResult& r) {
+  std::ostringstream os;
+  for (const CorpusRoutineResult& loop : r.loops) {
+    os << loop.kernelId << " | " << loop.procName << " | line " << loop.line << " | "
+       << toString(loop.classification) << '\n'
+       << loop.report << '\n';
+  }
+  return os.str();
+}
+
+TEST(ParallelDriverTest, EightThreadsIdenticalToOneThread) {
+  CacheGuard guard;
+  AnalysisOptions serial;
+  serial.numThreads = 1;
+  CorpusAnalysisResult one = analyzeCorpusParallel(serial);
+
+  AnalysisOptions parallel;
+  parallel.numThreads = 8;
+  CorpusAnalysisResult eight = analyzeCorpusParallel(parallel);
+
+  ASSERT_EQ(one.loops.size(), eight.loops.size());
+  ASSERT_FALSE(one.loops.empty());
+  // Byte-identical per-loop reports: classification, privatization
+  // verdicts, reasons, scalar classes — everything the report renders.
+  EXPECT_EQ(renderCorpus(one), renderCorpus(eight));
+  EXPECT_EQ(one.threadsUsed, 1u);
+  EXPECT_EQ(eight.threadsUsed, 8u);
+}
+
+TEST(ParallelDriverTest, CacheDisabledIdenticalToDefault) {
+  CacheGuard guard;
+  AnalysisOptions cold;
+  cold.numThreads = 1;
+  cold.cacheCapacity = 0;
+  CorpusAnalysisResult uncached = analyzeCorpusParallel(cold);
+  EXPECT_EQ(uncached.cacheStats.hits, 0u);
+  EXPECT_EQ(uncached.cacheStats.entries, 0u);
+
+  AnalysisOptions warm;
+  warm.numThreads = 1;
+  CorpusAnalysisResult cached = analyzeCorpusParallel(warm);
+  EXPECT_GT(cached.cacheStats.hits, 0u);
+
+  EXPECT_EQ(renderCorpus(uncached), renderCorpus(cached));
+}
+
+/// A deterministic batch of small constraint systems plus implication
+/// queries exercising every cache tag.
+struct QueryBatch {
+  std::vector<ConstraintSet> systems;
+  std::vector<std::pair<Pred, Pred>> implications;
+
+  static QueryBatch make() {
+    QueryBatch b;
+    std::mt19937 rng(20260806);
+    std::uniform_int_distribution<int> coeff(-3, 3);
+    std::uniform_int_distribution<int> constant(-8, 8);
+    std::uniform_int_distribution<int> kindPick(0, 5);
+    std::uniform_int_distribution<int> countPick(1, 4);
+    SymExpr x = SymExpr::variable(VarId{1});
+    SymExpr y = SymExpr::variable(VarId{2});
+    SymExpr z = SymExpr::variable(VarId{3});
+    auto randExpr = [&] {
+      return x * SymExpr::constant(coeff(rng)) + y * SymExpr::constant(coeff(rng)) +
+             z * SymExpr::constant(coeff(rng)) + SymExpr::constant(constant(rng));
+    };
+    for (int k = 0; k < 120; ++k) {
+      ConstraintSet cs;
+      int n = countPick(rng);
+      for (int c = 0; c < n; ++c) {
+        int kind = kindPick(rng);
+        if (kind <= 3)
+          cs.addExprLE0(randExpr());
+        else if (kind == 4)
+          cs.addExprEQ0(randExpr());
+        else
+          cs.addExprNE0(randExpr());
+      }
+      b.systems.push_back(std::move(cs));
+    }
+    auto randPred = [&] {
+      Pred p = Pred::atom(Atom::le(randExpr(), randExpr()));
+      if (kindPick(rng) >= 3) p = p && Pred::atom(Atom::le(randExpr(), randExpr()));
+      if (kindPick(rng) >= 4) p = p || Pred::atom(Atom::eq(randExpr(), randExpr()));
+      return p;
+    };
+    for (int k = 0; k < 120; ++k) b.implications.emplace_back(randPred(), randPred());
+    // Duplicate a slice so re-asked queries actually hit the cache.
+    for (int k = 0; k < 40; ++k) {
+      b.systems.push_back(b.systems[static_cast<std::size_t>(k) * 2]);
+      b.implications.push_back(b.implications[static_cast<std::size_t>(k) * 2]);
+    }
+    return b;
+  }
+
+  /// Evaluates every query in the order given by `perm` (indices into the
+  /// combined query list) and returns verdicts at the queries' own indices,
+  /// so results from different evaluation orders are directly comparable.
+  std::vector<Truth> evaluate(const std::vector<std::size_t>& perm) const {
+    std::vector<Truth> verdicts(systems.size() + implications.size(), Truth::Unknown);
+    for (std::size_t q : perm) {
+      if (q < systems.size())
+        verdicts[q] = systems[q].contradictory();
+      else {
+        const auto& [hyp, goal] = implications[q - systems.size()];
+        verdicts[q] = hyp.implies(goal, SimplifyOptions{});
+      }
+    }
+    return verdicts;
+  }
+
+  std::vector<std::size_t> identityOrder() const {
+    std::vector<std::size_t> perm(systems.size() + implications.size());
+    for (std::size_t k = 0; k < perm.size(); ++k) perm[k] = k;
+    return perm;
+  }
+};
+
+TEST(ParallelDriverTest, CachedVerdictsMatchColdAcrossRandomizedOrders) {
+  CacheGuard guard;
+  QueryBatch batch = QueryBatch::make();
+  std::vector<std::size_t> order = batch.identityOrder();
+
+  // Cold reference: cache disabled, every query answered from scratch.
+  QueryCache::global().configure(0);
+  std::vector<Truth> cold = batch.evaluate(order);
+
+  std::mt19937 rng(7);
+  for (int round = 0; round < 5; ++round) {
+    QueryCache::global().configure(QueryCache::kDefaultCapacity);
+    std::shuffle(order.begin(), order.end(), rng);
+    std::vector<Truth> warm = batch.evaluate(order);
+    EXPECT_EQ(cold, warm) << "round " << round;
+    EXPECT_GT(QueryCache::global().stats().hits, 0u) << "round " << round;
+  }
+}
+
+TEST(ParallelDriverTest, TinyCapacityEvictionNeverChangesVerdicts) {
+  CacheGuard guard;
+  QueryBatch batch = QueryBatch::make();
+  std::vector<std::size_t> order = batch.identityOrder();
+
+  QueryCache::global().configure(0);
+  std::vector<Truth> cold = batch.evaluate(order);
+
+  // 16 entries over 16 shards: at most one resident entry per shard, so
+  // almost every store evicts. Verdicts must not move.
+  QueryCache::global().configure(16);
+  std::vector<Truth> tiny = batch.evaluate(order);
+  EXPECT_EQ(cold, tiny);
+  QueryCache::Stats stats = QueryCache::global().stats();
+  EXPECT_GT(stats.evictions, 0u);
+
+  // Second pass over a thrashing cache (mostly misses) — still identical.
+  std::vector<Truth> again = batch.evaluate(order);
+  EXPECT_EQ(cold, again);
+}
+
+TEST(ParallelDriverTest, CachedContradictoryMatchesUncachedTwin) {
+  CacheGuard guard;
+  QueryBatch batch = QueryBatch::make();
+  QueryCache::global().configure(QueryCache::kDefaultCapacity);
+  for (const ConstraintSet& cs : batch.systems) {
+    EXPECT_EQ(cs.contradictory(), cs.contradictoryUncached());
+    // Ask twice: the second answer is the memoized one.
+    EXPECT_EQ(cs.contradictory(), cs.contradictoryUncached());
+  }
+}
+
+TEST(ParallelDriverTest, CallGraphWavesRespectCallDepth) {
+  // Waves from a real corpus kernel: each procedure's callees must sit in
+  // strictly earlier waves.
+  AnalysisOptions serial;
+  serial.numThreads = 1;
+  CorpusAnalysisResult run = analyzeCorpusParallel(serial);
+  ASSERT_FALSE(run.loops.empty());  // driver smoke check alongside the units
+
+  DiagnosticEngine diags;
+  auto p = parseProgram(R"(
+      subroutine leaf(a, n)
+      real a(100)
+      integer n, i
+      do i = 1, n
+        a(i) = 0.0
+      end do
+      end
+
+      subroutine mid(a, n)
+      real a(100)
+      integer n
+      call leaf(a, n)
+      end
+
+      program top
+      real a(100)
+      integer n
+      n = 10
+      call leaf(a, n)
+      call mid(a, n)
+      end
+  )",
+                        diags);
+  ASSERT_TRUE(p.has_value()) << diags.str();
+  auto sema = analyze(*p, diags);
+  ASSERT_TRUE(sema.has_value()) << diags.str();
+
+  auto waves = callGraphWaves(*sema);
+  ASSERT_EQ(waves.size(), 3u);
+  ASSERT_EQ(waves[0].size(), 1u);
+  EXPECT_EQ(waves[0][0]->name, "leaf");
+  ASSERT_EQ(waves[1].size(), 1u);
+  EXPECT_EQ(waves[1][0]->name, "mid");
+  ASSERT_EQ(waves[2].size(), 1u);
+  EXPECT_EQ(waves[2][0]->name, "top");
+}
+
+}  // namespace
+}  // namespace panorama
