@@ -47,6 +47,55 @@ void BM_SymExprSubstitute(benchmark::State& state) {
 }
 BENCHMARK(BM_SymExprSubstitute);
 
+// ----- hash-consed handle primitives (the interned-core PR's hot path) -----
+// Equality and hashing used to walk whole term lists; with hash-consing
+// both are O(1) on the 8-byte handle. These benches document the delta.
+
+void BM_ExprEqualityInterned(benchmark::State& state) {
+  Fixture& f = fx();
+  // Two handles built through different routes; hash-consing makes them the
+  // same node, so the compare is a pointer test, not a term-list walk.
+  SymExpr a = (f.I + f.N) * (f.M + 1) + f.I.mulConst(7) - 3;
+  SymExpr b = (f.N + f.I) * (f.M + 1) + f.I.mulConst(7) - 3;
+  for (auto _ : state) {
+    bool eq = a == b;
+    benchmark::DoNotOptimize(eq);
+  }
+}
+BENCHMARK(BM_ExprEqualityInterned);
+
+void BM_ExprHashCached(benchmark::State& state) {
+  Fixture& f = fx();
+  SymExpr e = (f.I + f.N) * (f.M + 1) + f.I.mulConst(7) - 3;
+  for (auto _ : state) {
+    std::size_t h = e.hashValue();
+    benchmark::DoNotOptimize(h);
+  }
+}
+BENCHMARK(BM_ExprHashCached);
+
+void BM_ExprInternHit(benchmark::State& state) {
+  Fixture& f = fx();
+  // Rebuilding an already-interned value: normalization plus one sharded
+  // arena lookup that lands on the existing node.
+  for (auto _ : state) {
+    SymExpr e = f.I.mulConst(5) + f.N.mulConst(3) - f.M + 11;
+    benchmark::DoNotOptimize(e);
+  }
+}
+BENCHMARK(BM_ExprInternHit);
+
+void BM_PredEqualityInterned(benchmark::State& state) {
+  Fixture& f = fx();
+  Pred a = Pred::atom(Atom::le(f.I, f.N)) && Pred::atom(Atom::ge(f.I, f.one));
+  Pred b = Pred::atom(Atom::ge(f.I, f.one)) && Pred::atom(Atom::le(f.I, f.N));
+  for (auto _ : state) {
+    bool eq = a == b;
+    benchmark::DoNotOptimize(eq);
+  }
+}
+BENCHMARK(BM_PredEqualityInterned);
+
 void BM_PredicateSimplify(benchmark::State& state) {
   Fixture& f = fx();
   for (auto _ : state) {

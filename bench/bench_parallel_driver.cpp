@@ -20,6 +20,10 @@ using namespace panorama;
 
 namespace {
 
+/// 4-thread + cache wall time recorded in BENCH_parallel_driver.json before
+/// the hash-consed symbolic core (same corpus, same single-core host class).
+constexpr double kPriorDefaultMs = 63.00;
+
 struct ConfigResult {
   std::size_t threads = 1;
   bool cache = false;
@@ -96,6 +100,13 @@ void emit(FILE* f, const std::vector<ConfigResult>& matrix, bool identical, doub
   std::fprintf(f, "    \"baseline_wall_ms\": %.2f,\n", baselineMs);
   std::fprintf(f, "    \"comparison_wall_ms\": %.2f,\n", defaultMs);
   std::fprintf(f, "    \"speedup\": %.2f\n", baselineMs / defaultMs);
+  std::fprintf(f, "  },\n");
+  // The committed snapshot of the same config before the hash-consed
+  // symbolic core landed, for before/after comparisons across PRs.
+  std::fprintf(f, "  \"prior_snapshot\": {\n");
+  std::fprintf(f, "    \"label\": \"mutable SymExpr/Pred values (pre-interning)\",\n");
+  std::fprintf(f, "    \"comparison_wall_ms\": %.2f,\n", kPriorDefaultMs);
+  std::fprintf(f, "    \"speedup_vs_prior\": %.2f\n", kPriorDefaultMs / defaultMs);
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
 }

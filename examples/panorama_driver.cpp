@@ -19,10 +19,21 @@
 #include "panorama/codegen/annotate.h"
 #include "panorama/corpus/corpus.h"
 #include "panorama/frontend/parser.h"
+#include "panorama/predicate/arena.h"
+#include "panorama/symbolic/arena.h"
 
 using namespace panorama;
 
 namespace {
+
+void printArenaStats() {
+  ExprArena::Stats es = ExprArena::global().stats();
+  PredArena::Stats ps = PredArena::global().stats();
+  std::printf("expr arena: %zu distinct exprs, %zu bytes, shard occupancy %zu..%zu\n",
+              es.distinct, es.bytes, es.minShard, es.maxShard);
+  std::printf("pred arena: %zu distinct preds, %zu bytes, shard occupancy %zu..%zu\n",
+              ps.distinct, ps.bytes, ps.minShard, ps.maxShard);
+}
 
 int usage() {
   std::fprintf(stderr,
@@ -166,6 +177,7 @@ int main(int argc, char** argv) {
     std::printf("simplify memo: %zu hits / %zu misses, %zu entries, %zu evictions\n",
                 static_cast<std::size_t>(m.hits), static_cast<std::size_t>(m.misses),
                 static_cast<std::size_t>(m.entries), static_cast<std::size_t>(m.evictions));
+    printArenaStats();
   }
   return 0;
 }

@@ -61,8 +61,9 @@ struct CorpusAnalysisResult {
 /// shared pool sized by options.numThreads, with the global query cache
 /// configured to options.cacheCapacity. Kernel and loop order in the
 /// result is fixed (corpus order, serial walk order) regardless of thread
-/// count. Quantified runs serialize the kernel level (the ψ dimension
-/// slots are process-global) but still parallelize inside each kernel.
+/// count. Quantified runs parallelize like any other: each analyzer
+/// carries its own ψ binding (PsiDims in CmpCtx), so kernels never share
+/// mutable symbolic state.
 CorpusAnalysisResult analyzeCorpusParallel(const AnalysisOptions& options = {});
 
 /// One-paragraph rendering of a corpus run: loop classifications, summary

@@ -119,7 +119,17 @@ class Atom {
 
   /// Total structural order used to canonicalize clause atom lists.
   static int compare(const Atom& a, const Atom& b);
-  friend bool operator==(const Atom& a, const Atom& b) { return compare(a, b) == 0; }
+  /// Field-wise, O(1): every sub-expression is an interned handle, and the
+  /// factory constructors leave unused fields at canonical defaults, so this
+  /// coincides with compare(a, b) == 0.
+  friend bool operator==(const Atom& a, const Atom& b) {
+    return a.kind_ == b.kind_ && a.op_ == b.op_ && a.expr_ == b.expr_ && a.lvar_ == b.lvar_ &&
+           a.lval_ == b.lval_ && a.apArray_ == b.apArray_ && a.apBound_ == b.apBound_ &&
+           a.apRhs_ == b.apRhs_ && a.apLo_ == b.apLo_ && a.apUp_ == b.apUp_;
+  }
+
+  /// O(1) structural hash combined from the handles' cached identities.
+  std::size_t hashValue() const;
 
   /// Adds this atom as a hypothesis to `cs`. Returns false when the atom is
   /// not representable (non-affine Rel); logical atoms are encoded as

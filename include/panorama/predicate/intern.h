@@ -1,9 +1,10 @@
-// Thread-safe hash-consing of atoms and predicates into 64-bit keys,
-// layered on the expression interner: an atom's key is allocated from the
-// exact tuple (kind, op, interned sub-expression keys, flags), a
-// predicate's key from its clause structure over atom keys. Key equality is
-// structural equality, so memo-cache entries keyed this way can never
-// confuse two different queries.
+// Canonical 64-bit keys for atoms and predicates, used by the memo caches.
+//
+// Since the hash-consed arena refactor a predicate's key is simply its arena
+// id (PredRef::id(): structural equality <=> id equality, O(1)); an atom's
+// key is allocated from the exact tuple (kind, op, interned sub-expression
+// ids, flags). Key equality is structural equality, so memo-cache entries
+// keyed this way can never confuse two different queries.
 #pragma once
 
 #include <cstdint>
@@ -16,7 +17,7 @@ namespace panorama {
 /// Canonical key of an atom; atomKey(a) == atomKey(b) iff a == b.
 std::uint64_t atomKey(const Atom& a);
 
-/// Canonical key of a predicate (clauses + the Δ flag).
-std::uint64_t predKey(const Pred& p);
+/// Canonical key of a predicate (clauses + the Δ flag): the arena id.
+std::uint64_t predKey(const PredRef& p);
 
 }  // namespace panorama

@@ -1,9 +1,10 @@
 // Guard predicates in ordered conjunctive normal form (§3.1, §5.2).
 //
-// A Pred is a conjunction of disjunctions of atoms, plus an optional "unknown
-// conjunct" flag modeling the paper's Δ: a Pred with the flag set stands for
-// `CNF ∧ Δ` where Δ is a condition the analyzer could not express. The CNF
-// part is therefore always an *over-approximation* of the true guard:
+// A predicate is a conjunction of disjunctions of atoms, plus an optional
+// "unknown conjunct" flag modeling the paper's Δ: a predicate with the flag
+// set stands for `CNF ∧ Δ` where Δ is a condition the analyzer could not
+// express. The CNF part is therefore always an *over-approximation* of the
+// true guard:
 //
 //   * mayHold()  — the guard could be true (uses the CNF over-approximation);
 //     sound for treating a region as possibly accessed.
@@ -14,6 +15,14 @@
 //
 // All operators keep these semantics: ∧ and ∨ of over-approximations
 // over-approximate; ¬ of a Δ-tainted predicate degrades to True ∧ Δ.
+//
+// Like expressions, predicates are hash-consed: every distinct (clauses, Δ)
+// value is interned once (predicate arena), and a `PredRef` is an 8-byte
+// immutable handle. All construction paths normalize (clauses sorted by
+// Disjunct::compare, atoms sorted within clauses, False canonical as the
+// single empty clause), so pointer equality of handles is structural — and
+// hence semantic-order — equality, and hashing is O(1). "Mutators" like
+// simplify() rebind the handle to the simplified value's node.
 #pragma once
 
 #include <string>
@@ -36,7 +45,7 @@ struct Disjunct {
   std::string str(const SymbolTable& symtab) const;
 
   static int compare(const Disjunct& a, const Disjunct& b);
-  friend bool operator==(const Disjunct& a, const Disjunct& b) { return compare(a, b) == 0; }
+  friend bool operator==(const Disjunct& a, const Disjunct& b) { return a.atoms == b.atoms; }
 };
 
 /// Tuning knobs shared by the predicate and GAR simplifiers.
@@ -47,33 +56,44 @@ struct SimplifyOptions {
   FmBudget fmBudget;
 };
 
-class Pred {
+namespace detail {
+/// One interned predicate value (arena-owned, immutable, stable address).
+struct PredNode {
+  std::vector<Disjunct> clauses;  // sorted by Disjunct::compare
+  bool unknown = false;           // the Δ conjunct
+  std::size_t hash = 0;           // structural hash, cached at interning time
+  std::uint64_t id = 0;           // dense arena key; shard index in the low bits
+};
+}  // namespace detail
+
+class PredRef {
  public:
   /// Default-constructed predicate is True.
-  Pred() = default;
+  PredRef();
 
-  static Pred makeTrue() { return Pred(); }
-  static Pred makeFalse();
+  static PredRef makeTrue() { return PredRef(); }
+  static PredRef makeFalse();
   /// The unknown guard Δ (True ∧ Δ).
-  static Pred makeUnknown();
-  static Pred atom(Atom a);
+  static PredRef makeUnknown();
+  static PredRef atom(Atom a);
 
-  bool isTrue() const { return clauses_.empty() && !unknown_; }
+  bool isTrue() const { return node_->clauses.empty() && !node_->unknown; }
   bool isFalse() const;
-  bool isUnknown() const { return unknown_; }
+  bool isUnknown() const { return node_->unknown; }
   /// True when nothing rules the guard out (not provably false).
   bool mayHold() const { return !isFalse(); }
 
-  const std::vector<Disjunct>& clauses() const { return clauses_; }
+  const std::vector<Disjunct>& clauses() const { return node_->clauses; }
 
   /// Logical operators; arguments are over-approximations and so are results.
-  friend Pred operator&&(const Pred& a, const Pred& b);
-  friend Pred operator||(const Pred& a, const Pred& b);
-  Pred operator!() const;
+  friend PredRef operator&&(const PredRef& a, const PredRef& b);
+  friend PredRef operator||(const PredRef& a, const PredRef& b);
+  PredRef operator!() const;
 
-  /// In-place cleanup: constant folding, clause/atom dedup, pairwise
-  /// subsumption, contradiction detection (the paper's predicate simplifier).
-  /// The result is a pure function of (predicate, opts) and is memoized in
+  /// Rebinds this handle to the cleaned-up value: constant folding,
+  /// clause/atom dedup, pairwise subsumption, contradiction detection (the
+  /// paper's predicate simplifier). The result is a pure function of
+  /// (predicate, opts) and is memoized — keyed by the 8-byte arena id — in
   /// a bounded global value cache gated by QueryCache::global()'s capacity.
   void simplify(const SimplifyOptions& opts = {});
 
@@ -83,7 +103,7 @@ class Pred {
 
   /// Does this predicate entail `other`? Δ on `this` weakens nothing (a
   /// stronger hypothesis still entails); Δ on `other` forces Unknown.
-  Truth implies(const Pred& other, const SimplifyOptions& opts = {}) const;
+  Truth implies(const PredRef& other, const SimplifyOptions& opts = {}) const;
 
   /// Evaluation under a concrete binding. nullopt when any atom cannot be
   /// evaluated or the predicate is Δ-tainted (its truth is unknowable).
@@ -92,8 +112,8 @@ class Pred {
   /// tests that check over-approximation, not equivalence.
   std::optional<bool> evaluateCnf(const Binding& binding) const;
 
-  Pred substituted(VarId v, const SymExpr& replacement) const;
-  Pred substituted(const std::map<VarId, SymExpr>& replacements) const;
+  PredRef substituted(VarId v, const ExprRef& replacement) const;
+  PredRef substituted(const std::map<VarId, ExprRef>& replacements) const;
   bool containsVar(VarId v) const;
   void collectVars(std::vector<VarId>& out) const;
 
@@ -104,22 +124,37 @@ class Pred {
   /// Conjoins a single atom (cheap common case).
   void andAtom(Atom a);
 
-  static int compare(const Pred& a, const Pred& b);
-  friend bool operator==(const Pred& a, const Pred& b) { return compare(a, b) == 0; }
+  /// Total structural order (Δ flag, then clause lists).
+  static int compare(const PredRef& a, const PredRef& b);
+  /// Hash-consing makes equality a pointer compare: one node per value.
+  friend bool operator==(const PredRef& a, const PredRef& b) { return a.node_ == b.node_; }
 
   std::string str(const SymbolTable& symtab) const;
+  /// The structural hash, cached on the node at interning time.
+  std::size_t hashValue() const { return node_->hash; }
+  /// Dense 64-bit arena key; id equality <=> structural equality.
+  std::uint64_t id() const { return node_->id; }
 
  private:
-  void normalize();
-  void markUnknownOnly();
-  /// The actual simplifier passes; simplify() wraps this in the memo.
-  void simplifyUncached(const SimplifyOptions& opts);
+  friend class PredArena;
+  explicit PredRef(const detail::PredNode* node) : node_(node) {}
 
-  std::vector<Disjunct> clauses_;  // sorted by Disjunct::compare
-  bool unknown_ = false;           // the Δ conjunct
+  /// Normalizes `clauses` (the old in-place normalize()) and interns.
+  static PredRef make(std::vector<Disjunct> clauses, bool unknown);
+  /// Interns an already-canonical clause list.
+  static PredRef makeRaw(std::vector<Disjunct> clauses, bool unknown);
+  static void normalizeClauses(std::vector<Disjunct>& clauses);
+  /// The actual simplifier passes; simplify() wraps this in the memo.
+  static PredRef simplifyUncached(std::vector<Disjunct> clauses, bool unknown,
+                                  const SimplifyOptions& opts);
+
+  const detail::PredNode* node_;
 };
 
-/// Counters of the global Pred::simplify value memo (hits/misses/evictions;
+/// The paper-facing name for guard predicates.
+using Pred = PredRef;
+
+/// Counters of the global simplify value memo (hits/misses/evictions;
 /// `entries` is the resident count). Shares QueryCache::global()'s capacity
 /// gate, so configure(0) disables it too.
 QueryCache::Stats simplifyMemoStats();

@@ -19,27 +19,16 @@
 
 namespace panorama {
 
-/// The ψ dimension symbols of §5.3: distinguished variables denoting "the
-/// element's d-th coordinate" inside a GAR's guard, enabling non-rectangular
-/// (diagonal, triangular) and element-conditional regions — e.g. the paper's
-/// A(i,i) diagonal is [ψ1 = ψ2, A(1:n, 1:n)]. Invalid (and inert) unless
-/// activated (the analyzer sets ψ1 for the quantified extension; users of
-/// the region API may set both). The slots are process-global and
-/// atomically accessed; concurrent analyses must either leave them invalid
-/// or agree on the value — the parallel corpus driver serializes kernels
-/// that activate them (see AnalysisOptions::quantified).
-VarId psiDim1();
-VarId psiDim2();
-void setPsiDim1(VarId v);
-void setPsiDim2(VarId v);
-
 class Gar {
  public:
   Gar() = default;
 
   /// Builds [guard ∧ validity(region), region] — §3 keeps the l <= u range
-  /// conditions explicitly in the guard.
-  static Gar make(Pred guard, Region region);
+  /// conditions explicitly in the guard. When ψ dimension symbols (§5.3, see
+  /// PsiDims in cmp.h) appear in the guard, their region-extent bounds are
+  /// conjoined too; callers inside an analysis pass the analyzer's ψ binding
+  /// (usually via CmpCtx::psi()), so parallel analyses never share state.
+  static Gar make(Pred guard, Region region, const PsiDims& psi = {});
   /// The fully unknown GAR Ω of one array: [Δ, all dims unknown].
   static Gar omega(ArrayId array, int rank);
 
@@ -103,10 +92,6 @@ class GarList {
   std::vector<ArrayId> arrays() const;
   /// Members touching `array` only.
   GarList forArray(ArrayId array) const;
-
-  /// True when the list provably denotes the empty set (after simplification
-  /// every guard is false / nothing remains).
-  bool provablyEmpty() const { return gars_.empty(); }
 
   std::string str(const SymbolTable& symtab, const ArrayTable& arrays) const;
 

@@ -96,6 +96,10 @@ class SummaryAnalyzer {
   void analyzeAll();
 
   const AnalysisOptions& options() const { return options_; }
+  /// This analyzer's ψ binding (§5.3); invalid unless options().quantified.
+  /// Consumers building their own CmpCtx thread it through so ψ-guarded
+  /// GARs keep their element-coordinate bounds.
+  const PsiDims& psi() const { return psi_; }
   /// Snapshot of the cost counters (safe to call while analysis runs).
   SummaryStats stats() const;
   SemaResult& sema() { return sema_; }
@@ -184,7 +188,8 @@ class SummaryAnalyzer {
   SemaResult& sema_;
   const Hsg& hsg_;
   AnalysisOptions options_;
-  CmpCtx ctx_;  // empty global context
+  PsiDims psi_;  // this analyzer's §5.3 ψ binding (invalid unless quantified)
+  CmpCtx ctx_;   // empty hypothesis context carrying psi_
 
   // Thread-safety invariants (see DESIGN.md §"Parallel driver"): the
   // memo maps below are guarded by reader-writer locks; entries are

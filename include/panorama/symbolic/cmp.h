@@ -8,13 +8,35 @@
 
 namespace panorama {
 
+/// The ψ dimension symbols of §5.3: distinguished variables denoting "the
+/// element's d-th coordinate" inside a GAR's guard, enabling non-rectangular
+/// (diagonal, triangular) and element-conditional regions — e.g. the paper's
+/// A(i,i) diagonal is [ψ1 = ψ2, A(1:n, 1:n)]. Invalid (and inert) unless
+/// activated: the quantified-extension analyzer interns a ψ1 per kernel and
+/// threads it here through every comparison context, so concurrent analyses
+/// of different kernels each see their own binding (no process-global state,
+/// no serialization in the parallel driver).
+struct PsiDims {
+  VarId dim1;
+  VarId dim2;
+
+  bool any() const { return dim1.isValid() || dim2.isValid(); }
+  friend bool operator==(const PsiDims&, const PsiDims&) = default;
+};
+
 class CmpCtx {
  public:
   CmpCtx() = default;
-  explicit CmpCtx(ConstraintSet context, FmBudget budget = {})
-      : context_(std::move(context)), budget_(budget) {}
+  explicit CmpCtx(ConstraintSet context, FmBudget budget = {}, PsiDims psi = {})
+      : context_(std::move(context)), budget_(budget), psi_(psi) {}
 
   const ConstraintSet& context() const { return context_; }
+  FmBudget budget() const { return budget_; }
+  const PsiDims& psi() const { return psi_; }
+
+  /// Same budget and ψ binding, different hypothesis constraints — used when
+  /// region operations extend the context with a piece's guard.
+  CmpCtx withContext(ConstraintSet cs) const { return CmpCtx(std::move(cs), budget_, psi_); }
 
   /// a <= b ?
   Truth le(const SymExpr& a, const SymExpr& b) const {
@@ -45,6 +67,7 @@ class CmpCtx {
  private:
   ConstraintSet context_;
   FmBudget budget_;
+  PsiDims psi_;
 };
 
 }  // namespace panorama

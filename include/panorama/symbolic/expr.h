@@ -7,6 +7,14 @@
 // list is kept sorted and free of zero coefficients, so structural equality
 // is semantic equality of polynomials.
 //
+// Every distinct expression value is stored exactly once in a process-wide
+// hash-consing arena (arena.h); an `ExprRef` is an 8-byte immutable handle
+// to that canonical node. Because the §3.1 canonical form makes structural
+// equality coincide with semantic equality, pointer equality of handles is
+// sound: equal handles <=> equal term lists <=> equal polynomials. Equality
+// and hashing are therefore O(1), and the structural hash is computed once,
+// when the node is interned.
+//
 // Arithmetic never fails loudly: any intermediate overflow *poisons* the
 // expression. Poisoned expressions propagate through every operation and are
 // mapped to the unknown region Ω / unknown guard Δ by the layers above —
@@ -42,81 +50,108 @@ bool monomialLess(const std::vector<VarId>& a, const std::vector<VarId>& b);
 /// the property tests and the interpreter-backed validation oracle.
 using Binding = std::map<VarId, std::int64_t>;
 
-class SymExpr {
+namespace detail {
+/// One interned expression value. Nodes live in the arena for the lifetime
+/// of the process, are never mutated after construction, and their addresses
+/// are stable — an ExprRef is just a pointer to one of these.
+struct ExprNode {
+  std::vector<Term> terms;  // canonical: sorted, merged, no zero coefficients
+  bool poisoned = false;
+  std::size_t hash = 0;    // structural hash, cached at interning time
+  std::uint64_t id = 0;    // dense arena key; the shard index is in the low bits
+};
+}  // namespace detail
+
+class ExprRef {
  public:
   /// The zero expression.
-  SymExpr() = default;
+  ExprRef();
 
-  static SymExpr constant(std::int64_t c);
-  static SymExpr variable(VarId v);
+  static ExprRef constant(std::int64_t c);
+  static ExprRef variable(VarId v);
   /// The canonical poisoned expression (unknown value).
-  static SymExpr poisoned();
+  static ExprRef poisoned();
 
-  bool isPoisoned() const { return poisoned_; }
-  bool isZero() const { return !poisoned_ && terms_.empty(); }
-  bool isConstant() const { return !poisoned_ && terms_.size() <= 1 && (terms_.empty() || terms_[0].vars.empty()); }
+  bool isPoisoned() const { return node_->poisoned; }
+  bool isZero() const { return !node_->poisoned && node_->terms.empty(); }
+  bool isConstant() const {
+    return !node_->poisoned && node_->terms.size() <= 1 &&
+           (node_->terms.empty() || node_->terms[0].vars.empty());
+  }
   /// Constant value when `isConstant()`; nullopt otherwise (incl. poisoned).
   std::optional<std::int64_t> constantValue() const;
 
-  const std::vector<Term>& terms() const { return terms_; }
+  const std::vector<Term>& terms() const { return node_->terms; }
   /// Highest total degree of any term; 0 for constants and for zero.
   int degree() const;
-  std::size_t termCount() const { return terms_.size(); }
+  std::size_t termCount() const { return node_->terms.size(); }
 
   bool containsVar(VarId v) const;
   /// Appends every distinct variable (sorted, deduplicated) to `out`.
   void collectVars(std::vector<VarId>& out) const;
 
   /// True when the polynomial is affine (degree <= 1) and not poisoned.
-  bool isAffine() const { return !poisoned_ && degree() <= 1; }
+  bool isAffine() const { return !node_->poisoned && degree() <= 1; }
   /// Coefficient of `v` in an affine expression; 0 if absent.
   std::int64_t affineCoeff(VarId v) const;
   /// Constant part of the expression (the degree-0 term's coefficient).
   std::int64_t constantPart() const;
 
-  SymExpr operator-() const;
-  friend SymExpr operator+(const SymExpr& a, const SymExpr& b);
-  friend SymExpr operator-(const SymExpr& a, const SymExpr& b);
-  friend SymExpr operator*(const SymExpr& a, const SymExpr& b);
-  SymExpr mulConst(std::int64_t k) const;
-  SymExpr addConst(std::int64_t k) const { return *this + constant(k); }
+  ExprRef operator-() const;
+  friend ExprRef operator+(const ExprRef& a, const ExprRef& b);
+  friend ExprRef operator-(const ExprRef& a, const ExprRef& b);
+  friend ExprRef operator*(const ExprRef& a, const ExprRef& b);
+  ExprRef mulConst(std::int64_t k) const;
+  ExprRef addConst(std::int64_t k) const { return *this + constant(k); }
 
   /// Exact division by a non-zero integer constant: succeeds only when every
   /// coefficient is divisible (the paper's library supports division by an
   /// integer constant divisor).
-  std::optional<SymExpr> divExact(std::int64_t k) const;
+  std::optional<ExprRef> divExact(std::int64_t k) const;
 
   /// GCD of all coefficients (0 for the zero expression).
   std::int64_t coeffGcd() const;
 
   /// Replaces every occurrence of `v` by `replacement`. Powers expand via
-  /// repeated multiplication. Poison propagates.
-  SymExpr substitute(VarId v, const SymExpr& replacement) const;
-  SymExpr substitute(const std::map<VarId, SymExpr>& replacements) const;
+  /// repeated multiplication. Poison propagates. Results are memoized at the
+  /// node level (pure function of two interned handles, so entries never go
+  /// stale); the memo is gated by QueryCache::global()'s capacity.
+  ExprRef substitute(VarId v, const ExprRef& replacement) const;
+  ExprRef substitute(const std::map<VarId, ExprRef>& replacements) const;
 
   /// Evaluates under a complete binding; nullopt when poisoned, a variable is
   /// unbound, or arithmetic overflows.
   std::optional<std::int64_t> evaluate(const Binding& binding) const;
 
   /// Total structural order (used to keep predicate atoms canonical).
-  static int compare(const SymExpr& a, const SymExpr& b);
-  friend bool operator==(const SymExpr& a, const SymExpr& b) {
-    return a.poisoned_ == b.poisoned_ && a.terms_ == b.terms_;
-  }
+  static int compare(const ExprRef& a, const ExprRef& b);
+  /// Hash-consing makes equality a pointer compare: one node per value.
+  friend bool operator==(const ExprRef& a, const ExprRef& b) { return a.node_ == b.node_; }
 
   std::string str(const SymbolTable& symtab) const;
-  std::size_t hashValue() const;
+  /// The structural hash, cached on the node at interning time.
+  std::size_t hashValue() const { return node_->hash; }
+  /// Dense 64-bit arena key; id equality <=> structural equality.
+  std::uint64_t id() const { return node_->id; }
 
  private:
-  friend class ExprBuilder;
-  void normalize();
+  friend class ExprArena;
+  explicit ExprRef(const detail::ExprNode* node) : node_(node) {}
 
-  std::vector<Term> terms_;
-  bool poisoned_ = false;
+  /// Sorts/merges `terms` (poisoning on coefficient overflow) and interns.
+  static ExprRef makeNormalized(std::vector<Term> terms);
+  /// Interns an already-canonical term list.
+  static ExprRef makeCanonical(std::vector<Term> terms, bool poisoned);
+
+  const detail::ExprNode* node_;
 };
 
+/// The paper-facing name: §3.1 calls these symbolic expressions; since the
+/// hash-consing refactor the value type *is* the 8-byte handle.
+using SymExpr = ExprRef;
+
 /// Convenience builders used pervasively by tests and the frontend lowering.
-SymExpr operator+(const SymExpr& a, std::int64_t c);
-SymExpr operator-(const SymExpr& a, std::int64_t c);
+ExprRef operator+(const ExprRef& a, std::int64_t c);
+ExprRef operator-(const ExprRef& a, std::int64_t c);
 
 }  // namespace panorama

@@ -133,18 +133,14 @@ CorpusAnalysisResult analyzeCorpusParallel(const AnalysisOptions& options) {
   std::vector<KernelJob> jobs(corpus.size());
   for (std::size_t k = 0; k < corpus.size(); ++k) jobs[k].cl = &corpus[k];
 
-  if (options.quantified && pool.threadCount() > 1) {
-    // The ψ dimension slots are process-global and per-symbol-table:
-    // quantified kernels must not overlap each other. Each kernel still
-    // parallelizes internally across its waves and loops.
-    for (KernelJob& job : jobs) runKernel(job, options, pool);
-  } else {
-    std::vector<std::function<void()>> tasks;
-    tasks.reserve(jobs.size());
-    for (KernelJob& job : jobs)
-      tasks.push_back([&job, &options, &pool] { runKernel(job, options, pool); });
-    pool.runBatch(std::move(tasks));
-  }
+  // Quantified kernels need no special casing: every analyzer carries its
+  // own ψ binding (PsiDims threaded through CmpCtx), so kernels overlap
+  // freely regardless of options.
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(jobs.size());
+  for (KernelJob& job : jobs)
+    tasks.push_back([&job, &options, &pool] { runKernel(job, options, pool); });
+  pool.runBatch(std::move(tasks));
 
   CorpusAnalysisResult result;
   result.threadsUsed = pool.threadCount();

@@ -215,6 +215,19 @@ int Atom::compare(const Atom& a, const Atom& b) {
   return SymExpr::compare(a.expr_, b.expr_);
 }
 
+std::size_t Atom::hashValue() const {
+  std::size_t h = static_cast<std::size_t>(kind_) * 131 + static_cast<std::size_t>(op_);
+  h = h * 131 + static_cast<std::size_t>(expr_.id());
+  h = h * 131 + lvar_.value;
+  h = h * 131 + (lval_ ? 1u : 0u);
+  h = h * 131 + apArray_.value;
+  h = h * 131 + apBound_.value;
+  h = h * 131 + static_cast<std::size_t>(apRhs_.id());
+  h = h * 131 + static_cast<std::size_t>(apLo_.id());
+  h = h * 131 + static_cast<std::size_t>(apUp_.id());
+  return h;
+}
+
 bool Atom::addToConstraints(ConstraintSet& cs) const {
   if (kind_ == Kind::ArrayPred || kind_ == Kind::Forall) return false;  // uninterpreted
   if (kind_ == Kind::LogVar) {

@@ -41,7 +41,7 @@ Truth Pred::implies(const Pred& other, const SimplifyOptions& opts) const {
   if (isFalse()) return Truth::True;
   if (other.isTrue()) return Truth::True;
   // The goal's Δ conjunct is an unknowable obligation.
-  if (other.unknown_) return compare(*this, other) == 0 ? Truth::True : Truth::Unknown;
+  if (other.isUnknown()) return compare(*this, other) == 0 ? Truth::True : Truth::Unknown;
 
   // Memoized in the global query cache under interned predicate keys (exact
   // structural identity) plus the simplifier knobs the verdict depends on.
@@ -58,8 +58,8 @@ Truth Pred::implies(const Pred& other, const SimplifyOptions& opts) const {
     // over-approximation. (actual => CNF => goal suffices.)
     ConstraintSet context = unitConstraints();
 
-    for (const Disjunct& goal : other.clauses_) {
-      if (clauseSubsumed(clauses_, goal, opts)) continue;
+    for (const Disjunct& goal : other.clauses()) {
+      if (clauseSubsumed(clauses(), goal, opts)) continue;
       if (!opts.useFourierMotzkin) return Truth::Unknown;
       // FM refutation: context ∧ ¬goal must be infeasible. ¬goal is the
       // conjunction of the negated atoms of the clause.

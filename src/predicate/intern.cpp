@@ -1,6 +1,9 @@
-// Atom/predicate hash-consing. Keys are allocated from exact structural
-// encodings (never from raw hashes), so distinct atoms/predicates always
-// receive distinct keys.
+// Atom key-tuple interning. Since the hash-consed arena refactor the
+// expression and predicate keys are the arena ids themselves (see
+// symbolic/arena.h for the authoritative key layout); only atoms still go
+// through a tuple interner, and their key words are O(1) handle ids rather
+// than deep structural encodings. Keys are allocated from exact tuples
+// (never from raw hashes), so distinct atoms always receive distinct keys.
 #include "panorama/predicate/intern.h"
 
 #include <array>
@@ -8,14 +11,12 @@
 #include <shared_mutex>
 #include <unordered_map>
 
-#include "panorama/symbolic/intern.h"
-
 namespace panorama {
 
 namespace {
 
 struct TupleHasher {
-  std::size_t operator()(const std::vector<std::uint64_t>& words) const {
+  std::size_t operator()(const std::array<std::uint64_t, 10>& words) const {
     std::size_t h = 0xcbf29ce484222325ull;
     for (std::uint64_t w : words) {
       h ^= static_cast<std::size_t>(w);
@@ -25,10 +26,10 @@ struct TupleHasher {
   }
 };
 
-/// Sharded exact-tuple interner shared by the atom and predicate key maps.
+/// Sharded exact-tuple interner for atom keys.
 class TupleInterner {
  public:
-  std::uint64_t keyOf(std::vector<std::uint64_t> words) {
+  std::uint64_t keyOf(const std::array<std::uint64_t, 10>& words) {
     const std::size_t s = TupleHasher{}(words) % kShards;
     Shard& shard = shards_[s];
     {
@@ -38,7 +39,7 @@ class TupleInterner {
     std::unique_lock<std::shared_mutex> lock(shard.mutex);
     if (auto it = shard.map.find(words); it != shard.map.end()) return it->second;
     std::uint64_t key = (shard.next++ << kShardBits) | static_cast<std::uint64_t>(s);
-    shard.map.emplace(std::move(words), key);
+    shard.map.emplace(words, key);
     return key;
   }
 
@@ -47,7 +48,7 @@ class TupleInterner {
   static constexpr std::size_t kShards = 1u << kShardBits;
   struct Shard {
     mutable std::shared_mutex mutex;
-    std::unordered_map<std::vector<std::uint64_t>, std::uint64_t, TupleHasher> map;
+    std::unordered_map<std::array<std::uint64_t, 10>, std::uint64_t, TupleHasher> map;
     std::uint64_t next = 0;
   };
   std::array<Shard, kShards> shards_;
@@ -58,39 +59,16 @@ TupleInterner& atomTable() {
   return t;
 }
 
-TupleInterner& predTable() {
-  static TupleInterner t;
-  return t;
-}
-
 }  // namespace
 
 std::uint64_t atomKey(const Atom& a) {
-  ExprInterner& exprs = ExprInterner::global();
-  std::vector<std::uint64_t> words;
-  words.reserve(10);
-  words.push_back(static_cast<std::uint64_t>(a.kind()));
-  words.push_back(static_cast<std::uint64_t>(a.op()));
-  words.push_back(exprs.keyOf(a.expr()));
-  words.push_back(a.logical().value);
-  words.push_back(a.logicalValue() ? 1 : 0);
-  words.push_back(a.predArray().value);
-  words.push_back(a.boundVar().value);
-  words.push_back(exprs.keyOf(a.predRhs()));
-  words.push_back(exprs.keyOf(a.forallLo()));
-  words.push_back(exprs.keyOf(a.forallUp()));
-  return atomTable().keyOf(std::move(words));
+  return atomTable().keyOf({static_cast<std::uint64_t>(a.kind()),
+                            static_cast<std::uint64_t>(a.op()), a.expr().id(),
+                            a.logical().value, a.logicalValue() ? 1u : 0u, a.predArray().value,
+                            a.boundVar().value, a.predRhs().id(), a.forallLo().id(),
+                            a.forallUp().id()});
 }
 
-std::uint64_t predKey(const Pred& p) {
-  std::vector<std::uint64_t> words;
-  words.push_back(p.isUnknown() ? 1 : 0);
-  words.push_back(p.clauses().size());
-  for (const Disjunct& clause : p.clauses()) {
-    words.push_back(clause.atoms.size());
-    for (const Atom& a : clause.atoms) words.push_back(atomKey(a));
-  }
-  return predTable().keyOf(std::move(words));
-}
+std::uint64_t predKey(const PredRef& p) { return p.id(); }
 
 }  // namespace panorama

@@ -2,105 +2,110 @@
 
 #include <algorithm>
 
+#include "panorama/predicate/arena.h"
+
 namespace panorama {
 
-Pred Pred::makeFalse() {
-  Pred p;
-  p.clauses_.push_back(Disjunct{});  // the empty disjunction
-  return p;
+PredRef::PredRef() {
+  static const detail::PredNode* trueNode =
+      PredArena::global().intern({}, /*unknown=*/false).node_;
+  node_ = trueNode;
 }
 
-Pred Pred::makeUnknown() {
-  Pred p;
-  p.unknown_ = true;
-  return p;
+PredRef PredRef::makeRaw(std::vector<Disjunct> clauses, bool unknown) {
+  return PredArena::global().intern(std::move(clauses), unknown);
 }
 
-Pred Pred::atom(Atom a) {
+PredRef PredRef::makeFalse() {
+  static const detail::PredNode* falseNode =
+      PredArena::global().intern({Disjunct{}}, /*unknown=*/false).node_;
+  return PredRef(falseNode);
+}
+
+PredRef PredRef::makeUnknown() {
+  static const detail::PredNode* unknownNode =
+      PredArena::global().intern({}, /*unknown=*/true).node_;
+  return PredRef(unknownNode);
+}
+
+PredRef PredRef::atom(Atom a) {
   if (a.isPoisoned()) return makeUnknown();
   switch (a.constFold()) {
     case Truth::True: return makeTrue();
     case Truth::False: return makeFalse();
     case Truth::Unknown: break;
   }
-  Pred p;
-  p.clauses_.push_back(Disjunct::single(std::move(a)));
-  return p;
+  return makeRaw({Disjunct::single(std::move(a))}, false);
 }
 
-bool Pred::isFalse() const {
+bool PredRef::isFalse() const {
   // False ∧ Δ is still False, so the unknown flag does not matter here.
-  for (const Disjunct& d : clauses_)
+  for (const Disjunct& d : node_->clauses)
     if (d.isFalse()) return true;
   return false;
 }
 
-void Pred::markUnknownOnly() {
-  clauses_.clear();
-  unknown_ = true;
-}
-
-void Pred::normalize() {
-  if (isFalse()) {
-    clauses_.assign(1, Disjunct{});
-    return;
+void PredRef::normalizeClauses(std::vector<Disjunct>& clauses) {
+  for (const Disjunct& d : clauses) {
+    if (d.isFalse()) {
+      clauses.assign(1, Disjunct{});
+      return;
+    }
   }
-  for (Disjunct& d : clauses_) d.normalize();
-  std::sort(clauses_.begin(), clauses_.end(),
+  for (Disjunct& d : clauses) d.normalize();
+  std::sort(clauses.begin(), clauses.end(),
             [](const Disjunct& a, const Disjunct& b) { return Disjunct::compare(a, b) < 0; });
-  clauses_.erase(std::unique(clauses_.begin(), clauses_.end()), clauses_.end());
+  clauses.erase(std::unique(clauses.begin(), clauses.end()), clauses.end());
 }
 
-Pred operator&&(const Pred& a, const Pred& b) {
-  if (a.isFalse() || b.isFalse()) return Pred::makeFalse();
-  Pred r;
-  r.clauses_ = a.clauses_;
-  r.clauses_.insert(r.clauses_.end(), b.clauses_.begin(), b.clauses_.end());
-  r.unknown_ = a.unknown_ || b.unknown_;
-  r.normalize();
-  return r;
+PredRef PredRef::make(std::vector<Disjunct> clauses, bool unknown) {
+  normalizeClauses(clauses);
+  return makeRaw(std::move(clauses), unknown);
 }
 
-Pred operator||(const Pred& a, const Pred& b) {
+PredRef operator&&(const PredRef& a, const PredRef& b) {
+  if (a.isFalse() || b.isFalse()) return PredRef::makeFalse();
+  if (a.isTrue()) return b;  // conjunction with True is identity
+  if (b.isTrue()) return a;
+  std::vector<Disjunct> clauses = a.node_->clauses;
+  clauses.insert(clauses.end(), b.node_->clauses.begin(), b.node_->clauses.end());
+  return PredRef::make(std::move(clauses), a.node_->unknown || b.node_->unknown);
+}
+
+PredRef operator||(const PredRef& a, const PredRef& b) {
   if (a.isFalse()) return b;
   if (b.isFalse()) return a;
   if (a.isTrue() || b.isTrue()) {
     // True absorbs even a Δ-tainted operand: (P ∧ Δ) ∨ True = True.
-    return Pred::makeTrue();
+    return PredRef::makeTrue();
   }
-  Pred r;
-  r.unknown_ = a.unknown_ || b.unknown_;
+  const bool unknown = a.node_->unknown || b.node_->unknown;
   // CNF ∨ CNF: clause-pair distribution. (over-approximations stay such)
   SimplifyOptions opts;
-  if (a.clauses_.size() * b.clauses_.size() > opts.maxClauses) {
-    r.markUnknownOnly();
-    return r;
-  }
-  for (const Disjunct& da : a.clauses_) {
-    for (const Disjunct& db : b.clauses_) {
+  if (a.node_->clauses.size() * b.node_->clauses.size() > opts.maxClauses)
+    return PredRef::makeUnknown();
+  std::vector<Disjunct> clauses;
+  for (const Disjunct& da : a.node_->clauses) {
+    for (const Disjunct& db : b.node_->clauses) {
       Disjunct merged;
       merged.atoms = da.atoms;
       merged.atoms.insert(merged.atoms.end(), db.atoms.begin(), db.atoms.end());
-      if (merged.atoms.size() > opts.maxAtomsPerClause) {
-        r.markUnknownOnly();
-        return r;
-      }
-      r.clauses_.push_back(std::move(merged));
+      if (merged.atoms.size() > opts.maxAtomsPerClause) return PredRef::makeUnknown();
+      clauses.push_back(std::move(merged));
     }
   }
-  r.normalize();
-  return r;
+  return PredRef::make(std::move(clauses), unknown);
 }
 
-Pred Pred::operator!() const {
+PredRef PredRef::operator!() const {
   if (isFalse()) return makeTrue();
-  if (unknown_) return makeUnknown();  // ¬(P ∧ Δ) degrades to Δ
-  if (clauses_.empty()) return makeFalse();
+  if (node_->unknown) return makeUnknown();  // ¬(P ∧ Δ) degrades to Δ
+  if (node_->clauses.empty()) return makeFalse();
   // ¬(∧ Cj) = ∨ ¬Cj; each ¬Cj is a conjunction of negated atoms. Distribute
   // clause by clause, bounding the intermediate size.
   SimplifyOptions opts;
   std::vector<Disjunct> result;  // CNF under construction, starts as True
-  for (const Disjunct& clause : clauses_) {
+  for (const Disjunct& clause : node_->clauses) {
     // next = result ∨ (∧_k ¬atom_k): distribute each negated atom.
     std::vector<Disjunct> next;
     if (result.empty()) {
@@ -119,16 +124,14 @@ Pred Pred::operator!() const {
     result = std::move(next);
     if (result.size() > opts.maxClauses) return makeUnknown();
   }
-  Pred p;
-  p.clauses_ = std::move(result);
-  p.normalize();
+  PredRef p = make(std::move(result), false);
   p.simplify();
   return p;
 }
 
-std::optional<bool> Pred::evaluateCnf(const Binding& binding) const {
+std::optional<bool> PredRef::evaluateCnf(const Binding& binding) const {
   bool sawUnknown = false;
-  for (const Disjunct& d : clauses_) {
+  for (const Disjunct& d : node_->clauses) {
     auto v = d.evaluate(binding);
     if (!v)
       sawUnknown = true;
@@ -139,99 +142,101 @@ std::optional<bool> Pred::evaluateCnf(const Binding& binding) const {
   return true;
 }
 
-std::optional<bool> Pred::evaluate(const Binding& binding) const {
+std::optional<bool> PredRef::evaluate(const Binding& binding) const {
   auto cnf = evaluateCnf(binding);
   if (cnf.has_value() && !*cnf) return false;  // False ∧ Δ = False
-  if (unknown_) return std::nullopt;
+  if (node_->unknown) return std::nullopt;
   return cnf;
 }
 
-Pred Pred::substituted(VarId v, const SymExpr& replacement) const {
-  Pred r;
-  r.unknown_ = unknown_;
-  for (const Disjunct& d : clauses_) {
+PredRef PredRef::substituted(VarId v, const ExprRef& replacement) const {
+  std::vector<Disjunct> clauses;
+  clauses.reserve(node_->clauses.size());
+  for (const Disjunct& d : node_->clauses) {
     Disjunct nd;
     for (const Atom& a : d.atoms) {
       Atom na = a.substituted(v, replacement);
       if (na.isPoisoned()) return makeUnknown();
       nd.atoms.push_back(std::move(na));
     }
-    r.clauses_.push_back(std::move(nd));
+    clauses.push_back(std::move(nd));
   }
-  r.normalize();
+  PredRef r = make(std::move(clauses), node_->unknown);
   r.simplify();
   return r;
 }
 
-Pred Pred::substituted(const std::map<VarId, SymExpr>& replacements) const {
-  Pred r;
-  r.unknown_ = unknown_;
-  for (const Disjunct& d : clauses_) {
+PredRef PredRef::substituted(const std::map<VarId, ExprRef>& replacements) const {
+  std::vector<Disjunct> clauses;
+  clauses.reserve(node_->clauses.size());
+  for (const Disjunct& d : node_->clauses) {
     Disjunct nd;
     for (const Atom& a : d.atoms) {
       Atom na = a.substituted(replacements);
       if (na.isPoisoned()) return makeUnknown();
       nd.atoms.push_back(std::move(na));
     }
-    r.clauses_.push_back(std::move(nd));
+    clauses.push_back(std::move(nd));
   }
-  r.normalize();
+  PredRef r = make(std::move(clauses), node_->unknown);
   r.simplify();
   return r;
 }
 
-bool Pred::containsVar(VarId v) const {
-  for (const Disjunct& d : clauses_)
+bool PredRef::containsVar(VarId v) const {
+  for (const Disjunct& d : node_->clauses)
     for (const Atom& a : d.atoms)
       if (a.containsVar(v)) return true;
   return false;
 }
 
-void Pred::collectVars(std::vector<VarId>& out) const {
-  for (const Disjunct& d : clauses_)
+void PredRef::collectVars(std::vector<VarId>& out) const {
+  for (const Disjunct& d : node_->clauses)
     for (const Atom& a : d.atoms) a.collectVars(out);
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
 }
 
-ConstraintSet Pred::unitConstraints() const {
+ConstraintSet PredRef::unitConstraints() const {
   ConstraintSet cs;
-  for (const Disjunct& d : clauses_) {
+  for (const Disjunct& d : node_->clauses) {
     if (d.atoms.size() != 1) continue;
     d.atoms[0].addToConstraints(cs);  // failure just weakens the context
   }
   return cs;
 }
 
-void Pred::andAtom(Atom a) {
-  Pred p = Pred::atom(std::move(a));
+void PredRef::andAtom(Atom a) {
+  PredRef p = PredRef::atom(std::move(a));
   *this = *this && p;
 }
 
-int Pred::compare(const Pred& a, const Pred& b) {
-  if (a.unknown_ != b.unknown_) return a.unknown_ ? 1 : -1;
-  if (a.clauses_.size() != b.clauses_.size())
-    return a.clauses_.size() < b.clauses_.size() ? -1 : 1;
-  for (std::size_t i = 0; i < a.clauses_.size(); ++i) {
-    int c = Disjunct::compare(a.clauses_[i], b.clauses_[i]);
+int PredRef::compare(const PredRef& a, const PredRef& b) {
+  if (a.node_ == b.node_) return 0;  // hash-consing: one node per value
+  if (a.node_->unknown != b.node_->unknown) return a.node_->unknown ? 1 : -1;
+  const std::vector<Disjunct>& ca = a.node_->clauses;
+  const std::vector<Disjunct>& cb = b.node_->clauses;
+  if (ca.size() != cb.size()) return ca.size() < cb.size() ? -1 : 1;
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    int c = Disjunct::compare(ca[i], cb[i]);
     if (c != 0) return c;
   }
   return 0;
 }
 
-std::string Pred::str(const SymbolTable& symtab) const {
+std::string PredRef::str(const SymbolTable& symtab) const {
   std::string out;
-  if (clauses_.empty()) {
-    out = unknown_ ? "" : "true";
+  if (node_->clauses.empty()) {
+    out = node_->unknown ? "" : "true";
   } else if (isFalse()) {
     return "false";
   } else {
-    for (std::size_t i = 0; i < clauses_.size(); ++i) {
+    for (std::size_t i = 0; i < node_->clauses.size(); ++i) {
       if (i) out += " and ";
-      out += clauses_[i].str(symtab);
+      out += node_->clauses[i].str(symtab);
     }
   }
-  if (unknown_) out += out.empty() ? "DELTA" : " and DELTA";
+  if (node_->unknown) out += out.empty() ? "DELTA" : " and DELTA";
   return out;
 }
 

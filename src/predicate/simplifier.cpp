@@ -184,19 +184,18 @@ Truth cnfUnsat(const std::vector<Disjunct>& clauses, const SimplifyOptions& opts
 
 }  // namespace
 
-void Pred::simplify(const SimplifyOptions& opts) {
-  if (isFalse()) {
-    clauses_.assign(1, Disjunct{});
+void PredRef::simplify(const SimplifyOptions& opts) {
+  // Handles are always canonical, so a False predicate is already the single
+  // empty clause — nothing to rewrite.
+  if (isFalse()) return;
+  if (clauses().size() > opts.maxClauses) {
+    *this = makeUnknown();
     return;
   }
-  if (clauses_.size() > opts.maxClauses) {
-    markUnknownOnly();
-    return;
-  }
-  if (clauses_.empty()) return;  // True / Δ: nothing to do
+  if (clauses().empty()) return;  // True / Δ: nothing to do
 
   if (!QueryCache::global().enabled()) {
-    simplifyUncached(opts);
+    *this = simplifyUncached(clauses(), isUnknown(), opts);
     return;
   }
   std::vector<std::uint64_t> key;
@@ -208,17 +207,18 @@ void Pred::simplify(const SimplifyOptions& opts) {
   key.push_back(opts.fmBudget.maxConstraints);
   key.push_back(opts.fmBudget.maxVariables);
   if (auto hit = SimplifyMemo::global().lookup(key)) {
-    *this = std::move(*hit);
+    *this = *hit;
     return;
   }
-  simplifyUncached(opts);
+  *this = simplifyUncached(clauses(), isUnknown(), opts);
   SimplifyMemo::global().store(std::move(key), *this);
 }
 
-void Pred::simplifyUncached(const SimplifyOptions& opts) {
+PredRef PredRef::simplifyUncached(std::vector<Disjunct> clauses, bool unknown,
+                                  const SimplifyOptions& opts) {
   // Pass 1: constant folding and poisoned-atom quarantine, per clause.
   std::vector<Disjunct> kept;
-  for (Disjunct& d : clauses_) {
+  for (Disjunct& d : clauses) {
     Disjunct nd;
     bool clauseTrue = false;
     bool clausePoisoned = false;
@@ -236,22 +236,20 @@ void Pred::simplifyUncached(const SimplifyOptions& opts) {
     }
     if (clauseTrue) continue;  // tautological clause: drop
     if (clausePoisoned) {
-      unknown_ = true;  // over-approximate the clause by True, remember Δ
+      unknown = true;  // over-approximate the clause by True, remember Δ
       continue;
     }
-    if (nd.atoms.empty()) {  // all atoms false: whole predicate is False
-      clauses_.assign(1, Disjunct{});
-      return;
-    }
+    if (nd.atoms.empty())  // all atoms false: whole predicate is False
+      return makeRaw({Disjunct{}}, unknown);
     nd.normalize();
     kept.push_back(std::move(nd));
   }
-  clauses_ = std::move(kept);
+  clauses = std::move(kept);
 
   // Pass 2: pairwise work inside each clause — drop atoms implied into
   // another atom (a ∨ b = b when a => b), detect tautologies (a ∨ ¬a).
   std::vector<Disjunct> kept2;
-  for (Disjunct& d : clauses_) {
+  for (Disjunct& d : clauses) {
     bool clauseTrue = false;
     std::vector<bool> dead(d.atoms.size(), false);
     for (std::size_t i = 0; i < d.atoms.size() && !clauseTrue; ++i) {
@@ -274,21 +272,21 @@ void Pred::simplifyUncached(const SimplifyOptions& opts) {
       if (!dead[i]) nd.atoms.push_back(std::move(d.atoms[i]));
     kept2.push_back(std::move(nd));
   }
-  clauses_ = std::move(kept2);
+  clauses = std::move(kept2);
 
   // Pass 3: unit resolution. A unit clause {a} removes any atom b with
   // a ∧ b contradictory from other clauses, and deletes clauses containing an
   // atom implied by a.
-  normalize();
+  normalizeClauses(clauses);
   bool changed = true;
   while (changed) {
     changed = false;
-    for (std::size_t u = 0; u < clauses_.size(); ++u) {
-      if (clauses_[u].atoms.size() != 1) continue;
-      const Atom unit = clauses_[u].atoms[0];
-      for (std::size_t k = 0; k < clauses_.size(); ++k) {
+    for (std::size_t u = 0; u < clauses.size(); ++u) {
+      if (clauses[u].atoms.size() != 1) continue;
+      const Atom unit = clauses[u].atoms[0];
+      for (std::size_t k = 0; k < clauses.size(); ++k) {
         if (k == u) continue;
-        Disjunct& d = clauses_[k];
+        Disjunct& d = clauses[k];
         bool clauseRedundant = false;
         std::size_t before = d.atoms.size();
         std::erase_if(d.atoms, [&](const Atom& b) {
@@ -308,45 +306,45 @@ void Pred::simplifyUncached(const SimplifyOptions& opts) {
           changed = true;
         } else if (d.atoms.empty()) {
           // every literal of the clause clashed with the unit: contradiction
-          clauses_.assign(1, Disjunct{});
-          return;
+          return makeRaw({Disjunct{}}, unknown);
         } else if (d.atoms.size() != before) {
           changed = true;
         }
       }
     }
-    if (changed) normalize();
+    if (changed) normalizeClauses(clauses);
   }
 
   // Pass 4: clause subsumption (c1 => c2 lets us drop c2 from the
   // conjunction) — the CNF keeps the *stronger* clause.
-  std::vector<bool> drop(clauses_.size(), false);
-  for (std::size_t i = 0; i < clauses_.size(); ++i) {
+  std::vector<bool> drop(clauses.size(), false);
+  for (std::size_t i = 0; i < clauses.size(); ++i) {
     if (drop[i]) continue;
-    for (std::size_t j = 0; j < clauses_.size(); ++j) {
+    for (std::size_t j = 0; j < clauses.size(); ++j) {
       if (i == j || drop[j] || drop[i]) continue;
-      if (clauseImplies(clauses_[i], clauses_[j], opts)) drop[j] = true;
+      if (clauseImplies(clauses[i], clauses[j], opts)) drop[j] = true;
     }
   }
   std::vector<Disjunct> kept3;
-  for (std::size_t i = 0; i < clauses_.size(); ++i)
-    if (!drop[i]) kept3.push_back(std::move(clauses_[i]));
-  clauses_ = std::move(kept3);
-  normalize();
+  for (std::size_t i = 0; i < clauses.size(); ++i)
+    if (!drop[i]) kept3.push_back(std::move(clauses[i]));
+  clauses = std::move(kept3);
+  normalizeClauses(clauses);
 
   // Pass 5: global satisfiability of what remains.
-  if (provablyFalse(opts) == Truth::True) {
-    clauses_.assign(1, Disjunct{});
-    unknown_ = false;  // False ∧ Δ = False
-  }
+  const bool falseNow =
+      std::any_of(clauses.begin(), clauses.end(), [](const Disjunct& d) { return d.isFalse(); });
+  if (falseNow || (!clauses.empty() && cnfUnsat(clauses, opts, /*depth=*/2) == Truth::True))
+    return makeRaw({Disjunct{}}, false);  // False ∧ Δ = False
+  return makeRaw(std::move(clauses), unknown);
 }
 
-Truth Pred::provablyFalse(const SimplifyOptions& opts) const {
+Truth PredRef::provablyFalse(const SimplifyOptions& opts) const {
   if (isFalse()) return Truth::True;
-  if (clauses_.empty()) return Truth::False;  // True (possibly ∧ Δ — still satisfiable info-wise)
-  Truth t = cnfUnsat(clauses_, opts, /*depth=*/2);
+  if (clauses().empty()) return Truth::False;  // True (possibly ∧ Δ — still satisfiable info-wise)
+  Truth t = cnfUnsat(clauses(), opts, /*depth=*/2);
   if (t == Truth::True) return Truth::True;
-  return t == Truth::False && !unknown_ ? Truth::False : Truth::Unknown;
+  return t == Truth::False && !isUnknown() ? Truth::False : Truth::Unknown;
 }
 
 }  // namespace panorama

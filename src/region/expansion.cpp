@@ -23,7 +23,7 @@ CmpCtx ctxWith(const CmpCtx& ctx, const Pred& p) {
   ConstraintSet cs = ctx.context();
   ConstraintSet units = p.unitConstraints();
   for (const LinearConstraint& c : units.constraints()) cs.add(c);
-  return CmpCtx(std::move(cs));
+  return ctx.withContext(std::move(cs));
 }
 
 struct ExtractedBounds {
@@ -160,12 +160,12 @@ std::optional<SymRange> expandDim(const SymRange& dim, VarId i, const SymExpr& L
   ConstraintSet cs = ctx.context();
   SymExpr I = SymExpr::variable(i);
   if (!cs.addExprLE0(L - I) || !cs.addExprLE0(I - U)) return std::nullopt;
-  CmpCtx ictx(cs);
+  CmpCtx ictx = ctx.withContext(cs);
   if (ictx.le(dim.lo, dim.up) != Truth::True) return std::nullopt;
 
   ConstraintSet cs2 = ctx.context();
   if (!cs2.addExprLE0(L - I) || !cs2.addExprLE0(I + st - U)) return std::nullopt;
-  CmpCtx cctx(cs2);
+  CmpCtx cctx = ctx.withContext(cs2);
   SymExpr loNext = dim.lo.substitute(i, I + st);
   SymExpr upNext = dim.up.substitute(i, I + st);
   if (cctx.le(loNext, dim.up + 1) != Truth::True) return std::nullopt;
@@ -215,7 +215,8 @@ bool splitIndexClause(const Gar& gar, VarId i, const LoopBounds& bounds, const C
       Pred guard = rest && Pred::atom(branch);
       guard.simplify();
       if (guard.isFalse()) continue;
-      expandGar(Gar::make(std::move(guard), gar.region()), bounds, ctx, out, splitDepth - 1);
+      expandGar(Gar::make(std::move(guard), gar.region(), ctx.psi()), bounds, ctx, out,
+                 splitDepth - 1);
     }
     return true;
   }
@@ -334,7 +335,7 @@ void expandGar(const Gar& gar, const LoopBounds& bounds, const CmpCtx& ctx, GarL
         region.dims.push_back(expanded ? std::move(*expanded) : SymRange::unknown());
       }
       Pred guard = inexact ? caseGuard && Pred::makeUnknown() : std::move(caseGuard);
-      out.add(Gar::make(std::move(guard), std::move(region)));
+      out.add(Gar::make(std::move(guard), std::move(region), ctx.psi()));
     }
   }
 }

@@ -1,27 +1,16 @@
 #include "panorama/region/gar.h"
 
 #include <algorithm>
-#include <atomic>
 
 namespace panorama {
 
-namespace {
-std::atomic<std::uint32_t> psi1Slot{UINT32_MAX};
-std::atomic<std::uint32_t> psi2Slot{UINT32_MAX};
-}  // namespace
-
-VarId psiDim1() { return VarId{psi1Slot.load(std::memory_order_relaxed)}; }
-VarId psiDim2() { return VarId{psi2Slot.load(std::memory_order_relaxed)}; }
-void setPsiDim1(VarId v) { psi1Slot.store(v.value, std::memory_order_relaxed); }
-void setPsiDim2(VarId v) { psi2Slot.store(v.value, std::memory_order_relaxed); }
-
-Gar Gar::make(Pred guard, Region region) {
+Gar Gar::make(Pred guard, Region region, const PsiDims& psi) {
   Gar g;
   g.guard_ = std::move(guard) && region.validity();
   // ψ-guarded pieces carry their element-coordinate bounds explicitly, so
   // guard-level (un)satisfiability checks see the region extent (the same
   // discipline §3 imposes for range-validity conditions).
-  const VarId psis[2] = {psiDim1(), psiDim2()};
+  const VarId psis[2] = {psi.dim1, psi.dim2};
   for (int d = 0; d < 2; ++d) {
     VarId psi = psis[d];
     if (psi.isValid() && g.guard_.containsVar(psi) &&

@@ -20,7 +20,7 @@ CmpCtx ctxWith(const CmpCtx& ctx, const Pred& p) {
   ConstraintSet cs = ctx.context();
   ConstraintSet units = p.unitConstraints();
   for (const LinearConstraint& c : units.constraints()) cs.add(c);
-  return CmpCtx(std::move(cs));
+  return ctx.withContext(std::move(cs));
 }
 
 /// T1 ∩ T2 for single GARs.
@@ -33,7 +33,7 @@ GarList garIntersectOne(const Gar& a, const Gar& b, const CmpCtx& ctx) {
   CmpCtx ectx = ctxWith(ctx, g);
   RegionOpResult pieces = regionIntersect(a.region(), b.region(), ectx);
   for (GuardedRegion& piece : pieces.pieces)
-    out.add(Gar::make(g && piece.guard, std::move(piece.region)));
+    out.add(Gar::make(g && piece.guard, std::move(piece.region), ctx.psi()));
   return out;
 }
 
@@ -53,12 +53,12 @@ GarList garSubtractOne(const Gar& a, const Gar& b, const CmpCtx& ctx) {
     CmpCtx ectx = ctxWith(ctx, both);
     RegionOpResult diff = regionSubtract(a.region(), b.region(), ectx);
     for (GuardedRegion& piece : diff.pieces)
-      out.add(Gar::make(both && piece.guard, std::move(piece.region)));
+      out.add(Gar::make(both && piece.guard, std::move(piece.region), ctx.psi()));
   }
   Pred notB = !b.guard();
   Pred remainder = a.guard() && notB;
   remainder.simplify();
-  if (!remainder.isFalse()) out.add(Gar::make(std::move(remainder), a.region()));
+  if (!remainder.isFalse()) out.add(Gar::make(std::move(remainder), a.region(), ctx.psi()));
   return out;
 }
 

@@ -14,7 +14,7 @@ CmpCtx ctxWith(const CmpCtx& ctx, const Pred& p) {
   ConstraintSet cs = ctx.context();
   ConstraintSet units = p.unitConstraints();
   for (const LinearConstraint& c : units.constraints()) cs.add(c);
-  return CmpCtx(std::move(cs));
+  return ctx.withContext(std::move(cs));
 }
 
 /// Does `g` cover the whole declared array with certainty? (guard exactly
@@ -39,7 +39,7 @@ void simplifyGarList(GarList& list, const CmpCtx& ctx, const ArrayTable* arrays)
       Pred guard = g.guard();
       guard.simplify();
       if (guard.isFalse()) continue;
-      kept.push_back(Gar::make(std::move(guard), g.region()));
+      kept.push_back(Gar::make(std::move(guard), g.region(), ctx.psi()));
     }
     gars = std::move(kept);
   }
@@ -56,7 +56,7 @@ void simplifyGarList(GarList& list, const CmpCtx& ctx, const ArrayTable* arrays)
         if (gars[i].region() == gars[j].region()) {
           Pred merged = gars[i].guard() || gars[j].guard();
           merged.simplify();
-          Gar g = Gar::make(std::move(merged), gars[i].region());
+          Gar g = Gar::make(std::move(merged), gars[i].region(), ctx.psi());
           gars.erase(gars.begin() + j);
           gars[i] = std::move(g);
           changed = true;
@@ -65,7 +65,7 @@ void simplifyGarList(GarList& list, const CmpCtx& ctx, const ArrayTable* arrays)
         if (gars[i].guard() == gars[j].guard() && !gars[i].guard().isUnknown()) {
           CmpCtx ectx = ctxWith(ctx, gars[i].guard());
           if (auto merged = regionUnionPair(gars[i].region(), gars[j].region(), ectx)) {
-            Gar g = Gar::make(gars[i].guard(), std::move(*merged));
+            Gar g = Gar::make(gars[i].guard(), std::move(*merged), ctx.psi());
             gars.erase(gars.begin() + j);
             gars[i] = std::move(g);
             changed = true;

@@ -142,7 +142,7 @@ CmpCtx extendCtx(const CmpCtx& ctx, const Pred& guard) {
   ConstraintSet cs = ctx.context();
   ConstraintSet units = guard.unitConstraints();
   for (const LinearConstraint& c : units.constraints()) cs.add(c);
-  return CmpCtx(std::move(cs));
+  return ctx.withContext(std::move(cs));
 }
 
 }  // namespace

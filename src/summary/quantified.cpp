@@ -282,7 +282,7 @@ void SummaryAnalyzer::applyCounterRewrite(GarList& list, const CounterIdiom& idi
       for (const Atom& a : clause.atoms) keep = keep || Pred::atom(a);
       rebuilt = rebuilt && keep;
     }
-    out.add(Gar::make(std::move(rebuilt), g.region()));
+    out.add(Gar::make(std::move(rebuilt), g.region(), psi_));
   }
   list = std::move(out);
 }
@@ -297,7 +297,7 @@ void SummaryAnalyzer::taintQuantified(GarList& list, const std::vector<ArrayId>&
   GarList out;
   for (const Gar& g : list.gars()) {
     Pred guard = taintPred(g.guard(), hit);
-    out.add(Gar::make(std::move(guard), g.region()));
+    out.add(Gar::make(std::move(guard), g.region(), psi_));
   }
   list = std::move(out);
 }
@@ -305,12 +305,12 @@ void SummaryAnalyzer::taintQuantified(GarList& list, const std::vector<ArrayId>&
 void SummaryAnalyzer::taintAllQuantified(GarList& list) const {
   GarList out;
   for (const Gar& g : list.gars())
-    out.add(Gar::make(taintPred(g.guard(), [](const Atom&) { return true; }), g.region()));
+    out.add(Gar::make(taintPred(g.guard(), [](const Atom&) { return true; }), g.region(), psi_));
   list = std::move(out);
 }
 
 void SummaryAnalyzer::psiRewrite(GarList& list, VarId index) const {
-  VarId psi = psiDim1();
+  VarId psi = psi_.dim1;
   if (!psi.isValid()) return;
   GarList out;
   for (const Gar& g : list.gars()) {
@@ -339,7 +339,7 @@ void SummaryAnalyzer::psiRewrite(GarList& list, VarId index) const {
       }
       rebuilt = rebuilt && keep;
     }
-    out.add(changed ? Gar::make(std::move(rebuilt), r) : g);
+    out.add(changed ? Gar::make(std::move(rebuilt), r, psi_) : g);
   }
   list = std::move(out);
 }

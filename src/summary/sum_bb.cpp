@@ -13,7 +13,7 @@ void SummaryAnalyzer::foldBlockBackward(const HsgNode& block, const ProcSymbols&
     if (s.kind != Stmt::Kind::Assign) continue;  // CONTINUE/RETURN/GOTO: no data effect
 
     if (s.lhs->kind == Expr::Kind::ArrayRef) {
-      GarList write = GarList::single(Gar::make(Pred::makeTrue(), lowerRef(*s.lhs, sym)));
+      GarList write = GarList::single(Gar::make(Pred::makeTrue(), lowerRef(*s.lhs, sym), psi_));
       ue = garSubtract(ue, write, ctx_);  // this write kills later exposure
       mod = garUnion(mod, write, ctx_, &sema_.arrays);
       GarList uses;

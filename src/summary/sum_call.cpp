@@ -115,7 +115,7 @@ SummaryAnalyzer::NodeSets SummaryAnalyzer::sumCall(const HsgNode& n, const ProcS
         bool modified = std::find(cs.modifiedScalars.begin(), cs.modifiedScalars.end(), *fid) !=
                         cs.modifiedScalars.end();
         if (modified)
-          out.mod.add(Gar::make(Pred::makeUnknown(), lowerRef(actual, sym)));
+          out.mod.add(Gar::make(Pred::makeUnknown(), lowerRef(actual, sym), psi_));
       }
     }
   }
@@ -143,7 +143,7 @@ SummaryAnalyzer::NodeSets SummaryAnalyzer::sumCall(const HsgNode& n, const ProcS
         r.dims[d].lo = r.dims[d].lo + off;
         r.dims[d].up = r.dims[d].up + off;
       }
-      dst.add(Gar::make(mapped.guard(), std::move(r)));
+      dst.add(Gar::make(mapped.guard(), std::move(r), psi_));
     }
   };
   GarList calleeMod;

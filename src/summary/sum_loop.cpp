@@ -10,12 +10,13 @@ namespace panorama {
 namespace {
 
 /// Context carrying lo <= i <= up (direction-normalized) for in-loop
-/// reasoning. Unusable pieces are simply skipped (weaker context only).
-CmpCtx loopContext(const LoopBounds& b) {
+/// reasoning, derived from `base` so the ψ binding survives. Unusable
+/// pieces are simply skipped (weaker context only).
+CmpCtx loopContext(const LoopBounds& b, const CmpCtx& base) {
   ConstraintSet cs;
   SymExpr I = SymExpr::variable(b.index);
   auto sc = b.step.constantValue();
-  if (!sc) return CmpCtx{};
+  if (!sc) return base;
   if (*sc > 0) {
     cs.addExprLE0(b.lo - I);
     cs.addExprLE0(I - b.up);
@@ -23,7 +24,7 @@ CmpCtx loopContext(const LoopBounds& b) {
     cs.addExprLE0(b.up - I);
     cs.addExprLE0(I - b.lo);
   }
-  return CmpCtx{std::move(cs)};
+  return base.withContext(std::move(cs));
 }
 
 }  // namespace
@@ -167,7 +168,7 @@ SummaryAnalyzer::NodeSets SummaryAnalyzer::sumLoop(const HsgNode& n, const ProcS
   }
 
   ls.bounds = LoopBounds{*idxId, lo, up, st};
-  CmpCtx inLoop = loopContext(ls.bounds);
+  CmpCtx inLoop = loopContext(ls.bounds, ctx_);
 
   // MOD_{<i} / MOD_{>i}: rename i to a fresh index and expand over the
   // prior/following iteration windows (step-aligned endpoints).

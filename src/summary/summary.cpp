@@ -10,10 +10,12 @@ SummaryAnalyzer::SummaryAnalyzer(const Program& program, SemaResult& sema, const
                                  AnalysisOptions options)
     : program_(program), sema_(sema), hsg_(hsg), options_(options) {
   // Activate (or deactivate) the ψ1 dimension symbol for this analyzer.
-  // VarIds are per-SymbolTable, so the global slot is re-pointed per run;
-  // the parallel corpus driver serializes quantified kernels so concurrent
-  // analyzers never disagree on the slot.
-  setPsiDim1(options_.quantified ? sema_.symbols.intern("psi$1") : VarId{});
+  // VarIds are per-SymbolTable: each analyzer resolves its own binding from
+  // its kernel's symbol table and threads it through every CmpCtx and
+  // Gar::make call, so concurrent analyses of different kernels never share
+  // ψ state and the parallel driver needs no serialization.
+  psi_.dim1 = options_.quantified ? sema_.symbols.intern("psi$1") : VarId{};
+  ctx_ = CmpCtx(ConstraintSet{}, FmBudget{}, psi_);
 }
 
 void SummaryAnalyzer::analyzeAll() {
@@ -123,7 +125,8 @@ void SummaryAnalyzer::poisonScalars(GarList& list, const std::vector<VarId>& var
 void SummaryAnalyzer::addUses(const Expr& e, const ProcSymbols& sym, GarList& ue) {
   std::function<void(const Expr&)> visit = [&](const Expr& x) {
     for (const ExprPtr& a : x.args) visit(*a);
-    if (x.kind == Expr::Kind::ArrayRef) ue.add(Gar::make(Pred::makeTrue(), lowerRef(x, sym)));
+    if (x.kind == Expr::Kind::ArrayRef)
+      ue.add(Gar::make(Pred::makeTrue(), lowerRef(x, sym), psi_));
   };
   visit(e);
 }

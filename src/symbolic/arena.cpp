@@ -1,0 +1,152 @@
+#include "panorama/symbolic/arena.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "panorama/support/memo_cache.h"
+
+namespace panorama {
+
+namespace {
+
+std::size_t hashTerms(const std::vector<Term>& terms, bool poisoned) {
+  std::size_t h = poisoned ? 0x9e3779b9u : 0;
+  for (const Term& t : terms) {
+    h = h * 131 + static_cast<std::size_t>(t.coef);
+    for (VarId v : t.vars) h = h * 131 + v.value;
+  }
+  return h;
+}
+
+std::size_t footprint(const detail::ExprNode& n) {
+  std::size_t b = sizeof(detail::ExprNode) + n.terms.capacity() * sizeof(Term);
+  for (const Term& t : n.terms) b += t.vars.capacity() * sizeof(VarId);
+  return b;
+}
+
+}  // namespace
+
+ExprArena& ExprArena::global() {
+  static ExprArena arena;
+  return arena;
+}
+
+ExprRef ExprArena::intern(std::vector<Term> terms, bool poisoned) {
+  const std::size_t h = hashTerms(terms, poisoned);
+  const std::size_t s = h % kShards;
+  Shard& shard = shards_[s];
+  auto find = [&]() -> const detail::ExprNode* {
+    auto it = shard.index.find(h);
+    if (it == shard.index.end()) return nullptr;
+    for (const detail::ExprNode* n : it->second)
+      if (n->poisoned == poisoned && n->terms == terms) return n;
+    return nullptr;
+  };
+  {
+    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    if (const detail::ExprNode* n = find()) return ExprRef(n);
+  }
+  std::unique_lock<std::shared_mutex> lock(shard.mutex);
+  if (const detail::ExprNode* n = find()) return ExprRef(n);
+  detail::ExprNode& node = shard.nodes.emplace_back();
+  node.terms = std::move(terms);
+  node.poisoned = poisoned;
+  node.hash = h;
+  node.id = (shard.next++ << kShardBits) | static_cast<std::uint64_t>(s);
+  shard.index[h].push_back(&node);
+  shard.bytes += footprint(node);
+  return ExprRef(&node);
+}
+
+ExprArena::Stats ExprArena::stats() const {
+  Stats out;
+  bool first = true;
+  for (const Shard& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    const std::size_t n = shard.nodes.size();
+    out.distinct += n;
+    out.bytes += shard.bytes;
+    out.minShard = first ? n : std::min(out.minShard, n);
+    out.maxShard = first ? n : std::max(out.maxShard, n);
+    first = false;
+  }
+  return out;
+}
+
+namespace {
+
+/// Sharded bounded FIFO memo for ExprRef::substitute. Same discipline as the
+/// predicate SimplifyMemo: exact keys, eviction only forgets.
+class SubstituteMemo {
+ public:
+  static SubstituteMemo& global() {
+    static SubstituteMemo memo;
+    return memo;
+  }
+
+  struct Key {
+    std::uint64_t expr;
+    std::uint32_t var;
+    std::uint64_t repl;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+
+  std::optional<ExprRef> find(const Key& key) {
+    Shard& shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (auto it = shard.map.find(key); it != shard.map.end()) return it->second;
+    return std::nullopt;
+  }
+
+  void store(const Key& key, const ExprRef& value) {
+    const std::size_t cap = QueryCache::global().capacity();
+    if (cap == 0) return;
+    const std::size_t perShard = cap / kShards > 0 ? cap / kShards : 1;
+    Shard& shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.map.contains(key)) return;  // raced: identical value anyway
+    while (shard.map.size() >= perShard && !shard.order.empty()) {
+      shard.map.erase(shard.order.front());
+      shard.order.pop_front();
+    }
+    shard.order.push_back(key);
+    shard.map.emplace(key, value);
+  }
+
+ private:
+  static constexpr std::size_t kShards = 16;
+
+  struct KeyHasher {
+    std::size_t operator()(const Key& k) const {
+      std::size_t h = 0xcbf29ce484222325ull;
+      for (std::uint64_t w : {k.expr, static_cast<std::uint64_t>(k.var), k.repl}) {
+        h ^= static_cast<std::size_t>(w);
+        h *= 0x100000001b3ull;
+      }
+      return h;
+    }
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<Key, ExprRef, KeyHasher> map;
+    std::deque<Key> order;
+  };
+
+  Shard& shardFor(const Key& key) { return shards_[KeyHasher{}(key) % kShards]; }
+
+  std::array<Shard, kShards> shards_;
+};
+
+}  // namespace
+
+std::optional<ExprRef> substituteMemoLookup(const ExprRef& e, VarId v, const ExprRef& r) {
+  if (!QueryCache::global().enabled()) return std::nullopt;
+  return SubstituteMemo::global().find({e.id(), v.value, r.id()});
+}
+
+void substituteMemoStore(const ExprRef& e, VarId v, const ExprRef& r, const ExprRef& result) {
+  if (!QueryCache::global().enabled()) return;
+  SubstituteMemo::global().store({e.id(), v.value, r.id()}, result);
+}
+
+}  // namespace panorama

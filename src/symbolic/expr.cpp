@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "panorama/symbolic/arena.h"
+
 namespace panorama {
 
 namespace {
@@ -27,192 +29,195 @@ bool monomialLess(const std::vector<VarId>& a, const std::vector<VarId>& b) {
   return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
 }
 
-SymExpr SymExpr::constant(std::int64_t c) {
-  SymExpr e;
-  if (c != 0) e.terms_.push_back(Term{c, {}});
-  return e;
+ExprRef::ExprRef() {
+  static const detail::ExprNode* zero =
+      ExprArena::global().intern({}, /*poisoned=*/false).node_;
+  node_ = zero;
 }
 
-SymExpr SymExpr::variable(VarId v) {
-  SymExpr e;
-  e.terms_.push_back(Term{1, {v}});
-  return e;
+ExprRef ExprRef::makeCanonical(std::vector<Term> terms, bool poisoned) {
+  if (poisoned) terms.clear();
+  return ExprArena::global().intern(std::move(terms), poisoned);
 }
 
-SymExpr SymExpr::poisoned() {
-  SymExpr e;
-  e.poisoned_ = true;
-  return e;
-}
-
-std::optional<std::int64_t> SymExpr::constantValue() const {
-  if (!isConstant()) return std::nullopt;
-  return terms_.empty() ? 0 : terms_[0].coef;
-}
-
-int SymExpr::degree() const {
-  int d = 0;
-  for (const Term& t : terms_) d = std::max(d, t.degree());
-  return d;
-}
-
-bool SymExpr::containsVar(VarId v) const {
-  for (const Term& t : terms_)
-    if (std::find(t.vars.begin(), t.vars.end(), v) != t.vars.end()) return true;
-  return false;
-}
-
-void SymExpr::collectVars(std::vector<VarId>& out) const {
-  for (const Term& t : terms_) out.insert(out.end(), t.vars.begin(), t.vars.end());
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
-}
-
-std::int64_t SymExpr::affineCoeff(VarId v) const {
-  for (const Term& t : terms_)
-    if (t.vars.size() == 1 && t.vars[0] == v) return t.coef;
-  return 0;
-}
-
-std::int64_t SymExpr::constantPart() const {
-  for (const Term& t : terms_)
-    if (t.vars.empty()) return t.coef;
-  return 0;
-}
-
-void SymExpr::normalize() {
-  std::sort(terms_.begin(), terms_.end(),
+ExprRef ExprRef::makeNormalized(std::vector<Term> terms) {
+  std::sort(terms.begin(), terms.end(),
             [](const Term& a, const Term& b) { return monomialLess(a.vars, b.vars); });
   std::vector<Term> merged;
-  merged.reserve(terms_.size());
-  for (Term& t : terms_) {
+  merged.reserve(terms.size());
+  for (Term& t : terms) {
     if (!merged.empty() && merged.back().vars == t.vars) {
       auto sum = checkedAdd(merged.back().coef, t.coef);
-      if (!sum) {
-        poisoned_ = true;
-        terms_.clear();
-        return;
-      }
+      if (!sum) return poisoned();
       merged.back().coef = *sum;
     } else {
       merged.push_back(std::move(t));
     }
   }
   std::erase_if(merged, [](const Term& t) { return t.coef == 0; });
-  terms_ = std::move(merged);
+  return makeCanonical(std::move(merged), false);
 }
 
-SymExpr SymExpr::operator-() const { return mulConst(-1); }
-
-SymExpr operator+(const SymExpr& a, const SymExpr& b) {
-  if (a.poisoned_ || b.poisoned_) return SymExpr::poisoned();
-  SymExpr r;
-  r.terms_ = a.terms_;
-  r.terms_.insert(r.terms_.end(), b.terms_.begin(), b.terms_.end());
-  r.normalize();
-  return r;
+ExprRef ExprRef::constant(std::int64_t c) {
+  if (c == 0) return ExprRef();
+  return makeCanonical({Term{c, {}}}, false);
 }
 
-SymExpr operator-(const SymExpr& a, const SymExpr& b) { return a + (-b); }
+ExprRef ExprRef::variable(VarId v) { return makeCanonical({Term{1, {v}}}, false); }
 
-SymExpr operator*(const SymExpr& a, const SymExpr& b) {
-  if (a.poisoned_ || b.poisoned_) return SymExpr::poisoned();
-  SymExpr r;
-  r.terms_.reserve(a.terms_.size() * b.terms_.size());
-  for (const Term& ta : a.terms_) {
-    for (const Term& tb : b.terms_) {
+ExprRef ExprRef::poisoned() {
+  static const detail::ExprNode* node =
+      ExprArena::global().intern({}, /*poisoned=*/true).node_;
+  return ExprRef(node);
+}
+
+std::optional<std::int64_t> ExprRef::constantValue() const {
+  if (!isConstant()) return std::nullopt;
+  return node_->terms.empty() ? 0 : node_->terms[0].coef;
+}
+
+int ExprRef::degree() const {
+  int d = 0;
+  for (const Term& t : node_->terms) d = std::max(d, t.degree());
+  return d;
+}
+
+bool ExprRef::containsVar(VarId v) const {
+  for (const Term& t : node_->terms)
+    if (std::find(t.vars.begin(), t.vars.end(), v) != t.vars.end()) return true;
+  return false;
+}
+
+void ExprRef::collectVars(std::vector<VarId>& out) const {
+  for (const Term& t : node_->terms) out.insert(out.end(), t.vars.begin(), t.vars.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+std::int64_t ExprRef::affineCoeff(VarId v) const {
+  for (const Term& t : node_->terms)
+    if (t.vars.size() == 1 && t.vars[0] == v) return t.coef;
+  return 0;
+}
+
+std::int64_t ExprRef::constantPart() const {
+  for (const Term& t : node_->terms)
+    if (t.vars.empty()) return t.coef;
+  return 0;
+}
+
+ExprRef ExprRef::operator-() const { return mulConst(-1); }
+
+ExprRef operator+(const ExprRef& a, const ExprRef& b) {
+  if (a.isPoisoned() || b.isPoisoned()) return ExprRef::poisoned();
+  if (a.isZero()) return b;
+  if (b.isZero()) return a;
+  std::vector<Term> terms = a.terms();
+  terms.insert(terms.end(), b.terms().begin(), b.terms().end());
+  return ExprRef::makeNormalized(std::move(terms));
+}
+
+ExprRef operator-(const ExprRef& a, const ExprRef& b) { return a + (-b); }
+
+ExprRef operator*(const ExprRef& a, const ExprRef& b) {
+  if (a.isPoisoned() || b.isPoisoned()) return ExprRef::poisoned();
+  std::vector<Term> terms;
+  terms.reserve(a.terms().size() * b.terms().size());
+  for (const Term& ta : a.terms()) {
+    for (const Term& tb : b.terms()) {
       auto coef = checkedMul(ta.coef, tb.coef);
-      if (!coef) return SymExpr::poisoned();
+      if (!coef) return ExprRef::poisoned();
       Term t;
       t.coef = *coef;
       t.vars = ta.vars;
       t.vars.insert(t.vars.end(), tb.vars.begin(), tb.vars.end());
       std::sort(t.vars.begin(), t.vars.end());
-      r.terms_.push_back(std::move(t));
+      terms.push_back(std::move(t));
     }
   }
-  r.normalize();
-  return r;
+  return ExprRef::makeNormalized(std::move(terms));
 }
 
-SymExpr SymExpr::mulConst(std::int64_t k) const {
-  if (poisoned_) return poisoned();
-  if (k == 0) return SymExpr();
-  SymExpr r;
-  r.terms_.reserve(terms_.size());
-  for (const Term& t : terms_) {
+ExprRef ExprRef::mulConst(std::int64_t k) const {
+  if (node_->poisoned) return poisoned();
+  if (k == 0) return ExprRef();
+  if (k == 1) return *this;
+  std::vector<Term> terms;
+  terms.reserve(node_->terms.size());
+  for (const Term& t : node_->terms) {
     auto coef = checkedMul(t.coef, k);
     if (!coef) return poisoned();
-    r.terms_.push_back(Term{*coef, t.vars});
+    terms.push_back(Term{*coef, t.vars});
   }
-  return r;  // scaling by a non-zero constant preserves order and uniqueness
+  // Scaling by a non-zero constant preserves order and uniqueness.
+  return makeCanonical(std::move(terms), false);
 }
 
-std::optional<SymExpr> SymExpr::divExact(std::int64_t k) const {
-  if (poisoned_ || k == 0) return std::nullopt;
-  SymExpr r;
-  r.terms_.reserve(terms_.size());
-  for (const Term& t : terms_) {
+std::optional<ExprRef> ExprRef::divExact(std::int64_t k) const {
+  if (node_->poisoned || k == 0) return std::nullopt;
+  std::vector<Term> terms;
+  terms.reserve(node_->terms.size());
+  for (const Term& t : node_->terms) {
     if (t.coef % k != 0) return std::nullopt;
-    r.terms_.push_back(Term{t.coef / k, t.vars});
+    terms.push_back(Term{t.coef / k, t.vars});
   }
-  return r;  // monomial keys are untouched, so the sorted invariant holds
+  // Monomial keys are untouched, so the sorted invariant holds.
+  return makeCanonical(std::move(terms), false);
 }
 
-std::int64_t SymExpr::coeffGcd() const {
+std::int64_t ExprRef::coeffGcd() const {
   std::int64_t g = 0;
-  for (const Term& t : terms_) g = std::gcd(g, t.coef);
+  for (const Term& t : node_->terms) g = std::gcd(g, t.coef);
   return g;
 }
 
-SymExpr SymExpr::substitute(VarId v, const SymExpr& replacement) const {
-  if (poisoned_) return poisoned();
+ExprRef ExprRef::substitute(VarId v, const ExprRef& replacement) const {
+  if (node_->poisoned) return poisoned();
   if (!containsVar(v)) return *this;
-  if (replacement.poisoned_) return poisoned();
-  SymExpr result;
-  for (const Term& t : terms_) {
+  if (replacement.isPoisoned()) return poisoned();
+  if (auto hit = substituteMemoLookup(*this, v, replacement)) return *hit;
+  ExprRef result;
+  for (const Term& t : node_->terms) {
     int power = static_cast<int>(std::count(t.vars.begin(), t.vars.end(), v));
     if (power == 0) {
-      SymExpr piece;
-      piece.terms_.push_back(t);
-      result = result + piece;
+      result = result + makeCanonical({t}, false);
       continue;
     }
     Term rest;
     rest.coef = t.coef;
     for (VarId w : t.vars)
       if (w != v) rest.vars.push_back(w);
-    SymExpr piece;
-    piece.terms_.push_back(std::move(rest));
+    ExprRef piece = makeCanonical({std::move(rest)}, false);
     for (int p = 0; p < power; ++p) piece = piece * replacement;
     result = result + piece;
-    if (result.poisoned_) return poisoned();
+    if (result.isPoisoned()) return poisoned();
   }
+  substituteMemoStore(*this, v, replacement, result);
   return result;
 }
 
-SymExpr SymExpr::substitute(const std::map<VarId, SymExpr>& replacements) const {
+ExprRef ExprRef::substitute(const std::map<VarId, ExprRef>& replacements) const {
   // Simultaneous substitution: route every original variable through a fresh
   // copy of the term so replacements cannot feed each other.
-  if (poisoned_) return poisoned();
-  SymExpr result;
-  for (const Term& t : terms_) {
-    SymExpr piece = SymExpr::constant(t.coef);
+  if (node_->poisoned) return poisoned();
+  ExprRef result;
+  for (const Term& t : node_->terms) {
+    ExprRef piece = ExprRef::constant(t.coef);
     for (VarId w : t.vars) {
       auto it = replacements.find(w);
-      piece = piece * (it != replacements.end() ? it->second : SymExpr::variable(w));
-      if (piece.poisoned_) return poisoned();
+      piece = piece * (it != replacements.end() ? it->second : ExprRef::variable(w));
+      if (piece.isPoisoned()) return poisoned();
     }
     result = result + piece;
-    if (result.poisoned_) return poisoned();
+    if (result.isPoisoned()) return poisoned();
   }
   return result;
 }
 
-std::optional<std::int64_t> SymExpr::evaluate(const Binding& binding) const {
-  if (poisoned_) return std::nullopt;
+std::optional<std::int64_t> ExprRef::evaluate(const Binding& binding) const {
+  if (node_->poisoned) return std::nullopt;
   std::int64_t total = 0;
-  for (const Term& t : terms_) {
+  for (const Term& t : node_->terms) {
     std::int64_t prod = t.coef;
     for (VarId v : t.vars) {
       auto it = binding.find(v);
@@ -228,28 +233,29 @@ std::optional<std::int64_t> SymExpr::evaluate(const Binding& binding) const {
   return total;
 }
 
-int SymExpr::compare(const SymExpr& a, const SymExpr& b) {
-  if (a.poisoned_ != b.poisoned_) return a.poisoned_ ? 1 : -1;
-  if (a.terms_.size() != b.terms_.size()) return a.terms_.size() < b.terms_.size() ? -1 : 1;
-  for (std::size_t i = 0; i < a.terms_.size(); ++i) {
-    const Term& ta = a.terms_[i];
-    const Term& tb = b.terms_[i];
-    if (ta.vars != tb.vars) return monomialLess(ta.vars, tb.vars) ? -1 : 1;
-    if (ta.coef != tb.coef) return ta.coef < tb.coef ? -1 : 1;
+int ExprRef::compare(const ExprRef& a, const ExprRef& b) {
+  if (a.node_ == b.node_) return 0;  // hash-consing: one node per value
+  if (a.node_->poisoned != b.node_->poisoned) return a.node_->poisoned ? 1 : -1;
+  const std::vector<Term>& ta = a.node_->terms;
+  const std::vector<Term>& tb = b.node_->terms;
+  if (ta.size() != tb.size()) return ta.size() < tb.size() ? -1 : 1;
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    if (ta[i].vars != tb[i].vars) return monomialLess(ta[i].vars, tb[i].vars) ? -1 : 1;
+    if (ta[i].coef != tb[i].coef) return ta[i].coef < tb[i].coef ? -1 : 1;
   }
   return 0;
 }
 
-std::string SymExpr::str(const SymbolTable& symtab) const {
-  if (poisoned_) return "<?>";
-  if (terms_.empty()) return "0";
+std::string ExprRef::str(const SymbolTable& symtab) const {
+  if (node_->poisoned) return "<?>";
+  if (node_->terms.empty()) return "0";
   std::string out;
   bool first = true;
   // Print highest-degree terms first for readability (storage is ascending),
   // but keep the ascending variable order within a degree.
   std::vector<const Term*> order;
-  order.reserve(terms_.size());
-  for (const Term& t : terms_) order.push_back(&t);
+  order.reserve(node_->terms.size());
+  for (const Term& t : node_->terms) order.push_back(&t);
   std::stable_sort(order.begin(), order.end(),
                    [](const Term* a, const Term* b) { return a->degree() > b->degree(); });
   for (const Term* tp : order) {
@@ -272,16 +278,7 @@ std::string SymExpr::str(const SymbolTable& symtab) const {
   return out;
 }
 
-std::size_t SymExpr::hashValue() const {
-  std::size_t h = poisoned_ ? 0x9e3779b9u : 0;
-  for (const Term& t : terms_) {
-    h = h * 131 + static_cast<std::size_t>(t.coef);
-    for (VarId v : t.vars) h = h * 131 + v.value;
-  }
-  return h;
-}
-
-SymExpr operator+(const SymExpr& a, std::int64_t c) { return a + SymExpr::constant(c); }
-SymExpr operator-(const SymExpr& a, std::int64_t c) { return a + SymExpr::constant(-c); }
+ExprRef operator+(const ExprRef& a, std::int64_t c) { return a + ExprRef::constant(c); }
+ExprRef operator-(const ExprRef& a, std::int64_t c) { return a + ExprRef::constant(-c); }
 
 }  // namespace panorama

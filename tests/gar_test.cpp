@@ -382,28 +382,27 @@ class PsiRegionTest : public GarTest {
   VarId psi2 = tab.intern("psi$2");
   SymExpr P1 = SymExpr::variable(psi1);
   SymExpr P2 = SymExpr::variable(psi2);
+  PsiDims psi{psi1, psi2};
 
   void SetUp() override {
-    setPsiDim1(psi1);
-    setPsiDim2(psi2);
-  }
-  void TearDown() override {
-    setPsiDim1(VarId{});
-    setPsiDim2(VarId{});
+    // ψ is per-context now (no process-global slot): list operations pick
+    // it up from the comparison context, direct Gar::make calls take it as
+    // an argument.
+    ctx = CmpCtx(ConstraintSet{}, FmBudget{}, psi);
   }
 };
 
 TEST_F(PsiRegionTest, DiagonalRegion) {
   // The paper's §5.3 example: A(i,i), i = 1..n  ==  [ψ1 = ψ2, A(1:n, 1:n)].
   Gar diag = Gar::make(Pred::atom(Atom::eq(P1, P2)),
-                       reg2(SymRange{one, N, one}, SymRange{one, N, one}));
+                       reg2(SymRange{one, N, one}, SymRange{one, N, one}), psi);
   // ψ-range atoms were attached (coordinates live inside the region box).
   EXPECT_TRUE(diag.guard().containsVar(psi1));
   EXPECT_TRUE(diag.guard().containsVar(psi2));
 
   // Intersecting the diagonal with a row clips to one element's worth.
   Gar row = Gar::make(Pred::makeTrue(),
-                      reg2(SymRange::point(SymExpr::constant(4)), SymRange{one, N, one}));
+                      reg2(SymRange::point(SymExpr::constant(4)), SymRange{one, N, one}), psi);
   GarList inter = garIntersect(GarList::single(diag), GarList::single(row), ctx);
   ASSERT_FALSE(inter.empty());
   // Pointwise semantics: the result's guard forces ψ1 = ψ2 and ψ1 = 4 (from
@@ -420,12 +419,12 @@ TEST_F(PsiRegionTest, UpperTriangleSubtraction) {
   // [ψ1 <= ψ2, A(1:10, 1:10)] (upper triangle incl. diagonal) minus the
   // whole square leaves nothing; minus the strict lower triangle leaves the
   // upper triangle intact (no kill across complementary ψ guards).
-  Gar upper = Gar::make(Pred::atom(Atom::le(P1, P2)), reg2(mk(1, 10), mk(1, 10)));
-  Gar square = Gar::make(Pred::makeTrue(), reg2(mk(1, 10), mk(1, 10)));
+  Gar upper = Gar::make(Pred::atom(Atom::le(P1, P2)), reg2(mk(1, 10), mk(1, 10)), psi);
+  Gar square = Gar::make(Pred::makeTrue(), reg2(mk(1, 10), mk(1, 10)), psi);
   GarList gone = garSubtract(GarList::single(upper), GarList::single(square), ctx);
   EXPECT_TRUE(gone.empty());
 
-  Gar lower = Gar::make(Pred::atom(Atom::gt(P1, P2)), reg2(mk(1, 10), mk(1, 10)));
+  Gar lower = Gar::make(Pred::atom(Atom::gt(P1, P2)), reg2(mk(1, 10), mk(1, 10)), psi);
   GarList kept = garSubtract(GarList::single(upper), GarList::single(lower), ctx);
   ASSERT_FALSE(kept.empty());
   // The diagonal point (3,3) must still be covered: guard with ψ1=ψ2=3
@@ -442,7 +441,7 @@ TEST_F(PsiRegionTest, UpperTriangleSubtraction) {
 TEST_F(PsiRegionTest, PsiBoundsEnableEmptinessProofs) {
   // [ψ1 >= 50, A(1:10)] is empty: the attached region bound ψ1 <= 10
   // contradicts the user guard.
-  Gar g = Gar::make(Pred::atom(Atom::ge(P1, SymExpr::constant(50))), reg1(mk(1, 10)));
+  Gar g = Gar::make(Pred::atom(Atom::ge(P1, SymExpr::constant(50))), reg1(mk(1, 10)), psi);
   EXPECT_TRUE(g.isEmpty());
 }
 

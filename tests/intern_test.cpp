@@ -1,0 +1,161 @@
+// Properties of the hash-consing arenas (symbolic/arena.h,
+// predicate/arena.h): handle equality must coincide with structural
+// equality over randomized construction, equal values built through
+// different routes must land on the same node, and the arenas' occupancy
+// counters must be consistent.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "panorama/predicate/arena.h"
+#include "panorama/predicate/predicate.h"
+#include "panorama/symbolic/arena.h"
+#include "panorama/symbolic/expr.h"
+
+namespace panorama {
+namespace {
+
+/// Random expression built from a handful of variables by the public
+/// constructors only — everything the analyzer itself can produce.
+SymExpr randomExpr(std::mt19937& rng, int depth = 0) {
+  std::uniform_int_distribution<int> leaf(0, 4);
+  std::uniform_int_distribution<int> var(1, 4);
+  std::uniform_int_distribution<int> c(-6, 6);
+  if (depth >= 3 || leaf(rng) == 0) {
+    return leaf(rng) < 2 ? SymExpr::constant(c(rng))
+                         : SymExpr::variable(VarId{static_cast<std::uint32_t>(var(rng))});
+  }
+  SymExpr a = randomExpr(rng, depth + 1);
+  SymExpr b = randomExpr(rng, depth + 1);
+  switch (leaf(rng)) {
+    case 0: return a + b;
+    case 1: return a - b;
+    case 2: return a * b;
+    case 3: return a.mulConst(c(rng));
+    default: return a + SymExpr::constant(c(rng));
+  }
+}
+
+Pred randomPred(std::mt19937& rng) {
+  std::uniform_int_distribution<int> shape(0, 5);
+  Pred p = Pred::atom(Atom::le(randomExpr(rng), randomExpr(rng)));
+  if (shape(rng) >= 2) p = p && Pred::atom(Atom::eq(randomExpr(rng), randomExpr(rng)));
+  if (shape(rng) >= 4) p = p || Pred::atom(Atom::ne(randomExpr(rng), randomExpr(rng)));
+  if (shape(rng) == 5) p = !p;
+  return p;
+}
+
+TEST(InternPropertyTest, ExprHandleEqualityIffStructuralEquality) {
+  std::mt19937 rng(20260806);
+  std::vector<SymExpr> pool;
+  for (int k = 0; k < 400; ++k) pool.push_back(randomExpr(rng));
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    for (std::size_t j = i; j < pool.size(); ++j) {
+      const bool structural = SymExpr::compare(pool[i], pool[j]) == 0;
+      const bool handle = pool[i] == pool[j];
+      ASSERT_EQ(structural, handle)
+          << "i=" << i << " j=" << j << " — a distinct node pair compared structurally "
+          << "equal (canonicalization leak) or an equal pair got two nodes";
+      if (handle) {
+        EXPECT_EQ(pool[i].id(), pool[j].id());
+        EXPECT_EQ(pool[i].hashValue(), pool[j].hashValue());
+      } else {
+        EXPECT_NE(pool[i].id(), pool[j].id());
+      }
+    }
+  }
+}
+
+TEST(InternPropertyTest, PredHandleEqualityIffStructuralEquality) {
+  std::mt19937 rng(42);
+  std::vector<Pred> pool;
+  for (int k = 0; k < 150; ++k) pool.push_back(randomPred(rng));
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    for (std::size_t j = i; j < pool.size(); ++j) {
+      const bool structural = Pred::compare(pool[i], pool[j]) == 0;
+      const bool handle = pool[i] == pool[j];
+      ASSERT_EQ(structural, handle) << "i=" << i << " j=" << j;
+      if (handle) {
+        EXPECT_EQ(pool[i].id(), pool[j].id());
+      }
+    }
+  }
+}
+
+TEST(InternPropertyTest, EqualValuesThroughDifferentRoutesShareOneNode) {
+  SymExpr x = SymExpr::variable(VarId{1});
+  SymExpr y = SymExpr::variable(VarId{2});
+  SymExpr z = SymExpr::variable(VarId{3});
+
+  // Associativity / commutativity of the canonical form.
+  EXPECT_EQ((x + y) + z, x + (y + z));
+  EXPECT_EQ(x + y, y + x);
+  EXPECT_EQ(x * y, y * x);
+  // Doubling vs explicit coefficient vs scalar multiply.
+  EXPECT_EQ(x + x, x.mulConst(2));
+  EXPECT_EQ(x + x, x * SymExpr::constant(2));
+  // Cancellation reaches the canonical zero (the default-constructed node).
+  EXPECT_EQ(x - x, SymExpr::constant(0));
+  EXPECT_EQ(x - x, SymExpr{});
+  // Substitution routes: (x+y)[y := z] vs x + z.
+  EXPECT_EQ((x + y).substitute(VarId{2}, z), x + z);
+
+  // Predicate routes: conjunction order and double negation via simplify.
+  Pred p = Pred::atom(Atom::le(x, y));
+  Pred q = Pred::atom(Atom::le(y, z));
+  EXPECT_EQ(p && q, q && p);
+  EXPECT_EQ(p && Pred::makeTrue(), p);
+  EXPECT_EQ(p || Pred::makeFalse(), p);
+}
+
+TEST(InternPropertyTest, RandomizedSubstituteMatchesHandleIdentity) {
+  // substitute() is memoized at node level; the memo must be invisible:
+  // repeating a substitution yields the identical handle, and equal inputs
+  // give equal outputs regardless of which call populated the memo.
+  std::mt19937 rng(7);
+  for (int k = 0; k < 200; ++k) {
+    SymExpr e = randomExpr(rng);
+    SymExpr r = randomExpr(rng);
+    VarId v{static_cast<std::uint32_t>(1 + (k % 4))};
+    SymExpr first = e.substitute(v, r);
+    SymExpr second = e.substitute(v, r);
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(first.id(), second.id());
+    if (!r.containsVar(v)) {
+      EXPECT_FALSE(first.containsVar(v));
+    }
+  }
+}
+
+TEST(InternPropertyTest, ArenaStatsAreConsistent) {
+  // Force some occupancy, then check the counters' internal consistency
+  // (exact values depend on every test that ran before in this process).
+  std::mt19937 rng(99);
+  for (int k = 0; k < 64; ++k) {
+    SymExpr e = randomExpr(rng);
+    (void)(e + SymExpr::constant(k));
+    (void)randomPred(rng);
+  }
+  ExprArena::Stats es = ExprArena::global().stats();
+  EXPECT_GT(es.distinct, 0u);
+  EXPECT_GT(es.bytes, 0u);
+  EXPECT_LE(es.minShard, es.maxShard);
+  EXPECT_LE(es.maxShard, es.distinct);
+
+  PredArena::Stats ps = PredArena::global().stats();
+  EXPECT_GT(ps.distinct, 0u);
+  EXPECT_GT(ps.bytes, 0u);
+  EXPECT_LE(ps.minShard, ps.maxShard);
+  EXPECT_LE(ps.maxShard, ps.distinct);
+
+  // Interning an already-present value must not grow the arena.
+  SymExpr x = SymExpr::variable(VarId{1});
+  (void)(x + x);
+  std::size_t before = ExprArena::global().stats().distinct;
+  for (int k = 0; k < 32; ++k) (void)(x + x);
+  EXPECT_EQ(ExprArena::global().stats().distinct, before);
+}
+
+}  // namespace
+}  // namespace panorama

@@ -11,12 +11,15 @@
 #include <algorithm>
 #include <random>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "panorama/analysis/driver.h"
 #include "panorama/frontend/parser.h"
+#include "panorama/predicate/arena.h"
 #include "panorama/predicate/predicate.h"
 #include "panorama/support/memo_cache.h"
+#include "panorama/symbolic/arena.h"
 #include "panorama/symbolic/constraint.h"
 
 namespace panorama {
@@ -38,23 +41,43 @@ std::string renderCorpus(const CorpusAnalysisResult& r) {
   return os.str();
 }
 
-TEST(ParallelDriverTest, EightThreadsIdenticalToOneThread) {
+TEST(ParallelDriverTest, EveryThreadCountIdenticalToOneThread) {
   CacheGuard guard;
   AnalysisOptions serial;
   serial.numThreads = 1;
   CorpusAnalysisResult one = analyzeCorpusParallel(serial);
+  ASSERT_FALSE(one.loops.empty());
+  EXPECT_EQ(one.threadsUsed, 1u);
+  std::string golden = renderCorpus(one);
+
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    AnalysisOptions parallel;
+    parallel.numThreads = threads;
+    CorpusAnalysisResult run = analyzeCorpusParallel(parallel);
+    ASSERT_EQ(one.loops.size(), run.loops.size()) << threads << " threads";
+    // Byte-identical per-loop reports: classification, privatization
+    // verdicts, reasons, scalar classes — everything the report renders.
+    EXPECT_EQ(golden, renderCorpus(run)) << threads << " threads";
+    EXPECT_EQ(run.threadsUsed, threads);
+  }
+}
+
+TEST(ParallelDriverTest, QuantifiedKernelsParallelizeIdentically) {
+  // PR-1 serialized quantified kernels because the ψ dimension slots were
+  // process-global; with ψ threaded per analyzer the kernels overlap
+  // freely and the reports must not move.
+  CacheGuard guard;
+  AnalysisOptions serial;
+  serial.quantified = true;
+  serial.numThreads = 1;
+  CorpusAnalysisResult one = analyzeCorpusParallel(serial);
+  ASSERT_FALSE(one.loops.empty());
 
   AnalysisOptions parallel;
+  parallel.quantified = true;
   parallel.numThreads = 8;
   CorpusAnalysisResult eight = analyzeCorpusParallel(parallel);
-
-  ASSERT_EQ(one.loops.size(), eight.loops.size());
-  ASSERT_FALSE(one.loops.empty());
-  // Byte-identical per-loop reports: classification, privatization
-  // verdicts, reasons, scalar classes — everything the report renders.
   EXPECT_EQ(renderCorpus(one), renderCorpus(eight));
-  EXPECT_EQ(one.threadsUsed, 1u);
-  EXPECT_EQ(eight.threadsUsed, 8u);
 }
 
 TEST(ParallelDriverTest, CacheDisabledIdenticalToDefault) {
@@ -195,6 +218,47 @@ TEST(ParallelDriverTest, CachedContradictoryMatchesUncachedTwin) {
     // Ask twice: the second answer is the memoized one.
     EXPECT_EQ(cs.contradictory(), cs.contradictoryUncached());
   }
+}
+
+TEST(ParallelDriverTest, ConcurrentInterningYieldsOneNodePerValue) {
+  // Hash-consing under contention: eight threads race to build the same
+  // deterministic value stream (plus a thread-private prefix so insertions
+  // interleave with lookups). Every thread must observe the identical node
+  // ids — one node per value, no torn publications. The TSan CI job runs
+  // this binary, so any locking mistake in the arenas surfaces here.
+  constexpr int kThreads = 8;
+  constexpr int kValues = 2000;
+  std::vector<std::vector<std::uint64_t>> exprIds(kThreads);
+  std::vector<std::vector<std::uint64_t>> predIds(kThreads);
+
+  auto worker = [&](int t) {
+    std::mt19937 rng(20260806);  // same seed: same value stream everywhere
+    std::uniform_int_distribution<int> c(-40, 40);
+    std::uniform_int_distribution<int> var(1, 6);
+    // Thread-private warmup desynchronizes the shards' insertion order.
+    for (int k = 0; k < 64; ++k)
+      (void)(SymExpr::variable(VarId{static_cast<std::uint32_t>(var(rng))}) +
+             SymExpr::constant(c(rng) * 1000 + t));
+    for (int k = 0; k < kValues; ++k) {
+      SymExpr x = SymExpr::variable(VarId{static_cast<std::uint32_t>(var(rng))});
+      SymExpr y = SymExpr::variable(VarId{static_cast<std::uint32_t>(var(rng))});
+      SymExpr e = x * SymExpr::constant(c(rng)) + y + SymExpr::constant(c(rng));
+      exprIds[t].push_back(e.id());
+      Pred p = Pred::atom(Atom::le(e, y)) && Pred::atom(Atom::ne(x, SymExpr::constant(c(rng))));
+      predIds[t].push_back(p.id());
+    }
+  };
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) pool.emplace_back(worker, t);
+  for (std::thread& th : pool) th.join();
+
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(exprIds[0], exprIds[t]) << "thread " << t;
+    EXPECT_EQ(predIds[0], predIds[t]) << "thread " << t;
+  }
+  // Occupancy stayed sane (stats take the shard locks — also TSan-checked).
+  EXPECT_GT(ExprArena::global().stats().distinct, 0u);
+  EXPECT_GT(PredArena::global().stats().distinct, 0u);
 }
 
 TEST(ParallelDriverTest, CallGraphWavesRespectCallDepth) {
