@@ -58,6 +58,6 @@ int main() {
   LoopParallelizer lp(analyzer);
   LoopAnalysis la = lp.analyzeLoop(*loop, *filer);
   std::printf("\n-- verdict --------------------------------------------------------\n%s\n",
-              formatLoopAnalysis(la, analyzer).c_str());
+              formatLoopAnalysis(la).c_str());
   return empty == Truth::True ? 0 : 1;
 }

@@ -1,0 +1,160 @@
+// The observability overhead contract: tracing compiled into the analysis
+// pipeline must be near-free when disabled and must not perturb verdicts
+// when enabled.
+//
+// Wall-clock deltas between two full corpus runs sit inside scheduler noise
+// on small corpora, so the disabled-path cost is estimated deterministically
+// instead: (spans one traced corpus run records) × (measured cost of one
+// disabled Span, microbenched over millions of iterations) as a fraction of
+// the untraced corpus wall time. That estimate must stay ≤ 2%
+// (kMaxOverheadPct); the bench also asserts the enabled run reproduces the
+// disabled run's reports byte-for-byte. Exit status is nonzero when either
+// contract fails, so CI enforces both.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "panorama/analysis/driver.h"
+#include "panorama/obs/trace.h"
+
+using namespace panorama;
+
+namespace {
+
+constexpr double kMaxOverheadPct = 2.0;
+
+/// 4-thread corpus wall time committed in BENCH_parallel_driver.json by the
+/// parallel-driver PR, before the obs subsystem existed (informational
+/// context for the absolute numbers below; the contract is relative).
+constexpr double kPreObsDefaultMs = 24.13;
+
+std::string fingerprintOf(const CorpusAnalysisResult& r) {
+  std::string out;
+  for (const CorpusRoutineResult& loop : r.loops) {
+    out += loop.kernelId;
+    out += '|';
+    out += loop.report;
+    out += loop.provenanceSummary;
+    out += '\n';
+  }
+  return out;
+}
+
+struct CorpusTiming {
+  double bestMs = 1e18;
+  std::string fingerprint;
+};
+
+CorpusTiming timeCorpus(bool traced, int repeats) {
+  CorpusTiming t;
+  AnalysisOptions options;
+  options.numThreads = 4;
+  for (int r = 0; r < repeats; ++r) {
+    if (traced) {
+      obs::Tracer::global().clear();
+      obs::Tracer::global().enable();
+    } else {
+      obs::Tracer::global().disable();
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    CorpusAnalysisResult result = analyzeCorpusParallel(options);
+    double ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+    t.bestMs = std::min(t.bestMs, ms);
+    t.fingerprint = fingerprintOf(result);
+  }
+  obs::Tracer::global().disable();
+  return t;
+}
+
+/// Cost of one Span construct+destruct with tracing disabled: the relaxed
+/// load + branch the hot paths pay on every span site. The empty asm keeps
+/// the compiler from collapsing the loop.
+double measureDisabledSpanNs() {
+  obs::Tracer::global().disable();
+  constexpr std::size_t kIters = 4'000'000;
+  double best = 1e18;
+  for (int rep = 0; rep < 3; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t k = 0; k < kIters; ++k) {
+      obs::Span span("bench.overhead", "disabled");
+      asm volatile("" ::: "memory");
+    }
+    double ns =
+        std::chrono::duration<double, std::nano>(std::chrono::steady_clock::now() - t0).count() /
+        static_cast<double>(kIters);
+    best = std::min(best, ns);
+  }
+  return best;
+}
+
+/// Spans one traced 4-thread corpus run records — the number of disabled
+/// constructor/destructor pairs an untraced run executes.
+std::size_t countCorpusSpans() {
+  obs::Tracer::global().clear();
+  obs::Tracer::global().enable();
+  AnalysisOptions options;
+  options.numThreads = 4;
+  analyzeCorpusParallel(options);
+  obs::Tracer::global().disable();
+  std::size_t n = obs::Tracer::global().eventCount();
+  obs::Tracer::global().clear();
+  return n;
+}
+
+void emit(FILE* f, std::size_t spanCount, double nsPerSpan, double disabledMs, double tracedMs,
+          double overheadPct, bool identical) {
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"obs_overhead\",\n");
+  std::fprintf(f, "  \"corpus\": \"perfect (Table 1/2 kernels), 4 threads\",\n");
+  std::fprintf(f, "  \"spans_per_corpus_run\": %zu,\n", spanCount);
+  std::fprintf(f, "  \"disabled_span_ns\": %.3f,\n", nsPerSpan);
+  std::fprintf(f, "  \"untraced_wall_ms\": %.2f,\n", disabledMs);
+  std::fprintf(f, "  \"traced_wall_ms\": %.2f,\n", tracedMs);
+  std::fprintf(f, "  \"pre_obs_snapshot_wall_ms\": %.2f,\n", kPreObsDefaultMs);
+  std::fprintf(f, "  \"estimated_disabled_overhead_pct\": %.4f,\n", overheadPct);
+  std::fprintf(f, "  \"max_disabled_overhead_pct\": %.1f,\n", kMaxOverheadPct);
+  std::fprintf(f, "  \"overhead_within_contract\": %s,\n", overheadPct <= kMaxOverheadPct ? "true" : "false");
+  std::fprintf(f, "  \"traced_results_identical\": %s\n", identical ? "true" : "false");
+  std::fprintf(f, "}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  constexpr int kRepeats = 5;
+  // Warm-up run so arena/cache cold-start cost does not land on either side.
+  timeCorpus(/*traced=*/false, 1);
+
+  CorpusTiming disabled = timeCorpus(/*traced=*/false, kRepeats);
+  CorpusTiming traced = timeCorpus(/*traced=*/true, kRepeats);
+  std::size_t spanCount = countCorpusSpans();
+  double nsPerSpan = measureDisabledSpanNs();
+
+  double overheadPct =
+      100.0 * (static_cast<double>(spanCount) * nsPerSpan) / (disabled.bestMs * 1e6);
+  bool identical = disabled.fingerprint == traced.fingerprint;
+
+  emit(stdout, spanCount, nsPerSpan, disabled.bestMs, traced.bestMs, overheadPct, identical);
+  if (argc > 1) {
+    if (FILE* f = std::fopen(argv[1], "w")) {
+      emit(f, spanCount, nsPerSpan, disabled.bestMs, traced.bestMs, overheadPct, identical);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", argv[1]);
+      return 1;
+    }
+  }
+  if (overheadPct > kMaxOverheadPct) {
+    std::fprintf(stderr, "FAIL: estimated disabled-tracing overhead %.4f%% exceeds %.1f%%\n",
+                 overheadPct, kMaxOverheadPct);
+    return 2;
+  }
+  if (!identical) {
+    std::fprintf(stderr, "FAIL: traced run diverged from untraced run\n");
+    return 3;
+  }
+  return 0;
+}

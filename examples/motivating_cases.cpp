@@ -37,7 +37,7 @@ void analyzeCase(const char* title, const char* source, const char* routine,
   LoopParallelizer lp(analyzer);
   const Stmt* loop = findOuterLoop(*program, routine, 0);
   LoopAnalysis la = lp.analyzeLoop(*loop, *program->findProcedure(routine));
-  std::printf("%s\n", formatLoopAnalysis(la, analyzer).c_str());
+  std::printf("%s\n", formatLoopAnalysis(la).c_str());
 }
 
 }  // namespace

@@ -5,9 +5,13 @@
 //   panorama_driver file.f                analyze a file
 //   panorama_driver --corpus              list built-in kernels
 //   panorama_driver --corpus NAME         analyze a built-in kernel
+//   panorama_driver --corpus-run          analyze the whole Table 1/2 corpus
 //   flags: --no-symbolic --no-if-conditions --no-interprocedural
 //          --quantified --summaries --hsg
 //          --threads=N --no-cache --stats
+//   observability: --trace=FILE  (Chrome trace-event JSON, chrome://tracing)
+//                  --metrics=FILE (unified metrics-registry JSON dump)
+//                  --explain     (per-loop decision provenance)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +23,8 @@
 #include "panorama/codegen/annotate.h"
 #include "panorama/corpus/corpus.h"
 #include "panorama/frontend/parser.h"
+#include "panorama/obs/metrics.h"
+#include "panorama/obs/trace.h"
 #include "panorama/predicate/arena.h"
 #include "panorama/symbolic/arena.h"
 
@@ -39,10 +45,68 @@ int usage() {
   std::fprintf(stderr,
                "usage: panorama_driver [flags] <file.f>\n"
                "       panorama_driver --corpus [NAME]\n"
+               "       panorama_driver --corpus-run\n"
                "flags: --no-symbolic --no-if-conditions --no-interprocedural\n"
                "       --quantified --summaries --hsg --annotate\n"
-               "       --threads=N (0 = all cores) --no-cache --stats\n");
+               "       --threads=N (0 = all cores) --no-cache --stats\n"
+               "       --trace=FILE --metrics=FILE --explain\n");
   return 2;
+}
+
+/// Writes the requested observability artifacts after a run; reports and
+/// returns false when an output file cannot be written.
+bool writeObsArtifacts(const std::string& tracePath, const std::string& metricsPath) {
+  if (!tracePath.empty()) {
+    if (!obs::Tracer::global().writeChromeTrace(tracePath)) {
+      std::fprintf(stderr, "cannot write trace file '%s'\n", tracePath.c_str());
+      return false;
+    }
+    std::fprintf(stderr, "trace: %zu events -> %s\n", obs::Tracer::global().eventCount(),
+                 tracePath.c_str());
+  }
+  if (!metricsPath.empty()) {
+    if (!obs::MetricsRegistry::global().writeJson(metricsPath)) {
+      std::fprintf(stderr, "cannot write metrics file '%s'\n", metricsPath.c_str());
+      return false;
+    }
+    std::fprintf(stderr, "metrics -> %s\n", metricsPath.c_str());
+  }
+  return true;
+}
+
+/// --corpus-run: the whole Table 1/2 corpus through the parallel driver, with
+/// per-loop reports (plus provenance under --explain) and the registry-driven
+/// stats block.
+int runWholeCorpus(const AnalysisOptions& options, bool explain, const std::string& tracePath,
+                   const std::string& metricsPath) {
+  CorpusAnalysisResult result = analyzeCorpusParallel(options);
+  for (const CorpusRoutineResult& r : result.loops) {
+    std::printf("[%s]\n%s", r.kernelId.c_str(), r.report.c_str());
+    if (explain) std::printf("%s", r.provenance.c_str());
+    std::printf("\n");
+  }
+  std::printf("%s", formatCorpusStats(result).c_str());
+  return writeObsArtifacts(tracePath, metricsPath) ? 0 : 1;
+}
+
+/// Publishes the single-file run's stats into the global registry so that
+/// --metrics and --stats read the same source of truth as the corpus driver.
+void publishFileRunMetrics(const SummaryStats& s, const QueryCache::Stats& qc,
+                           const QueryCache::Stats& memo) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  reg.counter("summary.block_steps").set(s.blockSteps);
+  reg.counter("summary.loop_expansions").set(s.loopExpansions);
+  reg.counter("summary.call_mappings").set(s.callMappings);
+  reg.counter("summary.peak_list_length").set(s.peakListLength);
+  reg.counter("summary.gars_created").set(s.garsCreated);
+  reg.counter("query_cache.hits").set(qc.hits);
+  reg.counter("query_cache.misses").set(qc.misses);
+  reg.counter("query_cache.entries").set(qc.entries);
+  reg.counter("query_cache.evictions").set(qc.evictions);
+  reg.counter("simplify_memo.hits").set(memo.hits);
+  reg.counter("simplify_memo.misses").set(memo.misses);
+  reg.counter("simplify_memo.entries").set(memo.entries);
+  reg.counter("simplify_memo.evictions").set(memo.evictions);
 }
 
 }  // namespace
@@ -54,6 +118,10 @@ int main(int argc, char** argv) {
   bool showHsg = false;
   bool annotateOutput = false;
   bool showStats = false;
+  bool explain = false;
+  bool corpusRun = false;
+  std::string tracePath;
+  std::string metricsPath;
   std::string source;
   std::string inputName;
 
@@ -79,6 +147,14 @@ int main(int argc, char** argv) {
       options.cacheCapacity = 0;
     } else if (arg == "--stats") {
       showStats = true;
+    } else if (arg == "--explain") {
+      explain = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      tracePath = std::string(arg.substr(8));
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metricsPath = std::string(arg.substr(10));
+    } else if (arg == "--corpus-run") {
+      corpusRun = true;
     } else if (arg == "--corpus") {
       if (k + 1 >= argc) {
         for (const CorpusLoop& cl : perfectCorpus()) std::printf("%s\n", cl.id.c_str());
@@ -111,6 +187,9 @@ int main(int argc, char** argv) {
       inputName = arg;
     }
   }
+  if (!tracePath.empty()) obs::Tracer::global().enable();
+
+  if (corpusRun) return runWholeCorpus(options, explain, tracePath, metricsPath);
   if (source.empty()) return usage();
 
   DiagnosticEngine diags;
@@ -151,7 +230,8 @@ int main(int argc, char** argv) {
 
   std::printf("%s: %zu loop(s)\n\n", inputName.c_str(), loops.size());
   for (const LoopAnalysis& la : loops) {
-    std::printf("%s", formatLoopAnalysis(la, analyzer).c_str());
+    std::printf("%s", formatLoopAnalysis(la).c_str());
+    if (explain) std::printf("%s", formatProvenance(la).c_str());
     if (showSummaries && la.loop) {
       const LoopSummary* ls = analyzer.loopSummary(la.loop);
       if (ls) {
@@ -167,17 +247,23 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
+
+  SummaryStats s = analyzer.stats();
+  QueryCache::Stats qc = QueryCache::global().stats();
+  QueryCache::Stats memo = simplifyMemoStats();
+  publishFileRunMetrics(s, qc, memo);
+
   if (showStats) {
-    SummaryStats s = analyzer.stats();
-    std::printf("summary cost: %zu block steps, %zu loop expansions, %zu call mappings, "
-                "peak list length %zu, %zu GARs created\n",
-                s.blockSteps, s.loopExpansions, s.callMappings, s.peakListLength, s.garsCreated);
-    std::printf("%s\n", formatQueryCacheStats(QueryCache::global().stats()).c_str());
-    QueryCache::Stats m = simplifyMemoStats();
-    std::printf("simplify memo: %zu hits / %zu misses, %zu entries, %zu evictions\n",
-                static_cast<std::size_t>(m.hits), static_cast<std::size_t>(m.misses),
-                static_cast<std::size_t>(m.entries), static_cast<std::size_t>(m.evictions));
+    std::printf("%s\n",
+                obs::renderSummaryCost(s.blockSteps, s.loopExpansions, s.callMappings,
+                                       s.peakListLength, s.garsCreated)
+                    .c_str());
+    std::printf("%s\n", formatQueryCacheStats(qc).c_str());
+    std::printf("%s\n", obs::renderCacheCounters("simplify memo", memo.hits, memo.misses,
+                                                 memo.entries, memo.evictions,
+                                                 /*rateDecimals=*/1)
+                            .c_str());
     printArenaStats();
   }
-  return 0;
+  return writeObsArtifacts(tracePath, metricsPath) ? 0 : 1;
 }

@@ -47,7 +47,7 @@ int main() {
                     la.procName.c_str(), la.loop->doVar.c_str(), la.line);
         continue;
       }
-      std::printf("%s", formatLoopAnalysis(la, analyzer).c_str());
+      std::printf("%s", formatLoopAnalysis(la).c_str());
       parallel += la.classification != LoopClass::Serial;
       viaPrivatization += la.classification == LoopClass::ParallelAfterPrivatization;
     }

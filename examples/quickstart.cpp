@@ -48,7 +48,7 @@ int main() {
   std::printf("Analysis of subroutine `smooth`\n");
   std::printf("===============================\n\n");
   for (const LoopAnalysis& la : loops)
-    std::printf("%s\n", formatLoopAnalysis(la, analyzer).c_str());
+    std::printf("%s\n", formatLoopAnalysis(la).c_str());
 
   // The per-loop symbolic summaries are available too:
   const Procedure* proc = program->findProcedure("smooth");

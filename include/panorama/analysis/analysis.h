@@ -11,6 +11,7 @@
 //     anti dependence remains (§3.2.2's three tests, in that order).
 #pragma once
 
+#include "panorama/obs/provenance.h"
 #include "panorama/summary/summary.h"
 
 namespace panorama {
@@ -61,6 +62,10 @@ struct LoopAnalysis {
   std::vector<ArrayPrivatization> arrays;
   std::vector<ScalarInfo> scalars;
   std::string serialReason;
+  /// The chain of evidence behind the classification (panorama::obs pillar
+  /// 3). The `evidence` entries are deterministic analysis facts; `notes`
+  /// are best-effort deep-layer diagnostics (see obs/provenance.h).
+  obs::DecisionTrail provenance;
 };
 
 class LoopParallelizer {
@@ -83,6 +88,15 @@ class LoopParallelizer {
 };
 
 /// Renders a per-loop report (examples and benches share this).
-std::string formatLoopAnalysis(const LoopAnalysis& la, const SummaryAnalyzer& analyzer);
+std::string formatLoopAnalysis(const LoopAnalysis& la);
+
+/// Renders the loop's decision trail — one indented line per evidence entry
+/// plus the deep-layer symbolic notes (panorama_driver --explain).
+std::string formatProvenance(const LoopAnalysis& la);
+
+/// One-line digest of the trail: the classification plus the decisive
+/// evidence (the failing test, the killing array, the exposed scalar).
+/// Deterministic across thread counts and cache configurations.
+std::string provenanceSummary(const LoopAnalysis& la);
 
 }  // namespace panorama

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "panorama/analysis/analysis.h"
+#include "panorama/obs/metrics.h"
 #include "panorama/support/memo_cache.h"
 #include "panorama/support/thread_pool.h"
 
@@ -43,7 +44,10 @@ struct CorpusRoutineResult {
   std::string procName;   ///< procedure containing the loop
   int line = 0;           ///< source line of the DO statement
   LoopClass classification = LoopClass::Serial;
-  std::string report;     ///< formatLoopAnalysis rendering
+  std::string report;      ///< formatLoopAnalysis rendering
+  std::string provenance;  ///< formatProvenance rendering (--explain)
+  std::string provenanceSummary;  ///< one-line decision digest
+  std::size_t provenanceEvidenceCount = 0;
 };
 
 /// Corpus-wide run: per-loop verdicts plus the cost/cache counters the
@@ -66,8 +70,18 @@ struct CorpusAnalysisResult {
 /// mutable symbolic state.
 CorpusAnalysisResult analyzeCorpusParallel(const AnalysisOptions& options = {});
 
+/// Publishes every counter of a corpus run — classifications, summary cost,
+/// query-cache and simplify-memo counters, provenance volume — into the
+/// metrics registry under stable names ("corpus.*", "summary.*",
+/// "query_cache.*", "simplify_memo.*"). The registry is the single source
+/// the text renderer below and the --metrics JSON dump both read.
+void publishCorpusMetrics(const CorpusAnalysisResult& result, obs::MetricsRegistry& registry);
+
 /// One-paragraph rendering of a corpus run: loop classifications, summary
-/// cost counters, and the query-cache hit/miss line (report layer).
+/// cost counters, and the query-cache hit/miss line. Registry-driven: the
+/// counters are published through publishCorpusMetrics and rendered by the
+/// shared obs renderers (output is byte-compatible with the historical
+/// hand-formatted blocks; obs_test golden-tests it).
 std::string formatCorpusStats(const CorpusAnalysisResult& result);
 
 }  // namespace panorama

@@ -1,0 +1,95 @@
+// Decision provenance (panorama::obs pillar 3).
+//
+// Every LoopAnalysis carries a DecisionTrail: the ordered chain of evidence
+// that produced its classification — which array failed candidacy, which
+// UE_i ∩ MOD_<i test could not be resolved (and what the two region lists
+// were), which copy-out obligation demoted a privatization, which of the
+// three §3.2.2 dependence tests stayed Unknown, which scalar is exposed.
+// The --explain mode of panorama_driver renders trails; corpus_test asserts
+// them for the Figure 1 examples.
+//
+// Two evidence tiers, with different determinism guarantees:
+//   * Decision evidence is recorded directly by the privatization layer and
+//     is a pure function of the analysis input — identical across thread
+//     counts and cache configurations (the parallel-driver identity tests
+//     rely on this).
+//   * Symbolic notes are reported from deep inside the query layers (an FM
+//     elimination that exhausted its budget, a Pred::implies that returned
+//     Unknown) through a thread-local ProvenanceScope. Cold evaluations
+//     only: a memoized verdict skips the deep layer entirely, so these
+//     notes are best-effort diagnostics and are rendered separately.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "panorama/support/diagnostics.h"
+
+namespace panorama::obs {
+
+enum class EvidenceKind : std::uint8_t {
+  NotSummarized,      ///< loop had no summary (condensed or unreachable)
+  UnanalyzableHeader, ///< DO header not symbolically analyzable
+  Candidacy,          ///< §3.2.1 index-free-writes candidacy of one array
+  FlowTest,           ///< UE_i ∩ MOD_<i = ∅ for one candidate array
+  CopyOutDemotion,    ///< last-value obligation demoted a privatization
+  DependenceTest,     ///< §3.2.2 carried flow/output/anti test on the remainder
+  ScalarExposed,      ///< scalar read before its iteration-local definition
+  ScalarReduction,    ///< scalar recognized as a reduction accumulator
+  Classification,     ///< the final verdict and its §3.2.2 inputs
+};
+
+const char* toString(EvidenceKind k);
+
+/// One link in the chain: what was tested, about what, with which verdict.
+struct Evidence {
+  EvidenceKind kind = EvidenceKind::Classification;
+  std::string subject;  ///< array/scalar/test name ("" for loop-level facts)
+  Truth verdict = Truth::Unknown;
+  std::string detail;  ///< human-readable explanation (may embed region text)
+};
+
+/// A deep-layer observation attributed to the enclosing query scope.
+struct SymbolicNote {
+  std::string scope;   ///< the ProvenanceScope label (which test was running)
+  std::string source;  ///< "fm" (constraint layer) or "implies" (predicate)
+  std::string detail;
+};
+
+struct DecisionTrail {
+  std::vector<Evidence> evidence;
+  std::vector<SymbolicNote> notes;
+
+  void add(EvidenceKind kind, std::string subject, Truth verdict, std::string detail = "") {
+    evidence.push_back({kind, std::move(subject), verdict, std::move(detail)});
+  }
+  bool empty() const { return evidence.empty() && notes.empty(); }
+
+  /// The evidence entries of one kind (test helper).
+  std::vector<const Evidence*> ofKind(EvidenceKind kind) const;
+};
+
+/// Installs `trail` as the calling thread's deep-report sink for the scope's
+/// lifetime. Scopes nest (the previous sink is restored); each loop analysis
+/// runs on exactly one pool thread, so a thread-local sink needs no locking.
+class ProvenanceScope {
+ public:
+  ProvenanceScope(DecisionTrail& trail, std::string label);
+  ~ProvenanceScope();
+
+  ProvenanceScope(const ProvenanceScope&) = delete;
+  ProvenanceScope& operator=(const ProvenanceScope&) = delete;
+
+  /// Reports a deep-layer note into the active scope; no-op without one.
+  /// `detail` is only materialized when a scope is active — callers building
+  /// costly strings should check active() first.
+  static void note(const char* source, std::string detail);
+  static bool active();
+
+ private:
+  DecisionTrail* prevTrail_;
+  std::string prevLabel_;
+};
+
+}  // namespace panorama::obs

@@ -67,6 +67,10 @@ class ConstraintSet {
   Truth impliesEQ0(const SymExpr& e, const FmBudget& budget = {}) const;
 
  private:
+  /// The decision procedure itself; contradictoryUncached wraps it with the
+  /// obs query span and provenance reporting.
+  Truth contradictoryCold(const FmBudget& budget) const;
+
   std::vector<LinearConstraint> constraints_;
 };
 

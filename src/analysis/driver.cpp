@@ -10,6 +10,7 @@
 #include "panorama/corpus/corpus.h"
 #include "panorama/frontend/parser.h"
 #include "panorama/hsg/hsg.h"
+#include "panorama/obs/trace.h"
 
 namespace panorama {
 
@@ -56,7 +57,10 @@ std::vector<LoopAnalysis> analyzeProgramParallel(SummaryAnalyzer& analyzer, Thre
 
   // Wave k's procedures only call procedures summarized in earlier waves,
   // so each batch races on nothing but the (lock-guarded) memo maps.
+  std::size_t waveIndex = 0;
   for (const auto& wave : callGraphWaves(analyzer.sema())) {
+    obs::Span waveSpan("summary.wave", "wave " + std::to_string(waveIndex++));
+    if (waveSpan.active()) waveSpan.arg("procedures", std::to_string(wave.size()));
     std::vector<std::function<void()>> tasks;
     tasks.reserve(wave.size());
     for (const Procedure* p : wave)
@@ -109,14 +113,24 @@ struct KernelJob {
 };
 
 void runKernel(KernelJob& job, const AnalysisOptions& options, ThreadPool& pool) {
+  obs::Span span("corpus.kernel", job.cl->id);
   DiagnosticEngine diags;
-  auto parsed = parseProgram(job.cl->source, diags);
+  auto parsed = [&] {
+    obs::Span s("frontend.parse", job.cl->id);
+    return parseProgram(job.cl->source, diags);
+  }();
   if (!parsed) return;
   job.program = std::move(*parsed);
-  auto sr = analyze(job.program, diags);
+  auto sr = [&] {
+    obs::Span s("frontend.sema", job.cl->id);
+    return analyze(job.program, diags);
+  }();
   if (!sr) return;
   job.sema = std::move(*sr);
-  job.hsg = buildHsg(job.program, job.sema, diags);
+  {
+    obs::Span s("frontend.hsg", job.cl->id);
+    job.hsg = buildHsg(job.program, job.sema, diags);
+  }
   job.analyzer = std::make_unique<SummaryAnalyzer>(job.program, job.sema, job.hsg, options);
   job.loops = analyzeProgramParallel(*job.analyzer, pool);
   job.ok = true;
@@ -125,6 +139,7 @@ void runKernel(KernelJob& job, const AnalysisOptions& options, ThreadPool& pool)
 }  // namespace
 
 CorpusAnalysisResult analyzeCorpusParallel(const AnalysisOptions& options) {
+  obs::Span span("corpus.run", "perfect corpus");
   QueryCache::global().configure(options.cacheCapacity);
   clearSimplifyMemo();  // fresh counters; the memo is capacity-gated too
   ThreadPool pool(options.numThreads);
@@ -159,7 +174,10 @@ CorpusAnalysisResult analyzeCorpusParallel(const AnalysisOptions& options) {
       r.procName = la.procName;
       r.line = la.line;
       r.classification = la.classification;
-      r.report = formatLoopAnalysis(la, *job.analyzer);
+      r.report = formatLoopAnalysis(la);
+      r.provenance = formatProvenance(la);
+      r.provenanceSummary = panorama::provenanceSummary(la);
+      r.provenanceEvidenceCount = la.provenance.evidence.size();
       result.loops.push_back(std::move(r));
     }
   }

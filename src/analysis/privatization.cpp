@@ -1,10 +1,26 @@
 // Array privatization (§3.2.1): candidacy, the UE_i ∩ MOD_{<i} = ∅ test,
-// and last-value (copy-out) analysis.
+// and last-value (copy-out) analysis. Every decision taken here is also
+// recorded into the loop's DecisionTrail (obs/provenance.h): the report
+// layer renders the trail for --explain, and the deep symbolic layers
+// attribute their cold-query notes to the test running here via the
+// ProvenanceScope installed around each emptiness query.
 #include <algorithm>
 
 #include "panorama/analysis/analysis.h"
+#include "panorama/obs/trace.h"
 
 namespace panorama {
+
+namespace {
+
+using obs::EvidenceKind;
+
+/// Renders a (possibly empty) GarList for provenance details.
+std::string listText(const GarList& list, const SemaResult& sema) {
+  return list.empty() ? "{}" : list.str(sema.symbols, sema.arrays);
+}
+
+}  // namespace
 
 const char* toString(LoopClass c) {
   switch (c) {
@@ -42,16 +58,25 @@ LoopAnalysis LoopParallelizer::analyzeLoop(const Stmt& doStmt, const Procedure& 
   la.procName = proc.name;
   la.line = static_cast<int>(doStmt.loc.line);
 
+  obs::Span span("analysis.loop", proc.name + " DO " + doStmt.doVar);
+  if (span.active()) span.arg("line", std::to_string(la.line));
+
   const LoopSummary* lsp = analyzer_.loopSummary(&doStmt);
   if (!lsp) {
     la.serialReason = "loop was not summarized (condensed or unreachable)";
+    la.provenance.add(EvidenceKind::NotSummarized, "", Truth::Unknown, la.serialReason);
+    la.provenance.add(EvidenceKind::Classification, toString(la.classification), Truth::Unknown,
+                      la.serialReason);
     return la;
   }
   const LoopSummary& ls = *lsp;
   la.boundsKnown = ls.boundsKnown;
   if (!ls.boundsKnown) {
     la.serialReason = "loop header is not symbolically analyzable";
+    la.provenance.add(EvidenceKind::UnanalyzableHeader, "", Truth::Unknown, la.serialReason);
     classifyScalars(doStmt, proc, la);
+    la.provenance.add(EvidenceKind::Classification, toString(la.classification), Truth::Unknown,
+                      la.serialReason);
     return la;
   }
 
@@ -88,17 +113,32 @@ LoopAnalysis LoopParallelizer::analyzeLoop(const Stmt& doStmt, const Procedure& 
       la.arrays.push_back(std::move(ap));
       continue;
     }
+    la.provenance.add(EvidenceKind::Candidacy, ap.name,
+                      ap.candidate ? Truth::True : Truth::False,
+                      ap.candidate ? "per-iteration writes are index-free"
+                                   : "writes are indexed by the loop variable");
     if (!ap.candidate) {
       ap.reason = "writes are indexed by the loop variable";
       la.arrays.push_back(std::move(ap));
       continue;
     }
 
-    Truth flowFree = intersectionEmpty(ueA, ls.modBefore.forArray(array), ctx);
+    GarList modBeforeA = ls.modBefore.forArray(array);
+    Truth flowFree;
+    {
+      obs::ProvenanceScope scope(la.provenance, "flow-test " + ap.name);
+      flowFree = intersectionEmpty(ueA, modBeforeA, ctx);
+    }
     ap.privatizable = flowFree == Truth::True;
     ap.reason = ap.privatizable
                     ? "UE_i ∩ MOD_<i = ∅"
                     : "cannot prove UE_i ∩ MOD_<i = ∅";
+    la.provenance.add(EvidenceKind::FlowTest, ap.name, flowFree,
+                      ap.privatizable
+                          ? "UE_i ∩ MOD_<i = ∅ — no loop-carried flow reaches the array"
+                          : "UE_i = " + listText(ueA, analyzer_.sema()) +
+                                " not provably disjoint from MOD_<i = " +
+                                listText(modBeforeA, analyzer_.sema()));
     if (ap.privatizable) {
       // Live-out: the local probe sees only this procedure's continuation;
       // a formal or COMMON array may be read by the caller, so it must be
@@ -131,6 +171,9 @@ LoopAnalysis LoopParallelizer::analyzeLoop(const Stmt& doStmt, const Procedure& 
         if (!lastIterationRewritesAll) {
           ap.privatizable = false;
           ap.reason = "live after the loop, but the last iteration may not rewrite it";
+          la.provenance.add(EvidenceKind::CopyOutDemotion, ap.name, Truth::Unknown,
+                            "needs a last-value copy but the final iteration may not rewrite "
+                            "every live element (iteration-dependent or unknown write guard)");
         }
       }
       if (ap.privatizable) privatized.push_back(array);
@@ -152,18 +195,54 @@ LoopAnalysis LoopParallelizer::analyzeLoop(const Stmt& doStmt, const Procedure& 
   GarList beforeRem = remainder(ls.modBefore);
   GarList afterRem = remainder(ls.modAfter);
 
-  la.noCarriedFlow = intersectionEmpty(ueRem, beforeRem, ctx);
-  Truth out1 = intersectionEmpty(modRem, beforeRem, ctx);
-  Truth out2 = intersectionEmpty(modRem, afterRem, ctx);
+  {
+    obs::ProvenanceScope scope(la.provenance, "carried-flow");
+    la.noCarriedFlow = intersectionEmpty(ueRem, beforeRem, ctx);
+  }
+  la.provenance.add(EvidenceKind::DependenceTest, "flow", la.noCarriedFlow,
+                    la.noCarriedFlow == Truth::True
+                        ? "UE_i ∩ MOD_<i = ∅ on the non-privatized remainder"
+                        : "UE_i = " + listText(ueRem, analyzer_.sema()) +
+                              " not provably disjoint from MOD_<i = " +
+                              listText(beforeRem, analyzer_.sema()));
+  Truth out1, out2;
+  {
+    obs::ProvenanceScope scope(la.provenance, "carried-output");
+    out1 = intersectionEmpty(modRem, beforeRem, ctx);
+    out2 = intersectionEmpty(modRem, afterRem, ctx);
+  }
   la.noCarriedOutput =
       (out1 == Truth::True && out2 == Truth::True) ? Truth::True : Truth::Unknown;
-  la.noCarriedAnti = intersectionEmpty(ueRem, afterRem, ctx);
-  la.noCarriedAntiDE = intersectionEmpty(deRem, afterRem, ctx);
+  la.provenance.add(EvidenceKind::DependenceTest, "output", la.noCarriedOutput,
+                    la.noCarriedOutput == Truth::True
+                        ? "MOD_i ∩ MOD_<i = ∅ and MOD_i ∩ MOD_>i = ∅ on the remainder"
+                        : std::string("MOD_i overlaps ") +
+                              (out1 != Truth::True ? "MOD_<i" : "MOD_>i") +
+                              " on the remainder: MOD_i = " + listText(modRem, analyzer_.sema()));
+  {
+    obs::ProvenanceScope scope(la.provenance, "carried-anti");
+    la.noCarriedAnti = intersectionEmpty(ueRem, afterRem, ctx);
+    la.noCarriedAntiDE = intersectionEmpty(deRem, afterRem, ctx);
+  }
+  la.provenance.add(EvidenceKind::DependenceTest, "anti", la.noCarriedAnti,
+                    la.noCarriedAnti == Truth::True
+                        ? "UE_i ∩ MOD_>i = ∅ on the remainder"
+                        : "UE_i = " + listText(ueRem, analyzer_.sema()) +
+                              " not provably disjoint from MOD_>i = " +
+                              listText(afterRem, analyzer_.sema()));
 
   classifyScalars(doStmt, proc, la);
   bool scalarsOk = std::all_of(la.scalars.begin(), la.scalars.end(), [](const ScalarInfo& s) {
     return s.privatizable || s.reduction;
   });
+  for (const ScalarInfo& si : la.scalars) {
+    if (si.reduction)
+      la.provenance.add(EvidenceKind::ScalarReduction, si.name, Truth::True,
+                        std::string("recognized ") + si.reductionOp + " reduction accumulator");
+    else if (!si.privatizable)
+      la.provenance.add(EvidenceKind::ScalarExposed, si.name, Truth::Unknown,
+                        "read before its iteration-local definition");
+  }
 
   if (la.noCarriedFlow == Truth::True && la.noCarriedOutput == Truth::True &&
       la.noCarriedAnti == Truth::True && scalarsOk) {
@@ -187,6 +266,23 @@ LoopAnalysis LoopParallelizer::analyzeLoop(const Stmt& doStmt, const Procedure& 
       la.serialReason = "possible loop-carried output dependence";
     else
       la.serialReason = "possible loop-carried anti dependence";
+  }
+  {
+    std::string detail;
+    if (la.classification == LoopClass::Serial) {
+      detail = la.serialReason;
+    } else {
+      detail = "all three §3.2.2 tests proved absent";
+      if (!privatized.empty()) {
+        detail += "; privatized:";
+        for (ArrayId array : privatized)
+          for (const ArrayPrivatization& ap : la.arrays)
+            if (ap.array == array) detail += " " + ap.name;
+      }
+    }
+    la.provenance.add(EvidenceKind::Classification, toString(la.classification),
+                      la.classification == LoopClass::Serial ? Truth::Unknown : Truth::True,
+                      std::move(detail));
   }
   return la;
 }

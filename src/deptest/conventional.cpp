@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "panorama/deptest/deptest.h"
+#include "panorama/obs/trace.h"
 
 namespace panorama {
 
@@ -20,6 +21,7 @@ struct Ref {
 ConventionalResult ConventionalAnalyzer::classifyLoop(const Stmt& doStmt,
                                                       const Procedure& proc) const {
   ConventionalResult result;
+  obs::Span span("deptest.loop", proc.name + " DO " + doStmt.doVar);
   const ProcSymbols& sym = sema_.of(proc);
 
   auto idx = sym.scalarId(doStmt.doVar);

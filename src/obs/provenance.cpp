@@ -1,0 +1,67 @@
+// Decision-provenance support: the thread-local deep-report sink and small
+// trail helpers (see provenance.h for the evidence model).
+#include "panorama/obs/provenance.h"
+
+#include <utility>
+
+namespace panorama::obs {
+
+const char* toString(EvidenceKind k) {
+  switch (k) {
+    case EvidenceKind::NotSummarized: return "not-summarized";
+    case EvidenceKind::UnanalyzableHeader: return "unanalyzable-header";
+    case EvidenceKind::Candidacy: return "candidacy";
+    case EvidenceKind::FlowTest: return "flow-test";
+    case EvidenceKind::CopyOutDemotion: return "copy-out-demotion";
+    case EvidenceKind::DependenceTest: return "dependence-test";
+    case EvidenceKind::ScalarExposed: return "scalar-exposed";
+    case EvidenceKind::ScalarReduction: return "scalar-reduction";
+    case EvidenceKind::Classification: return "classification";
+  }
+  return "?";
+}
+
+std::vector<const Evidence*> DecisionTrail::ofKind(EvidenceKind kind) const {
+  std::vector<const Evidence*> out;
+  for (const Evidence& e : evidence)
+    if (e.kind == kind) out.push_back(&e);
+  return out;
+}
+
+namespace {
+
+struct Sink {
+  DecisionTrail* trail = nullptr;
+  std::string label;
+};
+
+Sink& sink() {
+  thread_local Sink s;
+  return s;
+}
+
+}  // namespace
+
+ProvenanceScope::ProvenanceScope(DecisionTrail& trail, std::string label) {
+  Sink& s = sink();
+  prevTrail_ = s.trail;
+  prevLabel_ = std::move(s.label);
+  s.trail = &trail;
+  s.label = std::move(label);
+}
+
+ProvenanceScope::~ProvenanceScope() {
+  Sink& s = sink();
+  s.trail = prevTrail_;
+  s.label = std::move(prevLabel_);
+}
+
+void ProvenanceScope::note(const char* source, std::string detail) {
+  Sink& s = sink();
+  if (!s.trail) return;
+  s.trail->notes.push_back({s.label, source, std::move(detail)});
+}
+
+bool ProvenanceScope::active() { return sink().trail != nullptr; }
+
+}  // namespace panorama::obs

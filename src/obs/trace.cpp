@@ -1,0 +1,196 @@
+// Tracer implementation: per-thread chunked buffers and the Chrome
+// trace-event JSON exporter (see trace.h for the concurrency contract).
+#include "panorama/obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace panorama::obs {
+
+namespace {
+
+std::int64_t steadyNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// JSON string escaping for names and arg values (the categories are static
+/// identifiers and never need escaping, but names may carry source text).
+void appendEscaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::enable() {
+  if (!enabled_.load(std::memory_order_relaxed)) epochNs_ = steadyNs();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(buffersMutex_);
+  buffers_.clear();
+  // Threads holding a buffer from the old generation re-register lazily.
+  generation_.fetch_add(1, std::memory_order_relaxed);
+  epochNs_ = steadyNs();
+}
+
+std::int64_t Tracer::nowNs() const { return steadyNs() - epochNs_; }
+
+void Tracer::ThreadBuffer::append(TraceEvent ev) {
+  Chunk* chunk = nullptr;
+  {
+    // The list is only ever grown by this (owning) thread; the lock protects
+    // concurrent readers of the vector, not the slots.
+    std::lock_guard<std::mutex> lock(chunksMutex);
+    if (chunks.empty() || chunks.back()->count.load(std::memory_order_relaxed) == kChunkSize)
+      chunks.push_back(std::make_unique<Chunk>());
+    chunk = chunks.back().get();
+  }
+  std::size_t slot = chunk->count.load(std::memory_order_relaxed);
+  ev.tid = tid;
+  chunk->events[slot] = std::move(ev);
+  chunk->count.store(slot + 1, std::memory_order_release);  // publish
+}
+
+Tracer::ThreadBuffer& Tracer::localBuffer() {
+  struct Local {
+    std::uint64_t generation = 0;
+    std::shared_ptr<ThreadBuffer> buffer;
+  };
+  thread_local Local local;
+  std::uint64_t gen = generation_.load(std::memory_order_relaxed);
+  if (!local.buffer || local.generation != gen) {
+    auto fresh = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(buffersMutex_);
+    fresh->tid = static_cast<std::uint32_t>(buffers_.size() + 1);
+    buffers_.push_back(fresh);
+    local.buffer = std::move(fresh);
+    local.generation = gen;
+  }
+  return *local.buffer;
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(buffersMutex_);
+    buffers = buffers_;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& buffer : buffers) {
+    std::vector<Chunk*> chunks;
+    {
+      std::lock_guard<std::mutex> lock(buffer->chunksMutex);
+      chunks.reserve(buffer->chunks.size());
+      for (const auto& c : buffer->chunks) chunks.push_back(c.get());
+    }
+    for (Chunk* chunk : chunks) {
+      std::size_t n = chunk->count.load(std::memory_order_acquire);
+      for (std::size_t k = 0; k < n; ++k) out.push_back(chunk->events[k]);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    return a.tid != b.tid ? a.tid < b.tid : a.startNs < b.startNs;
+  });
+  return out;
+}
+
+std::size_t Tracer::eventCount() const {
+  std::size_t n = 0;
+  std::lock_guard<std::mutex> lock(buffersMutex_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> chunkLock(buffer->chunksMutex);
+    for (const auto& chunk : buffer->chunks) n += chunk->count.load(std::memory_order_acquire);
+  }
+  return n;
+}
+
+std::string Tracer::chromeTraceJson() const {
+  std::vector<TraceEvent> events = snapshot();
+  std::string out = "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [";
+  char buf[128];
+  for (std::size_t k = 0; k < events.size(); ++k) {
+    const TraceEvent& ev = events[k];
+    out += k == 0 ? "\n" : ",\n";
+    out += "  {\"ph\": \"X\", \"pid\": 1, \"tid\": ";
+    std::snprintf(buf, sizeof(buf), "%u, \"ts\": %.3f, \"dur\": %.3f, ", ev.tid,
+                  static_cast<double>(ev.startNs) / 1000.0, static_cast<double>(ev.durNs) / 1000.0);
+    out += buf;
+    out += "\"cat\": \"";
+    appendEscaped(out, ev.category);
+    out += "\", \"name\": \"";
+    appendEscaped(out, ev.name);
+    out += '"';
+    if (!ev.args.empty()) {
+      out += ", \"args\": {";
+      for (std::size_t a = 0; a < ev.args.size(); ++a) {
+        if (a) out += ", ";
+        out += '"';
+        appendEscaped(out, ev.args[a].first);
+        out += "\": \"";
+        appendEscaped(out, ev.args[a].second);
+        out += '"';
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool Tracer::writeChromeTrace(const std::string& path) const {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  std::string json = chromeTraceJson();
+  bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+void Span::arg(std::string_view key, std::string value) {
+  if (active_) event_.args.emplace_back(std::string(key), std::move(value));
+}
+
+void Span::begin(const char* category, std::string_view name) {
+  event_.category = category;
+  event_.name = std::string(name);
+  event_.startNs = Tracer::global().nowNs();
+  active_ = true;
+}
+
+void Span::end() {
+  Tracer& tracer = Tracer::global();
+  event_.durNs = tracer.nowNs() - event_.startNs;
+  // A span that straddles disable() is still recorded: the buffer always
+  // accepts; only *construction* consults the enabled flag.
+  tracer.localBuffer().append(std::move(event_));
+  active_ = false;
+}
+
+}  // namespace panorama::obs

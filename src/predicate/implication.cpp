@@ -3,6 +3,8 @@
 // privatizability proofs.
 #include "panorama/predicate/predicate.h"
 
+#include "panorama/obs/provenance.h"
+#include "panorama/obs/trace.h"
 #include "panorama/predicate/intern.h"
 #include "panorama/support/memo_cache.h"
 
@@ -53,6 +55,10 @@ Truth Pred::implies(const Pred& other, const SimplifyOptions& opts) const {
     if (auto hit = cache.lookup(QueryCache::Tag::PredImplies, key)) return *hit;
   }
 
+  // Cold evaluation below: traced as a query span, and an Unknown verdict
+  // is reported to the active provenance scope (cached verdicts skip both —
+  // the notes are best-effort by design, see obs/provenance.h).
+  obs::Span span("query.implies", "Pred::implies");
   Truth verdict = [&] {
     // The hypothesis context available to FM: unit clauses of the CNF
     // over-approximation. (actual => CNF => goal suffices.)
@@ -76,6 +82,11 @@ Truth Pred::implies(const Pred& other, const SimplifyOptions& opts) const {
     }
     return Truth::True;
   }();
+  if (span.active()) span.arg("verdict", toString(verdict));
+  if (verdict == Truth::Unknown && obs::ProvenanceScope::active())
+    obs::ProvenanceScope::note("implies",
+                               "predicate implication undecided (clause not subsumed and FM "
+                               "refutation inconclusive)");
   if (cache.enabled()) cache.store(QueryCache::Tag::PredImplies, std::move(key), verdict);
   return verdict;
 }

@@ -5,6 +5,8 @@
 
 #include <mutex>
 
+#include "panorama/obs/trace.h"
+
 namespace panorama {
 
 namespace {
@@ -93,6 +95,8 @@ std::map<VarId, SymExpr> SummaryAnalyzer::recognizeInductionVars(const Stmt& loo
 SummaryAnalyzer::NodeSets SummaryAnalyzer::sumLoop(const HsgNode& n, const ProcSymbols& sym) {
   const Stmt& s = *n.loopStmt;
   ++stats_.loopExpansions;
+  obs::Span span("summary.loop_expansion", "DO " + s.doVar);
+  if (span.active()) span.arg("line", std::to_string(s.loc.line));
 
   LoopSummary ls;
   ls.stmt = &s;

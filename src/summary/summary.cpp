@@ -4,6 +4,8 @@
 #include <functional>
 #include <mutex>
 
+#include "panorama/obs/trace.h"
+
 namespace panorama {
 
 SummaryAnalyzer::SummaryAnalyzer(const Program& program, SemaResult& sema, const Hsg& hsg,
@@ -364,6 +366,7 @@ const ProcSummary& SummaryAnalyzer::procSummary(const Procedure& proc) {
   // Compute unlocked. The parallel driver's wave schedule guarantees every
   // callee summary already exists, so the recursive lookups below are
   // read-only; under the serial path this is plain memoization.
+  obs::Span span("summary.proc", proc.name);
   const ProcSymbols& sym = sema_.of(proc);
   GarList mod;
   GarList ue;

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "panorama/obs/metrics.h"
+
 namespace panorama {
 
 QueryCache& QueryCache::global() {
@@ -74,15 +76,8 @@ void QueryCache::clear() {
 }
 
 std::string formatQueryCacheStats(const QueryCache::Stats& stats) {
-  char buf[160];
-  std::snprintf(buf, sizeof(buf),
-                "query cache: %llu hits / %llu misses (%.1f%% hit rate), %llu entries, "
-                "%llu evictions",
-                static_cast<unsigned long long>(stats.hits),
-                static_cast<unsigned long long>(stats.misses), stats.hitRate() * 100.0,
-                static_cast<unsigned long long>(stats.entries),
-                static_cast<unsigned long long>(stats.evictions));
-  return std::string(buf);
+  return obs::renderCacheCounters("query cache", stats.hits, stats.misses, stats.entries,
+                                  stats.evictions, /*rateDecimals=*/1);
 }
 
 }  // namespace panorama

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "panorama/obs/provenance.h"
+#include "panorama/obs/trace.h"
 #include "panorama/support/memo_cache.h"
 
 namespace panorama {
@@ -62,6 +64,21 @@ Truth ConstraintSet::contradictory(const FmBudget& budget) const {
 }
 
 Truth ConstraintSet::contradictoryUncached(const FmBudget& budget) const {
+  // Cold FM evaluations are traced and report Unknown verdicts into the
+  // active provenance scope (memoized verdicts skip this path entirely).
+  obs::Span span("query.fm", "ConstraintSet::contradictory");
+  if (span.active()) span.arg("constraints", std::to_string(constraints_.size()));
+  Truth verdict = contradictoryCold(budget);
+  if (span.active()) span.arg("verdict", toString(verdict));
+  if (verdict == Truth::Unknown && obs::ProvenanceScope::active())
+    obs::ProvenanceScope::note(
+        "fm", "Fourier-Motzkin inconclusive on " + std::to_string(constraints_.size()) +
+                  " constraints (budget " + std::to_string(budget.maxConstraints) + " constraints/" +
+                  std::to_string(budget.maxVariables) + " variables, or non-affine data)");
+  return verdict;
+}
+
+Truth ConstraintSet::contradictoryCold(const FmBudget& budget) const {
   std::vector<AffineForm> system;
   std::vector<AffineForm> disequalities;
   system.reserve(constraints_.size() * 2);

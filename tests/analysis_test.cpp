@@ -568,7 +568,7 @@ TEST(AnalysisTest, PrematureExitLoopStaysSafe) {
 
 TEST(AnalysisTest, ReportFormatting) {
   AnalysisRun r = runAnalysis(kFig1b);
-  std::string report = formatLoopAnalysis(r.loop("filerx"), *r.analyzer);
+  std::string report = formatLoopAnalysis(r.loop("filerx"));
   EXPECT_NE(report.find("filerx"), std::string::npos);
   EXPECT_NE(report.find("privatizable"), std::string::npos);
 }

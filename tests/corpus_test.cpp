@@ -63,7 +63,7 @@ TEST_P(CorpusMatrixTest, Table2FullAnalysisStatus) {
   for (const std::string& name : cl.privatizable)
     EXPECT_TRUE(arrayPrivatizable(r.loop, name))
         << cl.id << ": " << name << " should be privatizable\n"
-        << formatLoopAnalysis(r.loop, *r.analyzer);
+        << formatLoopAnalysis(r.loop);
   for (const std::string& name : cl.notPrivatizable)
     EXPECT_FALSE(arrayPrivatizable(r.loop, name))
         << cl.id << ": " << name << " must stay non-privatizable (base analysis)";
@@ -96,7 +96,7 @@ TEST_P(CorpusMatrixTest, Table1TechniqueRequirements) {
     } else {
       EXPECT_TRUE(stillWorks) << cl.id << ": paper says " << cfg.name
                               << " is NOT required, but privatization was lost\n"
-                              << formatLoopAnalysis(r.loop, *r.analyzer);
+                              << formatLoopAnalysis(r.loop);
     }
   }
 }
@@ -200,8 +200,73 @@ TEST(CorpusTest, Fig1ExamplesAnalyzeAsInThePaper) {
     CorpusRun r = analyzeCorpusLoop(fake, {});
     EXPECT_EQ(arrayPrivatizable(r.loop, e.array), e.privatizable)
         << e.routine << "/" << e.array << "\n"
-        << formatLoopAnalysis(r.loop, *r.analyzer);
+        << formatLoopAnalysis(r.loop);
   }
+}
+
+TEST(CorpusTest, Fig1ClassificationsAndProvenanceSummaries) {
+  // The classifications the paper's Figure 1 walkthrough implies, plus the
+  // one-line decision digest each verdict rests on.
+  struct Expect {
+    const char* source;
+    const char* routine;
+    LoopClass classification;
+    const char* summary;
+  };
+  const Expect cases[] = {
+      // Fig 1(a): `a` needs the ∀-quantified proof of §5.2, so the base
+      // analysis cannot discharge the flow test and the loop stays serial.
+      {fig1aSource(), "interf", LoopClass::Serial,
+       "serial: flow-test unresolved on a; carried-flow unresolved; "
+       "carried-output unresolved; carried-anti unresolved"},
+      {fig1bSource(), "filer", LoopClass::ParallelAfterPrivatization,
+       "parallel (after privatization) [privatized: a]"},
+      {fig1cSource(), "drive", LoopClass::ParallelAfterPrivatization,
+       "parallel (after privatization) [privatized: a]"},
+  };
+  for (const Expect& e : cases) {
+    CorpusLoop fake;
+    fake.id = e.routine;
+    fake.routine = e.routine;
+    fake.outerLoopIndex = 0;
+    fake.source = e.source;
+    CorpusRun r = analyzeCorpusLoop(fake, {});
+    EXPECT_EQ(r.loop.classification, e.classification) << e.routine;
+    EXPECT_EQ(provenanceSummary(r.loop), e.summary) << formatProvenance(r.loop);
+    // The trail always ends in a Classification record that names the final
+    // verdict, and --explain renders one "why" line per evidence entry.
+    ASSERT_FALSE(r.loop.provenance.evidence.empty()) << e.routine;
+    const obs::Evidence& last = r.loop.provenance.evidence.back();
+    EXPECT_EQ(last.kind, obs::EvidenceKind::Classification);
+    EXPECT_EQ(last.subject, toString(e.classification));
+    std::string rendered = formatProvenance(r.loop);
+    std::size_t whyLines = 0;
+    for (std::size_t pos = 0; (pos = rendered.find("    why ", pos)) != std::string::npos;
+         pos += 8)
+      ++whyLines;
+    EXPECT_EQ(whyLines,
+              r.loop.provenance.evidence.size() + r.loop.provenance.notes.size());
+  }
+}
+
+TEST(CorpusTest, Fig1aFlowTestEvidenceCarriesRegionText) {
+  // The unresolved UE_i ∩ MOD_<i test on Fig 1(a)'s `a` must show the two
+  // region lists it compared — that is the point of --explain.
+  CorpusLoop fake;
+  fake.id = "interf";
+  fake.routine = "interf";
+  fake.outerLoopIndex = 0;
+  fake.source = fig1aSource();
+  CorpusRun r = analyzeCorpusLoop(fake, {});
+  bool found = false;
+  for (const obs::Evidence* e : r.loop.provenance.ofKind(obs::EvidenceKind::FlowTest)) {
+    if (e->subject != "a") continue;
+    found = true;
+    EXPECT_NE(e->verdict, Truth::True);
+    EXPECT_NE(e->detail.find("UE_i = "), std::string::npos) << e->detail;
+    EXPECT_NE(e->detail.find("MOD_<i = "), std::string::npos) << e->detail;
+  }
+  EXPECT_TRUE(found) << formatProvenance(r.loop);
 }
 
 TEST(CorpusTest, Fig1ExamplesExecute) {

@@ -282,7 +282,7 @@ TEST(InterprocTest, GuardedCalleeComposesThreeLevels) {
   bool privatizable = false;
   for (const ArrayPrivatization& ap : la.arrays)
     if (ap.name == "a") privatizable = ap.privatizable;
-  EXPECT_TRUE(privatizable) << formatLoopAnalysis(la, *w.analyzer);
+  EXPECT_TRUE(privatizable) << formatLoopAnalysis(la);
 }
 
 }  // namespace

@@ -123,10 +123,10 @@ TEST(MiniPerfectTest, AllPatternsClassifyTogether) {
     for (const ArrayPrivatization& ap : la.arrays)
       if (ap.name == w.array) priv = ap.privatizable;
     EXPECT_TRUE(priv) << w.routine << "/" << w.array << "\n"
-                      << formatLoopAnalysis(la, analyzer);
+                      << formatLoopAnalysis(la);
     EXPECT_EQ(la.classification, LoopClass::ParallelAfterPrivatization)
         << w.routine << "\n"
-        << formatLoopAnalysis(la, analyzer);
+        << formatLoopAnalysis(la);
   }
 }
 

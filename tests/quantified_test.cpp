@@ -119,7 +119,7 @@ TEST(QuantifiedTest, Fig1aPrivatizesWithExtension) {
   QRun base = runQ(fig1aSource(), "interf", /*quantified=*/false);
   EXPECT_FALSE(privatizable(base.loop, "a"));
   QRun ext = runQ(fig1aSource(), "interf", /*quantified=*/true);
-  EXPECT_TRUE(privatizable(ext.loop, "a")) << formatLoopAnalysis(ext.loop, *ext.analyzer);
+  EXPECT_TRUE(privatizable(ext.loop, "a")) << formatLoopAnalysis(ext.loop);
   EXPECT_TRUE(privatizable(ext.loop, "b"));
 }
 
@@ -129,7 +129,7 @@ TEST(QuantifiedTest, MdgRlPrivatizesWithExtension) {
     if (cl.id == "MDG interf/1000") mdg = &cl;
   ASSERT_NE(mdg, nullptr);
   QRun ext = runQ(mdg->source, "interf", /*quantified=*/true);
-  EXPECT_TRUE(privatizable(ext.loop, "rl")) << formatLoopAnalysis(ext.loop, *ext.analyzer);
+  EXPECT_TRUE(privatizable(ext.loop, "rl")) << formatLoopAnalysis(ext.loop);
   // The extension must not lose anything the base analysis had.
   for (const std::string& name : mdg->privatizable)
     EXPECT_TRUE(privatizable(ext.loop, name)) << name;

@@ -65,7 +65,7 @@ TEST(TwoDimTest, TwoDimensionalWorkArrayPrivatizes) {
   bool priv = false;
   for (const ArrayPrivatization& ap : la.arrays)
     if (ap.name == "work") priv = ap.privatizable;
-  EXPECT_TRUE(priv) << formatLoopAnalysis(la, *w.analyzer);
+  EXPECT_TRUE(priv) << formatLoopAnalysis(la);
   EXPECT_EQ(la.classification, LoopClass::ParallelAfterPrivatization);
 }
 
