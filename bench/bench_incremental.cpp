@@ -1,0 +1,188 @@
+// The incremental-session bench: cold analysis of the whole Perfect corpus
+// versus a warm re-analysis after a single-procedure edit, emitted as JSON
+// (to stdout and, when a path is given as argv[1], to that file).
+//
+// Setup: one persistent AnalysisSession per corpus kernel. The cold phase
+// submits every kernel's source; the warm phase re-submits every source
+// with exactly one kernel edited — a CONTINUE inserted into its textually
+// last procedure, which changes that procedure's fingerprint without
+// shifting any other procedure's lines. Everything outside the edited
+// kernel's dirty cone is served from the session caches, so warm wall time
+// collapses to roughly the edited cone's share of the corpus.
+//
+// Contracts checked here (and by the CI smoke run):
+//   * warm reports are byte-identical to a cold analysis of the edited
+//     sources (exit 2 otherwise);
+//   * warm wall time does not exceed cold wall time (exit 3 otherwise).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "panorama/corpus/corpus.h"
+#include "panorama/session/session.h"
+
+using namespace panorama;
+
+namespace {
+
+/// Inserts a CONTINUE statement at the end of the file's last procedure
+/// body: a real statement (the procedure's fingerprint changes) that leaves
+/// every other procedure's text and line numbers untouched.
+std::string editLastProcedure(const std::string& source) {
+  std::size_t pos = source.rfind("\n      end");
+  if (pos == std::string::npos) return source;
+  return source.substr(0, pos + 1) + "      continue\n" + source.substr(pos + 1);
+}
+
+std::string fingerprintOf(const std::vector<SessionResult>& results) {
+  std::string out;
+  for (const SessionResult& r : results)
+    for (const SessionLoopResult& loop : r.loops) {
+      out += loop.procName;
+      out += '|';
+      out += std::to_string(loop.line);
+      out += '|';
+      out += toString(loop.classification);
+      out += '\n';
+      out += loop.report;
+    }
+  return out;
+}
+
+struct RunResult {
+  double coldMs = 0;
+  double warmMs = 0;
+  std::size_t warmReused = 0;
+  std::size_t warmRecomputed = 0;
+  std::size_t warmDirty = 0;
+  std::string warmFingerprint;
+};
+
+RunResult runOnce(const std::vector<std::string>& baseSources,
+                  const std::vector<std::string>& warmSources) {
+  RunResult rr;
+  std::vector<std::unique_ptr<AnalysisSession>> sessions;
+  sessions.reserve(baseSources.size());
+  for (std::size_t k = 0; k < baseSources.size(); ++k)
+    sessions.push_back(std::make_unique<AnalysisSession>());
+
+  auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t k = 0; k < baseSources.size(); ++k) {
+    SessionResult r = sessions[k]->submit(baseSources[k]);
+    if (!r.ok) {
+      std::fprintf(stderr, "cold submit %zu failed:\n%s", k, r.error.c_str());
+      std::exit(1);
+    }
+  }
+  rr.coldMs =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+
+  std::vector<SessionResult> warm(warmSources.size());
+  t0 = std::chrono::steady_clock::now();
+  for (std::size_t k = 0; k < warmSources.size(); ++k) {
+    warm[k] = sessions[k]->submit(warmSources[k]);
+    if (!warm[k].ok) {
+      std::fprintf(stderr, "warm submit %zu failed:\n%s", k, warm[k].error.c_str());
+      std::exit(1);
+    }
+  }
+  rr.warmMs =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+
+  for (const SessionResult& r : warm) {
+    rr.warmReused += r.stats.summariesReused;
+    rr.warmRecomputed += r.stats.summariesRecomputed;
+    rr.warmDirty += r.stats.dirty;
+  }
+  rr.warmFingerprint = fingerprintOf(warm);
+  return rr;
+}
+
+void emit(FILE* f, const std::string& editedKernel, const RunResult& best, bool identical) {
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"incremental\",\n");
+  std::fprintf(f, "  \"corpus\": \"perfect (Table 1/2 kernels)\",\n");
+  std::fprintf(f, "  \"edited_kernel\": \"%s\",\n", editedKernel.c_str());
+  std::fprintf(f, "  \"edit\": \"CONTINUE inserted into the kernel's last procedure\",\n");
+  std::fprintf(f, "  \"cold_wall_ms\": %.3f,\n", best.coldMs);
+  std::fprintf(f, "  \"warm_wall_ms\": %.3f,\n", best.warmMs);
+  std::fprintf(f, "  \"warm_speedup\": %.2f,\n", best.coldMs / best.warmMs);
+  std::fprintf(f, "  \"warm_summaries_reused\": %zu,\n", best.warmReused);
+  std::fprintf(f, "  \"warm_summaries_recomputed\": %zu,\n", best.warmRecomputed);
+  std::fprintf(f, "  \"warm_dirty_cone\": %zu,\n", best.warmDirty);
+  std::fprintf(f, "  \"warm_identical_to_cold\": %s\n", identical ? "true" : "false");
+  std::fprintf(f, "}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  constexpr int kRepeats = 5;
+
+  std::vector<std::string> baseSources;
+  std::vector<std::string> warmSources;
+  std::string editedKernel;
+  const std::vector<CorpusLoop>& corpus = perfectCorpus();
+  for (std::size_t k = 0; k < corpus.size(); ++k) {
+    baseSources.push_back(corpus[k].source);
+    // Edit exactly one kernel; every other kernel resubmits unchanged.
+    if (k == 0) {
+      warmSources.push_back(editLastProcedure(corpus[k].source));
+      editedKernel = corpus[k].id;
+      if (warmSources.back() == baseSources.back()) {
+        std::fprintf(stderr, "edit had no effect on kernel %s\n", editedKernel.c_str());
+        return 1;
+      }
+    } else {
+      warmSources.push_back(corpus[k].source);
+    }
+  }
+
+  // Reference: a cold analysis of the edited sources, for the identity check.
+  std::string coldEditedFingerprint;
+  {
+    std::vector<SessionResult> ref(warmSources.size());
+    for (std::size_t k = 0; k < warmSources.size(); ++k) {
+      AnalysisSession session;
+      ref[k] = session.submit(warmSources[k]);
+      if (!ref[k].ok) {
+        std::fprintf(stderr, "reference submit %zu failed:\n%s", k, ref[k].error.c_str());
+        return 1;
+      }
+    }
+    coldEditedFingerprint = fingerprintOf(ref);
+  }
+
+  RunResult best;
+  best.coldMs = 1e18;
+  best.warmMs = 1e18;
+  bool identical = true;
+  for (int r = 0; r < kRepeats; ++r) {
+    RunResult rr = runOnce(baseSources, warmSources);
+    identical = identical && rr.warmFingerprint == coldEditedFingerprint;
+    if (rr.warmMs < best.warmMs) {
+      double coldMs = std::min(best.coldMs, rr.coldMs);
+      best = rr;
+      best.coldMs = coldMs;
+    } else {
+      best.coldMs = std::min(best.coldMs, rr.coldMs);
+    }
+  }
+
+  emit(stdout, editedKernel, best, identical);
+  if (argc > 1) {
+    if (FILE* f = std::fopen(argv[1], "w")) {
+      emit(f, editedKernel, best, identical);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", argv[1]);
+      return 1;
+    }
+  }
+  if (!identical) return 2;
+  if (best.warmMs > best.coldMs) return 3;
+  return 0;
+}

@@ -6,12 +6,18 @@
 //   panorama_driver --corpus              list built-in kernels
 //   panorama_driver --corpus NAME         analyze a built-in kernel
 //   panorama_driver --corpus-run          analyze the whole Table 1/2 corpus
+//   panorama_driver file.f --reanalyze=EDITED.f
+//                                         warm re-analysis: analyze file.f,
+//                                         then re-submit EDITED.f through the
+//                                         incremental session and report only
+//                                         what the dirty cone recomputed
 //   flags: --no-symbolic --no-if-conditions --no-interprocedural
 //          --quantified --summaries --hsg
-//          --threads=N --no-cache --stats
+//          --threads=N --cache-capacity=N --no-cache --stats
 //   observability: --trace=FILE  (Chrome trace-event JSON, chrome://tracing)
 //                  --metrics=FILE (unified metrics-registry JSON dump)
 //                  --explain     (per-loop decision provenance)
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,6 +32,7 @@
 #include "panorama/obs/metrics.h"
 #include "panorama/obs/trace.h"
 #include "panorama/predicate/arena.h"
+#include "panorama/session/session.h"
 #include "panorama/symbolic/arena.h"
 
 using namespace panorama;
@@ -46,11 +53,30 @@ int usage() {
                "usage: panorama_driver [flags] <file.f>\n"
                "       panorama_driver --corpus [NAME]\n"
                "       panorama_driver --corpus-run\n"
+               "       panorama_driver [flags] <file.f> --reanalyze=EDITED.f\n"
                "flags: --no-symbolic --no-if-conditions --no-interprocedural\n"
                "       --quantified --summaries --hsg --annotate\n"
-               "       --threads=N (0 = all cores) --no-cache --stats\n"
+               "       --threads=N (0 = all cores) --cache-capacity=N --no-cache --stats\n"
                "       --trace=FILE --metrics=FILE --explain\n");
   return 2;
+}
+
+/// Strict value parsing for --flag=N arguments: the whole value must be a
+/// non-negative decimal integer; anything else (empty, trailing junk, signs)
+/// is rejected with a diagnostic naming the flag.
+bool parseCountFlag(std::string_view arg, std::string_view prefix, std::size_t& out) {
+  std::string_view value = arg.substr(prefix.size());
+  std::size_t parsed = 0;
+  const char* end = value.data() + value.size();
+  auto [ptr, ec] = std::from_chars(value.data(), end, parsed);
+  if (value.empty() || ec != std::errc() || ptr != end) {
+    std::fprintf(stderr, "invalid value '%.*s' for %.*s: expected a non-negative integer\n",
+                 static_cast<int>(value.size()), value.data(),
+                 static_cast<int>(prefix.size() - 1), prefix.data());
+    return false;
+  }
+  out = parsed;
+  return true;
 }
 
 /// Writes the requested observability artifacts after a run; reports and
@@ -122,6 +148,7 @@ int main(int argc, char** argv) {
   bool corpusRun = false;
   std::string tracePath;
   std::string metricsPath;
+  std::string reanalyzePath;
   std::string source;
   std::string inputName;
 
@@ -142,7 +169,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--annotate") {
       annotateOutput = true;
     } else if (arg.rfind("--threads=", 0) == 0) {
-      options.numThreads = std::strtoul(argv[k] + 10, nullptr, 10);
+      if (!parseCountFlag(arg, "--threads=", options.numThreads)) return 2;
+    } else if (arg.rfind("--cache-capacity=", 0) == 0) {
+      if (!parseCountFlag(arg, "--cache-capacity=", options.cacheCapacity)) return 2;
+    } else if (arg.rfind("--reanalyze=", 0) == 0) {
+      reanalyzePath = std::string(arg.substr(12));
+      if (reanalyzePath.empty()) {
+        std::fprintf(stderr, "--reanalyze needs a file argument\n");
+        return 2;
+      }
     } else if (arg == "--no-cache") {
       options.cacheCapacity = 0;
     } else if (arg == "--stats") {
@@ -191,6 +226,42 @@ int main(int argc, char** argv) {
 
   if (corpusRun) return runWholeCorpus(options, explain, tracePath, metricsPath);
   if (source.empty()) return usage();
+
+  if (!reanalyzePath.empty()) {
+    // Incremental session: cold-analyze the primary input, then warm-submit
+    // the edited file. Reports cover every loop; the session stats show how
+    // small the dirty cone was.
+    std::ifstream in{reanalyzePath};
+    if (!in) {
+      std::fprintf(stderr, "cannot open '%s'\n", reanalyzePath.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    AnalysisSession session(options);
+    SessionResult cold = session.submit(source);
+    if (!cold.ok) {
+      std::fprintf(stderr, "%s: analysis failed\n%s", inputName.c_str(), cold.error.c_str());
+      return 1;
+    }
+    SessionResult warm = session.submit(buf.str());
+    if (!warm.ok) {
+      std::fprintf(stderr, "%s: re-analysis failed\n%s", reanalyzePath.c_str(),
+                   warm.error.c_str());
+      return 1;
+    }
+    std::printf("%s: %zu loop(s) after re-analysis of %s\n\n", inputName.c_str(),
+                warm.loops.size(), reanalyzePath.c_str());
+    for (const SessionLoopResult& r : warm.loops) {
+      std::printf("%s", r.report.c_str());
+      if (explain) std::printf("%s", r.provenance.c_str());
+      std::printf("\n");
+    }
+    std::printf("%s", formatSessionStats(warm.stats).c_str());
+    if (showStats) printArenaStats();
+    return writeObsArtifacts(tracePath, metricsPath) ? 0 : 1;
+  }
 
   DiagnosticEngine diags;
   auto program = parseProgram(source, diags);

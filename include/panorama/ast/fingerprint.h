@@ -1,0 +1,26 @@
+// Content fingerprints for procedure units (the incremental session's
+// change-detection primitive). A fingerprint is a structural hash over a
+// procedure's declarations and statement subtree that deliberately ignores
+// SourceLoc, so reformatting or shifting a routine within its file does not
+// dirty it — only a change to what the analyzer can observe does.
+//
+// Fingerprints are computed over the *pre-sema* AST (sema mutates ArrayRef
+// nodes into Intrinsic nodes in place); AnalysisSession always hashes the
+// freshly parsed program, so the same source text maps to the same
+// fingerprint on every submit.
+#pragma once
+
+#include <cstdint>
+
+#include "panorama/ast/ast.h"
+
+namespace panorama {
+
+/// 64-bit FNV-1a structural hash. Equality of fingerprints is treated as
+/// equality of procedure content (collisions are ignored, as everywhere
+/// fingerprints are used for build avoidance).
+using Fingerprint = std::uint64_t;
+
+Fingerprint fingerprintProcedure(const Procedure& proc);
+
+}  // namespace panorama

@@ -51,6 +51,15 @@ struct SemaResult {
 /// intrinsic references). Returns nullopt and reports diagnostics on error.
 std::optional<SemaResult> analyze(Program& program, DiagnosticEngine& diags);
 
+/// Variant for the incremental session: interns into the supplied
+/// (persistent, append-only) tables instead of fresh ones, so VarId/ArrayId
+/// of names already seen in earlier submits stay stable — the handle
+/// stability that lets cached summaries be reused verbatim. Re-declared
+/// arrays update their shape in place (last declaration wins). The tables
+/// are taken by value; on success they come back inside the SemaResult.
+std::optional<SemaResult> analyze(Program& program, DiagnosticEngine& diags,
+                                  SymbolTable symbols, ArrayTable arrays);
+
 /// True for the recognized Fortran intrinsics (max, min, mod, abs, ...).
 bool isIntrinsicName(std::string_view name);
 

@@ -81,6 +81,13 @@ struct Hsg {
 /// produced with conservative condensation.
 Hsg buildHsg(const Program& program, const SemaResult& sema, DiagnosticEngine& diags);
 
+/// Builds the flow graph of a single procedure — the unit granularity the
+/// incremental session rebuilds at: only dirty procedures get new
+/// CFG/condensation work; clean ones keep their graphs (the nodes hold
+/// `const Stmt*` into the procedure body, which is stable as long as the
+/// statements themselves are kept alive).
+ProcedureHsg buildProcedureHsg(const Procedure& proc, DiagnosticEngine& diags);
+
 /// Condenses every non-trivial strongly connected component of `g` into a
 /// Condensed node (Tarjan). Exposed for testing; buildHsg applies it.
 void condenseCycles(HsgGraph& g);

@@ -33,6 +33,11 @@ struct ArrayShape {
 class ArrayTable {
  public:
   ArrayId intern(std::string name, std::vector<SymRange> declaredDims);
+  /// Like intern, but an existing name takes the new declared shape instead
+  /// of keeping the first one. Used when the incremental session re-runs
+  /// sema against its persistent table: ids stay stable across submits while
+  /// an edited declaration still updates its bounds.
+  ArrayId internOrUpdate(std::string name, std::vector<SymRange> declaredDims);
   std::optional<ArrayId> lookup(std::string_view name) const;
   const ArrayShape& shape(ArrayId id) const { return shapes_.at(id.value); }
   const std::string& name(ArrayId id) const { return shapes_.at(id.value).name; }

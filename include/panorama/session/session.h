@@ -1,0 +1,163 @@
+// Incremental analysis sessions: the serving-system core that turns the
+// batch pipeline (parse → sema → HSG → summaries → privatization) into a
+// persistent service that recomputes only what changed between submits.
+//
+// A session owns the persistent symbol/array tables, the thread pool, and
+// one fingerprinted *unit* per procedure. On submit, the incoming program
+// diffs against the units ({unchanged, modified, added, removed}); the
+// dirty cone — modified and added procedures plus everything that
+// transitively depends on them through the summary dependency graph
+// (caller→callee edges recorded at SUM_call) — is re-analyzed through the
+// existing call-graph waves, while every unit outside the cone reuses its
+// summaries, loop summaries, HSG, and formatted loop reports verbatim.
+//
+// Validity of a unit's cached state is keyed on
+//   (own content fingerprint, callee summary epochs, analysis-options key):
+// a unit is reused only when its fingerprint is unchanged, every callee it
+// depended on kept the summary epoch the unit was computed against, and the
+// ablation-relevant options are the same. An options change (or the first
+// submit) invalidates everything.
+//
+// Reuse is possible because all cached state is handle-based: GARs,
+// SymExprs and Preds are 8-byte ids into process-global append-only arenas,
+// and VarId/ArrayId stay stable across submits because sema re-runs against
+// the session's persistent tables. Unchanged procedures keep their previous
+// AST objects (moved into the next epoch's Program — the heap-allocated
+// statements they point to do not move), so Stmt-keyed loop summaries and
+// HSG nodes stay valid too.
+//
+// Known limitation (documented in DESIGN.md): reports embed source line
+// numbers. A clean procedure keeps its pre-edit AST, so if an edit shifts a
+// later procedure's lines without changing its content, that procedure's
+// cached reports cite pre-edit line numbers. Edits that keep sibling
+// procedures' positions (trailing-procedure edits, same-line-count edits)
+// reproduce a cold run byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "panorama/analysis/analysis.h"
+#include "panorama/ast/fingerprint.h"
+#include "panorama/hsg/hsg.h"
+#include "panorama/support/thread_pool.h"
+
+namespace panorama {
+
+/// Per-submit recomputation accounting — the `session.*` metrics source and
+/// the hook the lifecycle tests assert dirty-cone sizes through.
+struct SessionStats {
+  std::uint64_t epoch = 0;          ///< submit counter (1 = first/cold run)
+  std::size_t procedures = 0;       ///< procedure units after this submit
+  std::size_t unchanged = 0;        ///< fingerprint-identical units
+  std::size_t modified = 0;         ///< fingerprint changed
+  std::size_t added = 0;
+  std::size_t removed = 0;
+  std::size_t dirty = 0;            ///< dirty-cone size (recomputed units)
+  std::size_t summariesReused = 0;  ///< units seeded from the previous epoch
+  std::size_t summariesRecomputed = 0;
+  std::size_t loopsReused = 0;      ///< loop analyses served from cache
+  std::size_t loopsRecomputed = 0;
+  bool fullInvalidation = false;    ///< first submit or options change
+};
+
+/// One analyzed DO loop, with the same formatted report a batch run prints.
+struct SessionLoopResult {
+  std::string procName;
+  int line = 0;
+  LoopClass classification = LoopClass::Serial;
+  std::string report;      ///< formatLoopAnalysis output
+  std::string provenance;  ///< formatProvenance output
+};
+
+struct SessionResult {
+  bool ok = false;
+  std::string error;  ///< parse/sema/HSG diagnostics when !ok
+  std::vector<SessionLoopResult> loops;
+  SessionStats stats;
+};
+
+class AnalysisSession {
+ public:
+  explicit AnalysisSession(AnalysisOptions options = {});
+  ~AnalysisSession();
+  AnalysisSession(const AnalysisSession&) = delete;
+  AnalysisSession& operator=(const AnalysisSession&) = delete;
+
+  /// Parses and analyzes `source` incrementally against the session state.
+  /// A failed submit (parse/sema error) leaves the session exactly as it
+  /// was — the previous program stays live and queryable.
+  SessionResult submit(const std::string& source);
+
+  /// Replaces the analysis options. Ablation-relevant changes invalidate
+  /// every unit on the next submit and bump the query-cache epoch (O(1)
+  /// verdict invalidation); execution-only changes (threads) do not.
+  void setOptions(const AnalysisOptions& options);
+  const AnalysisOptions& options() const { return options_; }
+
+  /// Submit counter; 0 until the first successful submit.
+  std::uint64_t epoch() const { return epoch_; }
+  const SessionStats& lastStats() const { return lastStats_; }
+
+  /// The submit epoch that last recomputed `name`'s summary (0 if the unit
+  /// is unknown). Lifecycle tests assert transitive invalidation through
+  /// this: an edited leaf bumps its own and every transitive caller's
+  /// epoch while siblings keep theirs.
+  std::uint64_t summaryEpochOf(const std::string& name) const;
+
+ private:
+  /// One fingerprinted procedure unit and its cached analysis state.
+  struct CachedLoop {
+    int line = 0;
+    LoopClass classification = LoopClass::Serial;
+    std::string procName;
+    std::string report;
+    std::string provenance;
+  };
+  struct Unit {
+    Fingerprint fp = 0;
+    std::uint64_t summaryEpoch = 0;  ///< submit that last recomputed it
+    std::set<std::string> deps;      ///< callees folded in at SUM_call
+    std::map<std::string, std::uint64_t> calleeEpochs;  ///< deps' epochs then
+    std::vector<CachedLoop> loops;   ///< walk-order loop reports
+  };
+
+  /// Hash of the ablation-relevant options (everything that changes
+  /// analysis results; numThreads/cacheCapacity deliberately excluded —
+  /// the driver guarantees identical results across both).
+  static std::uint64_t optionsKey(const AnalysisOptions& options);
+
+  void resetState();
+
+  AnalysisOptions options_;
+  std::uint64_t optionsKey_ = 0;
+  /// The options key units_ was computed under; a mismatch at submit time
+  /// (setOptions changed an ablation-relevant knob) forces full invalidation.
+  std::uint64_t unitsOptionsKey_ = 0;
+  std::uint64_t epoch_ = 0;
+  SessionStats lastStats_;
+
+  // Live analysis state of the current epoch. `analyzer_` references
+  // program_/sema_/hsg_ and must be destroyed before they are replaced.
+  bool live_ = false;
+  Program program_;
+  SemaResult sema_;
+  Hsg hsg_;
+  std::unique_ptr<SummaryAnalyzer> analyzer_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  std::map<std::string, Unit> units_;
+};
+
+/// Publishes the submit's counters as `session.*` metrics in the global
+/// registry (dirty-cone size, summaries reused vs recomputed, ...).
+void publishSessionMetrics(const SessionStats& stats);
+
+/// Human-readable stats block for panorama_driver --reanalyze --stats.
+std::string formatSessionStats(const SessionStats& stats);
+
+}  // namespace panorama

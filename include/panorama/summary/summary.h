@@ -95,6 +95,37 @@ class SummaryAnalyzer {
   /// Runs the analysis over every procedure (main last).
   void analyzeAll();
 
+  // ----- incremental-session support (see session/session.h) -----
+
+  /// Everything the session carries across submits for a procedure whose
+  /// unit is clean: its summary, its loop summaries, and the escaping-scalar
+  /// set. All content is handle-based (GARs, VarIds) or points into the
+  /// procedure's heap-allocated statements, both of which survive the
+  /// procedure object being moved into the next epoch's Program.
+  struct ProcSnapshot {
+    ProcSummary summary;
+    std::vector<std::pair<const Stmt*, LoopSummary>> loops;
+    std::vector<VarId> modifiedScalars;
+    bool hasSummary = false;
+    bool hasScalars = false;
+  };
+
+  /// Extracts the memoized state of `proc` (which must be the procedure
+  /// object this analyzer ran over). Loop entries cover every DO statement
+  /// of the procedure body that was summarized.
+  ProcSnapshot snapshotProcedure(const Procedure& proc) const;
+
+  /// Seeds a fresh analyzer with a snapshot under the current epoch's
+  /// procedure object; subsequent procSummary/loopSummary calls hit the memo
+  /// instead of recomputing.
+  void seedProcedure(const Procedure& proc, ProcSnapshot snapshot);
+
+  /// Caller-name → callee-names edges observed at SUM_call while this
+  /// analyzer summarized procedures — the summary dependency graph the
+  /// session keys invalidation on. Only procedures actually (re)summarized
+  /// by this analyzer have entries; seeded procedures record nothing.
+  std::map<std::string, std::set<std::string>> callDependencies() const;
+
   const AnalysisOptions& options() const { return options_; }
   /// This analyzer's ψ binding (§5.3); invalid unless options().quantified.
   /// Consumers building their own CmpCtx thread it through so ψ-guarded
@@ -196,16 +227,22 @@ class SummaryAnalyzer {
   // node-stable (std::map), so references handed out stay valid across
   // concurrent insertions of *other* keys. A procedure's loop summaries
   // are only ever written by the thread summarizing that procedure.
-  std::map<std::string, ProcSummary> procSummaries_;
+  // Procedure-level memos key on the Procedure's address (procedures are
+  // unique objects for an analyzer's lifetime), avoiding per-lookup string
+  // hashing/copies on the hot summary path.
+  std::map<const Procedure*, ProcSummary> procSummaries_;
   std::map<const Stmt*, LoopSummary> loopSummaries_;
-  std::map<std::string, std::vector<VarId>> modifiedScalarCache_;
+  std::map<const Procedure*, std::vector<VarId>> modifiedScalarCache_;
   mutable std::map<const Procedure*, std::set<VarId>> indexVarCache_;
   std::map<const Procedure*, std::map<const Stmt*, CounterIdiom>> idiomCache_;
+  /// SUM_call edges by procedure name (names outlive the epoch's pointers).
+  std::map<std::string, std::set<std::string>> callDeps_;
   mutable std::shared_mutex procMutex_;
   mutable std::shared_mutex loopMutex_;
   mutable std::shared_mutex scalarCacheMutex_;
   mutable std::shared_mutex indexVarMutex_;
   mutable std::shared_mutex idiomMutex_;
+  mutable std::shared_mutex depsMutex_;
 
   /// Cost counters, atomically updated so concurrent procedure analyses
   /// can share them; stats() snapshots into the plain SummaryStats.

@@ -20,6 +20,14 @@
 //   * Observable. Hit/miss/eviction counters are surfaced through the
 //     report layer (formatQueryCacheStats) and the parallel-driver bench.
 //
+//   * Epoch-tagged. Every entry carries the cache epoch it was stored
+//     under; lookups only hit current-epoch entries. bumpEpoch() is an O(1)
+//     whole-cache invalidation — the incremental session uses it when
+//     analysis options change (a verdict is a pure function of its key, so
+//     entries stay valid across re-submits; only an options change warrants
+//     dropping them). Stale entries are overwritten in place on the next
+//     store of their key.
+//
 // configure(0) disables the cache entirely: every lookup misses and
 // nothing is stored, which restores the seed's cold-query behavior.
 #pragma once
@@ -81,6 +89,12 @@ class QueryCache {
   /// Drops entries and counters but keeps the capacity.
   void clear();
 
+  /// The current epoch. Entries stored under earlier epochs never hit.
+  std::uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+  /// O(1) invalidation of every resident entry (they become stale, not
+  /// freed; the next store of a stale key overwrites it in place).
+  void bumpEpoch() { epoch_.fetch_add(1, std::memory_order_acq_rel); }
+
  private:
   static constexpr std::size_t kShards = 16;
 
@@ -99,9 +113,13 @@ class QueryCache {
       return h;
     }
   };
+  struct Entry {
+    Truth verdict = Truth::Unknown;
+    std::uint64_t epoch = 0;  ///< store-time epoch; stale entries never hit
+  };
   struct Shard {
     mutable std::mutex mutex;
-    std::unordered_map<Key, Truth, KeyHasher> map;
+    std::unordered_map<Key, Entry, KeyHasher> map;
     std::deque<Key> order;  ///< FIFO eviction order
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
@@ -114,6 +132,7 @@ class QueryCache {
   /// Default mirrors the seed's always-on (but unbounded, single-threaded)
   /// atom-pair memo; AnalysisOptions::cacheCapacity overrides per run.
   std::atomic<std::size_t> capacity_{kDefaultCapacity};
+  std::atomic<std::uint64_t> epoch_{0};
 
  public:
   static constexpr std::size_t kDefaultCapacity = 1u << 18;

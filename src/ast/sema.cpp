@@ -54,6 +54,14 @@ class Analyzer {
  public:
   Analyzer(Program& program, DiagnosticEngine& diags) : program_(program), diags_(diags) {}
 
+  /// Session variant: intern into persistent tables (ids stable across
+  /// submits); array re-declarations update the stored shape.
+  Analyzer(Program& program, DiagnosticEngine& diags, SymbolTable symbols, ArrayTable arrays)
+      : program_(program), diags_(diags), updateShapes_(true) {
+    result_.symbols = std::move(symbols);
+    result_.arrays = std::move(arrays);
+  }
+
   std::optional<SemaResult> run() {
     for (Procedure& proc : program_.procedures) {
       if (result_.procs.contains(proc.name))
@@ -120,7 +128,9 @@ class Analyzer {
       }
       std::string common = commonKeyFor(proc, d.name);
       std::string key = common.empty() ? proc.name + "::" + d.name : common;
-      sym.arrayIds.emplace(d.name, result_.arrays.intern(key, std::move(shape)));
+      sym.arrayIds.emplace(d.name, updateShapes_
+                                       ? result_.arrays.internOrUpdate(key, std::move(shape))
+                                       : result_.arrays.intern(key, std::move(shape)));
       sym.types.emplace(d.name, d.type);
     }
 
@@ -208,6 +218,7 @@ class Analyzer {
   DiagnosticEngine& diags_;
   SemaResult result_;
   std::map<std::string, std::set<std::string>> edges_;
+  bool updateShapes_ = false;
 };
 
 }  // namespace
@@ -234,6 +245,11 @@ bool isIntrinsicName(std::string_view name) { return intrinsics().contains(name)
 
 std::optional<SemaResult> analyze(Program& program, DiagnosticEngine& diags) {
   return Analyzer(program, diags).run();
+}
+
+std::optional<SemaResult> analyze(Program& program, DiagnosticEngine& diags,
+                                  SymbolTable symbols, ArrayTable arrays) {
+  return Analyzer(program, diags, std::move(symbols), std::move(arrays)).run();
 }
 
 SymExpr lowerInt(const Expr& e, const ProcSymbols& sym) {

@@ -232,17 +232,20 @@ class LevelBuilder {
 
 }  // namespace
 
+ProcedureHsg buildProcedureHsg(const Procedure& proc, DiagnosticEngine& diags) {
+  bool premature = false;
+  ProcedureHsg ph;
+  ph.proc = &proc;
+  auto g = LevelBuilder(proc.body, nullptr, diags).build(premature);
+  ph.graph = std::move(*g);
+  return ph;
+}
+
 Hsg buildHsg(const Program& program, const SemaResult& sema, DiagnosticEngine& diags) {
   (void)sema;
   Hsg hsg;
-  for (const Procedure& proc : program.procedures) {
-    bool premature = false;
-    ProcedureHsg ph;
-    ph.proc = &proc;
-    auto g = LevelBuilder(proc.body, nullptr, diags).build(premature);
-    ph.graph = std::move(*g);
-    hsg.procs.emplace(proc.name, std::move(ph));
-  }
+  for (const Procedure& proc : program.procedures)
+    hsg.procs.emplace(proc.name, buildProcedureHsg(proc, diags));
   return hsg;
 }
 

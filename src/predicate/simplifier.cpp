@@ -21,7 +21,9 @@ namespace {
 /// Keys are exact word vectors, so a memoized result is always the result a
 /// cold run would produce; eviction (FIFO per shard) only forgets. Enabled
 /// and sized through QueryCache::global()'s capacity, like the verdict
-/// cache — configure(0) turns both off.
+/// cache — configure(0) turns both off. Entries are tagged with the verdict
+/// cache's epoch too, so QueryCache::bumpEpoch() invalidates both memos in
+/// one O(1) step.
 class SimplifyMemo {
  public:
   static SimplifyMemo& global() {
@@ -30,11 +32,12 @@ class SimplifyMemo {
   }
 
   std::optional<Pred> lookup(const std::vector<std::uint64_t>& key) {
+    const std::uint64_t now = QueryCache::global().epoch();
     Shard& shard = shardFor(key);
     std::lock_guard<std::mutex> lock(shard.mutex);
-    if (auto it = shard.map.find(key); it != shard.map.end()) {
+    if (auto it = shard.map.find(key); it != shard.map.end() && it->second.epoch == now) {
       ++shard.stats.hits;
-      return it->second;
+      return it->second.value;
     }
     ++shard.stats.misses;
     return std::nullopt;
@@ -44,16 +47,20 @@ class SimplifyMemo {
     const std::size_t cap = QueryCache::global().capacity();
     if (cap == 0) return;
     const std::size_t perShard = cap / kShards > 0 ? cap / kShards : 1;
+    const std::uint64_t now = QueryCache::global().epoch();
     Shard& shard = shardFor(key);
     std::lock_guard<std::mutex> lock(shard.mutex);
-    if (shard.map.contains(key)) return;  // raced: identical value anyway
+    if (auto it = shard.map.find(key); it != shard.map.end()) {
+      it->second = Entry{value, now};  // raced twin or stale entry: refresh
+      return;
+    }
     while (shard.map.size() >= perShard && !shard.order.empty()) {
       shard.map.erase(shard.order.front());
       shard.order.pop_front();
       ++shard.stats.evictions;
     }
     shard.order.push_back(key);
-    shard.map.emplace(std::move(key), value);
+    shard.map.emplace(std::move(key), Entry{value, now});
   }
 
   QueryCache::Stats stats() const {
@@ -90,9 +97,13 @@ class SimplifyMemo {
       return h;
     }
   };
+  struct Entry {
+    Pred value = Pred::makeTrue();
+    std::uint64_t epoch = 0;
+  };
   struct Shard {
     mutable std::mutex mutex;
-    std::unordered_map<std::vector<std::uint64_t>, Pred, KeyHasher> map;
+    std::unordered_map<std::vector<std::uint64_t>, Entry, KeyHasher> map;
     std::deque<std::vector<std::uint64_t>> order;
     QueryCache::Stats stats;
   };

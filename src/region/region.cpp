@@ -11,6 +11,14 @@ ArrayId ArrayTable::intern(std::string name, std::vector<SymRange> declaredDims)
   return ArrayId{static_cast<std::uint32_t>(shapes_.size() - 1)};
 }
 
+ArrayId ArrayTable::internOrUpdate(std::string name, std::vector<SymRange> declaredDims) {
+  if (std::optional<ArrayId> id = lookup(name)) {
+    shapes_[id->value].declaredDims = std::move(declaredDims);
+    return *id;
+  }
+  return intern(std::move(name), std::move(declaredDims));
+}
+
 std::optional<ArrayId> ArrayTable::lookup(std::string_view name) const {
   for (std::size_t i = 0; i < shapes_.size(); ++i)
     if (shapes_[i].name == name) return ArrayId{static_cast<std::uint32_t>(i)};

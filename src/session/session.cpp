@@ -1,0 +1,450 @@
+// AnalysisSession::submit — the incremental re-analysis pipeline.
+//
+// The submit flow is ordered so that every step that can fail (parse,
+// sema, HSG structure checks) runs against the *incoming* program before
+// any session state is touched; once the splice starts, the remaining
+// steps operate on content that already validated and cannot fail.
+//
+//   1. parse + fingerprint (pre-sema AST, SourceLoc-blind)
+//   2. validation sema over copies of the persistent tables; validation
+//      HSG builds for every procedure whose fingerprint changed
+//   3. diff into {unchanged, modified, added, removed}
+//   4. reuse decision: prune the optimistic clean set to a fixpoint over
+//      the summary dependency graph (callee dirty ⇒ caller dirty)
+//   5. snapshot clean units out of the previous analyzer, drop it
+//   6. splice: unchanged procedures carry their previous AST objects into
+//      the next Program (heap statements stay put), dirty ones take the
+//      incoming AST
+//   7. real sema against the persistent tables (append-only ⇒ stable ids)
+//   8. HSG: move + proc-pointer fixup for clean graphs, adopt the
+//      freshly built graphs for dirty procedures
+//   9. fresh analyzer seeded with the clean snapshots; call-graph waves
+//      (seeded procedures return from the memo instantly)
+//  10. loop fan-out over dirty procedures only; clean procedures' loop
+//      reports come from the unit cache
+//  11. unit table update + stats/metrics
+#include "panorama/session/session.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+#include <utility>
+
+#include "panorama/analysis/driver.h"
+#include "panorama/frontend/parser.h"
+#include "panorama/obs/metrics.h"
+#include "panorama/obs/trace.h"
+
+namespace panorama {
+
+namespace {
+
+/// DO statements of a procedure, outermost first, in the pre-order walk the
+/// batch drivers report loops in.
+std::vector<const Stmt*> collectLoops(const Procedure& proc) {
+  std::vector<const Stmt*> out;
+  std::function<void(const std::vector<StmtPtr>&)> walk = [&](const std::vector<StmtPtr>& body) {
+    for (const StmtPtr& s : body) {
+      if (s->kind == Stmt::Kind::Do) out.push_back(s.get());
+      walk(s->thenBody);
+      walk(s->elseBody);
+      walk(s->body);
+    }
+  };
+  walk(proc.body);
+  return out;
+}
+
+}  // namespace
+
+AnalysisSession::AnalysisSession(AnalysisOptions options) : options_(options) {
+  optionsKey_ = optionsKey(options_);
+  QueryCache::global().configure(options_.cacheCapacity);
+  pool_ = std::make_unique<ThreadPool>(options_.numThreads);
+}
+
+AnalysisSession::~AnalysisSession() = default;
+
+std::uint64_t AnalysisSession::optionsKey(const AnalysisOptions& options) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  mix(options.symbolicAnalysis);
+  mix(options.ifConditions);
+  mix(options.interprocedural);
+  mix(options.quantified);
+  mix(options.computeDE);
+  mix(options.garSimplifier);
+  mix(options.simplify.maxClauses);
+  mix(options.simplify.maxAtomsPerClause);
+  mix(options.simplify.useFourierMotzkin);
+  mix(options.simplify.fmBudget.maxConstraints);
+  mix(options.simplify.fmBudget.maxVariables);
+  return h;
+}
+
+void AnalysisSession::setOptions(const AnalysisOptions& options) {
+  const std::uint64_t key = optionsKey(options);
+  const bool threadsChanged = options.numThreads != options_.numThreads;
+  const bool capacityChanged = options.cacheCapacity != options_.cacheCapacity;
+  const bool ablationChanged = key != optionsKey_;
+  options_ = options;
+  optionsKey_ = key;
+  if (threadsChanged) pool_ = std::make_unique<ThreadPool>(options_.numThreads);
+  if (capacityChanged) QueryCache::global().configure(options_.cacheCapacity);
+  if (ablationChanged) {
+    // Cached verdicts were answered under the old budgets: one epoch bump
+    // retires every entry of the query cache and the simplify memo in O(1).
+    QueryCache::global().bumpEpoch();
+    // units_ carries unitsOptionsKey_; the mismatch with optionsKey_ makes
+    // the next submit a full invalidation.
+  }
+}
+
+void AnalysisSession::resetState() {
+  analyzer_.reset();
+  units_.clear();
+  program_ = Program{};
+  sema_ = SemaResult{};
+  hsg_ = Hsg{};
+  live_ = false;
+}
+
+std::uint64_t AnalysisSession::summaryEpochOf(const std::string& name) const {
+  auto it = units_.find(name);
+  return it == units_.end() ? 0 : it->second.summaryEpoch;
+}
+
+SessionResult AnalysisSession::submit(const std::string& source) {
+  obs::Span span("session", "session.reanalyze");
+  SessionResult out;
+
+  // 1. Parse.
+  DiagnosticEngine pdiags;
+  std::optional<Program> parsed = parseProgram(source, pdiags);
+  if (!parsed) {
+    out.error = pdiags.str();
+    return out;
+  }
+  Program incoming = std::move(*parsed);
+
+  // Fingerprint before sema touches the AST (sema reclassifies intrinsic
+  // refs in place; fingerprints must be comparable across submits).
+  std::map<std::string, Fingerprint> fps;
+  for (const Procedure& p : incoming.procedures) fps[p.name] = fingerprintProcedure(p);
+
+  // 2. Validation sema on the incoming program against *copies* of the
+  // persistent tables. A failure here (or below) leaves the session state
+  // untouched; success guarantees the post-splice sema on equivalent
+  // content succeeds too.
+  {
+    DiagnosticEngine vdiags;
+    SymbolTable symCopy = live_ ? sema_.symbols : SymbolTable{};
+    ArrayTable arrCopy = live_ ? sema_.arrays : ArrayTable{};
+    if (!analyze(incoming, vdiags, std::move(symCopy), std::move(arrCopy))) {
+      out.error = vdiags.str();
+      return out;
+    }
+  }
+
+  const bool fullInvalidation = !live_ || optionsKey_ != unitsOptionsKey_;
+  const std::uint64_t newEpoch = epoch_ + 1;
+
+  SessionStats stats;
+  stats.epoch = newEpoch;
+  stats.fullInvalidation = fullInvalidation;
+  stats.procedures = incoming.procedures.size();
+
+  // 3. Diff against the previous epoch's units.
+  std::set<std::string> unchangedSet;
+  for (const Procedure& p : incoming.procedures) {
+    auto it = units_.find(p.name);
+    if (it == units_.end()) {
+      ++stats.added;
+    } else if (it->second.fp != fps.at(p.name)) {
+      ++stats.modified;
+    } else {
+      ++stats.unchanged;
+      unchangedSet.insert(p.name);
+    }
+  }
+  for (const auto& [name, unit] : units_) {
+    (void)unit;
+    if (!incoming.findProcedure(name)) ++stats.removed;
+  }
+
+  // Structural HSG validation for every procedure that will be rebuilt.
+  // Built from the incoming AST, so the graphs stay valid after the splice
+  // moves those procedures into program_ (heap statements do not move).
+  std::map<std::string, ProcedureHsg> freshHsgs;
+  {
+    DiagnosticEngine hdiags;
+    for (const Procedure& p : incoming.procedures)
+      if (!unchangedSet.count(p.name)) freshHsgs.emplace(p.name, buildProcedureHsg(p, hdiags));
+    if (hdiags.hasErrors()) {
+      out.error = hdiags.str();
+      return out;
+    }
+  }
+
+  // 4. Reuse decision. Start optimistic (every fingerprint-unchanged unit)
+  // and prune to a fixpoint: a unit stays clean only while every callee it
+  // folded in at SUM_call is itself clean at the recorded summary epoch.
+  std::set<std::string> clean;
+  if (!fullInvalidation) {
+    clean = unchangedSet;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (auto it = clean.begin(); it != clean.end();) {
+        const Unit& u = units_.at(*it);
+        bool valid = true;
+        for (const std::string& dep : u.deps) {
+          auto du = units_.find(dep);
+          auto de = u.calleeEpochs.find(dep);
+          if (du == units_.end() || !clean.count(dep) || de == u.calleeEpochs.end() ||
+              du->second.summaryEpoch != de->second) {
+            valid = false;
+            break;
+          }
+        }
+        if (valid) {
+          ++it;
+        } else {
+          it = clean.erase(it);
+          changed = true;
+        }
+      }
+    }
+  }
+  stats.dirty = incoming.procedures.size() - clean.size();
+  stats.summariesReused = clean.size();
+  stats.summariesRecomputed = stats.dirty;
+
+  // 5. Snapshot the clean units' memoized state out of the previous
+  // analyzer while its Procedure keys are still the previous epoch's
+  // objects; the analyzer references program_/sema_/hsg_ and must be gone
+  // before they are replaced.
+  std::map<std::string, SummaryAnalyzer::ProcSnapshot> snapshots;
+  if (analyzer_) {
+    for (const std::string& name : clean)
+      if (const Procedure* prev = program_.findProcedure(name))
+        snapshots.emplace(name, analyzer_->snapshotProcedure(*prev));
+  }
+  analyzer_.reset();
+
+  // 6. Splice. Order follows the incoming source; unchanged procedures
+  // carry their previous AST (keeping Stmt-keyed caches valid), everything
+  // else takes the incoming AST.
+  {
+    std::map<std::string, Procedure*> prev;
+    for (Procedure& p : program_.procedures) prev.emplace(p.name, &p);
+    Program next;
+    next.procedures.reserve(incoming.procedures.size());
+    for (Procedure& p : incoming.procedures) {
+      auto it = unchangedSet.count(p.name) ? prev.find(p.name) : prev.end();
+      next.procedures.push_back(std::move(it != prev.end() ? *it->second : p));
+    }
+    program_ = std::move(next);
+  }
+
+  // 7. Real sema against the persistent tables. Append-only interning keeps
+  // every previously seen VarId/ArrayId stable, which is what lets GARs and
+  // scalar sets cross epochs untouched. Validation already accepted this
+  // content, so a failure here is an internal bug — drop to a cold state
+  // rather than serve stale results.
+  DiagnosticEngine rdiags;
+  {
+    SymbolTable symbols = live_ ? std::move(sema_.symbols) : SymbolTable{};
+    ArrayTable arrays = live_ ? std::move(sema_.arrays) : ArrayTable{};
+    std::optional<SemaResult> sr = analyze(program_, rdiags, std::move(symbols), std::move(arrays));
+    if (!sr) {
+      resetState();
+      out.error = "internal error: post-splice sema failed\n" + rdiags.str();
+      return out;
+    }
+    sema_ = std::move(*sr);
+  }
+
+  // 8. HSG: clean graphs move across (their nodes hold `const Stmt*` into
+  // statements that survived the splice) with the owning-procedure pointer
+  // rebound; dirty procedures adopt the validated fresh graphs.
+  {
+    Hsg next;
+    for (Procedure& p : program_.procedures) {
+      ProcedureHsg ph;
+      if (auto fresh = freshHsgs.find(p.name); fresh != freshHsgs.end())
+        ph = std::move(fresh->second);
+      else if (auto old = hsg_.procs.find(p.name); old != hsg_.procs.end())
+        ph = std::move(old->second);
+      else
+        ph = buildProcedureHsg(p, rdiags);  // unreachable; defensive
+      ph.proc = &p;
+      next.procs.emplace(p.name, std::move(ph));
+    }
+    hsg_ = std::move(next);
+  }
+
+  // 9. Fresh analyzer for this epoch, seeded with every clean snapshot
+  // under the current epoch's procedure objects.
+  analyzer_ = std::make_unique<SummaryAnalyzer>(program_, sema_, hsg_, options_);
+  for (auto& [name, snap] : snapshots)
+    if (const Procedure* p = program_.findProcedure(name))
+      analyzer_->seedProcedure(*p, std::move(snap));
+
+  // Call-graph waves: clean procedures return from the memo instantly, so
+  // only the dirty cone does summary work — with every callee summary
+  // already resident, exactly like a batch run.
+  if (pool_->threadCount() <= 1) {
+    for (const Procedure* p : sema_.bottomUpOrder) analyzer_->procSummary(*p);
+  } else {
+    std::size_t waveIdx = 0;
+    for (const std::vector<const Procedure*>& wave : callGraphWaves(sema_)) {
+      obs::Span wspan("summary", "summary.wave");
+      if (wspan.active()) {
+        wspan.arg("wave", std::to_string(waveIdx));
+        wspan.arg("procs", std::to_string(wave.size()));
+      }
+      ++waveIdx;
+      std::vector<std::function<void()>> tasks;
+      tasks.reserve(wave.size());
+      for (const Procedure* p : wave)
+        tasks.push_back([this, p] { analyzer_->procSummary(*p); });
+      pool_->runBatch(std::move(tasks));
+    }
+  }
+
+  // 10. Loop fan-out over dirty procedures only.
+  struct Item {
+    const Stmt* loop = nullptr;
+    const Procedure* proc = nullptr;
+  };
+  std::vector<Item> items;
+  for (const Procedure* proc : sema_.bottomUpOrder)
+    if (!clean.count(proc->name))
+      for (const Stmt* s : collectLoops(*proc)) items.push_back({s, proc});
+
+  LoopParallelizer parallelizer(*analyzer_);
+  std::vector<LoopAnalysis> dirtyLoops(items.size());
+  if (pool_->threadCount() <= 1 || items.size() <= 1) {
+    for (std::size_t k = 0; k < items.size(); ++k)
+      dirtyLoops[k] = parallelizer.analyzeLoop(*items[k].loop, *items[k].proc);
+  } else {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(items.size());
+    for (std::size_t k = 0; k < items.size(); ++k)
+      tasks.push_back([&parallelizer, &dirtyLoops, &items, k] {
+        dirtyLoops[k] = parallelizer.analyzeLoop(*items[k].loop, *items[k].proc);
+      });
+    pool_->runBatch(std::move(tasks));
+  }
+
+  // 11. Rebuild the unit table: dirty units take this epoch, fresh deps
+  // (recorded during SUM_call), and freshly rendered loop reports; clean
+  // units keep everything.
+  std::map<std::string, std::vector<CachedLoop>> dirtyCaches;
+  for (std::size_t k = 0; k < items.size(); ++k) {
+    const LoopAnalysis& la = dirtyLoops[k];
+    CachedLoop cl;
+    cl.line = la.line;
+    cl.classification = la.classification;
+    cl.procName = la.procName;
+    cl.report = formatLoopAnalysis(la);
+    cl.provenance = formatProvenance(la);
+    dirtyCaches[items[k].proc->name].push_back(std::move(cl));
+  }
+  std::map<std::string, std::set<std::string>> deps = analyzer_->callDependencies();
+
+  std::map<std::string, Unit> nextUnits;
+  for (const Procedure& p : program_.procedures) {
+    Unit u;
+    u.fp = fps.at(p.name);
+    if (clean.count(p.name)) {
+      Unit& prevUnit = units_.at(p.name);
+      u.summaryEpoch = prevUnit.summaryEpoch;
+      u.deps = std::move(prevUnit.deps);
+      u.calleeEpochs = std::move(prevUnit.calleeEpochs);
+      u.loops = std::move(prevUnit.loops);
+    } else {
+      u.summaryEpoch = newEpoch;
+      if (auto d = deps.find(p.name); d != deps.end()) u.deps = std::move(d->second);
+      u.loops = std::move(dirtyCaches[p.name]);
+    }
+    nextUnits.emplace(p.name, std::move(u));
+  }
+  // Recomputed units record their callees' post-submit epochs — the validity
+  // key future submits check transitively.
+  for (auto& [name, u] : nextUnits) {
+    (void)name;
+    if (u.summaryEpoch != newEpoch) continue;
+    for (const std::string& dep : u.deps)
+      if (auto du = nextUnits.find(dep); du != nextUnits.end())
+        u.calleeEpochs[dep] = du->second.summaryEpoch;
+  }
+  units_ = std::move(nextUnits);
+  epoch_ = newEpoch;
+  unitsOptionsKey_ = optionsKey_;
+  live_ = true;
+
+  // Assemble the report in the batch drivers' order: procedures bottom-up,
+  // loops in walk order within each.
+  for (const Procedure* proc : sema_.bottomUpOrder) {
+    const Unit& u = units_.at(proc->name);
+    const bool reused = clean.count(proc->name) != 0;
+    for (const CachedLoop& cl : u.loops) {
+      SessionLoopResult r;
+      r.procName = cl.procName;
+      r.line = cl.line;
+      r.classification = cl.classification;
+      r.report = cl.report;
+      r.provenance = cl.provenance;
+      out.loops.push_back(std::move(r));
+      if (reused) ++stats.loopsReused;
+    }
+  }
+  stats.loopsRecomputed = items.size();
+
+  out.ok = true;
+  out.stats = stats;
+  lastStats_ = stats;
+  publishSessionMetrics(stats);
+  if (span.active()) {
+    span.arg("epoch", std::to_string(stats.epoch));
+    span.arg("dirty", std::to_string(stats.dirty));
+    span.arg("reused", std::to_string(stats.summariesReused));
+    span.arg("full", stats.fullInvalidation ? "1" : "0");
+  }
+  return out;
+}
+
+void publishSessionMetrics(const SessionStats& stats) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  reg.counter("session.epoch").set(stats.epoch);
+  reg.counter("session.procedures").set(stats.procedures);
+  reg.counter("session.unchanged").set(stats.unchanged);
+  reg.counter("session.modified").set(stats.modified);
+  reg.counter("session.added").set(stats.added);
+  reg.counter("session.removed").set(stats.removed);
+  reg.counter("session.dirty_cone").set(stats.dirty);
+  reg.counter("session.summaries_reused").set(stats.summariesReused);
+  reg.counter("session.summaries_recomputed").set(stats.summariesRecomputed);
+  reg.counter("session.loops_reused").set(stats.loopsReused);
+  reg.counter("session.loops_recomputed").set(stats.loopsRecomputed);
+  reg.counter("session.full_invalidation").set(stats.fullInvalidation ? 1 : 0);
+}
+
+std::string formatSessionStats(const SessionStats& stats) {
+  std::ostringstream os;
+  os << "session epoch " << stats.epoch << (stats.fullInvalidation ? " (full invalidation)" : "")
+     << ": " << stats.procedures << " procedure(s) -- " << stats.unchanged << " unchanged, "
+     << stats.modified << " modified, " << stats.added << " added, " << stats.removed
+     << " removed\n"
+     << "dirty cone: " << stats.dirty << " procedure(s); summaries " << stats.summariesReused
+     << " reused / " << stats.summariesRecomputed << " recomputed; loop analyses "
+     << stats.loopsReused << " reused / " << stats.loopsRecomputed << " recomputed\n";
+  return os.str();
+}
+
+}  // namespace panorama

@@ -2,6 +2,8 @@
 // mapping — scalar formals substitute to actual expressions, array formals
 // remap (identically shaped, or 1-D with an element-offset actual), COMMON
 // variables pass through unchanged.
+#include <mutex>
+
 #include "panorama/summary/summary.h"
 
 namespace panorama {
@@ -58,6 +60,13 @@ SummaryAnalyzer::NodeSets SummaryAnalyzer::sumCall(const HsgNode& n, const ProcS
     degradeAll();
     out.de = out.ue;
     return out;
+  }
+
+  // The caller's summary is about to fold in the callee's: record the
+  // dependency edge the incremental session keys invalidation on.
+  if (sym.proc) {
+    std::unique_lock<std::shared_mutex> lock(depsMutex_);
+    callDeps_[sym.proc->name].insert(callee->name);
   }
 
   const ProcSummary& cs = procSummary(*callee);

@@ -198,7 +198,7 @@ void SummaryAnalyzer::collectAssignedScalars(const std::vector<const Stmt*>& stm
 const std::vector<VarId>& SummaryAnalyzer::scalarsModifiedBy(const Procedure& proc) {
   {
     std::shared_lock<std::shared_mutex> lock(scalarCacheMutex_);
-    auto it = modifiedScalarCache_.find(proc.name);
+    auto it = modifiedScalarCache_.find(&proc);
     if (it != modifiedScalarCache_.end()) return it->second;
   }
   // Compute unlocked (sema rejects recursion, so the transitive callee
@@ -219,7 +219,7 @@ const std::vector<VarId>& SummaryAnalyzer::scalarsModifiedBy(const Procedure& pr
     if (isFormal || !isLocal) escaping.push_back(v);
   }
   std::unique_lock<std::shared_mutex> lock(scalarCacheMutex_);
-  return modifiedScalarCache_.emplace(proc.name, std::move(escaping)).first->second;
+  return modifiedScalarCache_.emplace(&proc, std::move(escaping)).first->second;
 }
 
 // ---------------------------------------------------------------------------
@@ -360,7 +360,7 @@ void SummaryAnalyzer::sumSegment(const HsgGraph& g, const ProcSymbols& sym, GarL
 const ProcSummary& SummaryAnalyzer::procSummary(const Procedure& proc) {
   {
     std::shared_lock<std::shared_mutex> lock(procMutex_);
-    auto it = procSummaries_.find(proc.name);
+    auto it = procSummaries_.find(&proc);
     if (it != procSummaries_.end()) return it->second;
   }
   // Compute unlocked. The parallel driver's wave schedule guarantees every
@@ -408,7 +408,59 @@ const ProcSummary& SummaryAnalyzer::procSummary(const Procedure& proc) {
   summary.modifiedScalars = scalarsModifiedBy(proc);
 
   std::unique_lock<std::shared_mutex> lock(procMutex_);
-  return procSummaries_.emplace(proc.name, std::move(summary)).first->second;
+  return procSummaries_.emplace(&proc, std::move(summary)).first->second;
+}
+
+SummaryAnalyzer::ProcSnapshot SummaryAnalyzer::snapshotProcedure(const Procedure& proc) const {
+  ProcSnapshot snap;
+  {
+    std::shared_lock<std::shared_mutex> lock(procMutex_);
+    auto it = procSummaries_.find(&proc);
+    if (it != procSummaries_.end()) {
+      snap.summary = it->second;
+      snap.hasSummary = true;
+    }
+  }
+  {
+    std::shared_lock<std::shared_mutex> lock(scalarCacheMutex_);
+    auto it = modifiedScalarCache_.find(&proc);
+    if (it != modifiedScalarCache_.end()) {
+      snap.modifiedScalars = it->second;
+      snap.hasScalars = true;
+    }
+  }
+  std::shared_lock<std::shared_mutex> lock(loopMutex_);
+  std::function<void(const std::vector<StmtPtr>&)> walk = [&](const std::vector<StmtPtr>& b) {
+    for (const StmtPtr& s : b) {
+      if (s->kind == Stmt::Kind::Do) {
+        auto it = loopSummaries_.find(s.get());
+        if (it != loopSummaries_.end()) snap.loops.emplace_back(s.get(), it->second);
+      }
+      walk(s->thenBody);
+      walk(s->elseBody);
+      walk(s->body);
+    }
+  };
+  walk(proc.body);
+  return snap;
+}
+
+void SummaryAnalyzer::seedProcedure(const Procedure& proc, ProcSnapshot snapshot) {
+  if (snapshot.hasSummary) {
+    std::unique_lock<std::shared_mutex> lock(procMutex_);
+    procSummaries_.insert_or_assign(&proc, std::move(snapshot.summary));
+  }
+  if (snapshot.hasScalars) {
+    std::unique_lock<std::shared_mutex> lock(scalarCacheMutex_);
+    modifiedScalarCache_.insert_or_assign(&proc, std::move(snapshot.modifiedScalars));
+  }
+  std::unique_lock<std::shared_mutex> lock(loopMutex_);
+  for (auto& [stmt, ls] : snapshot.loops) loopSummaries_.insert_or_assign(stmt, std::move(ls));
+}
+
+std::map<std::string, std::set<std::string>> SummaryAnalyzer::callDependencies() const {
+  std::shared_lock<std::shared_mutex> lock(depsMutex_);
+  return callDeps_;
 }
 
 SummaryAnalyzer::NodeSets SummaryAnalyzer::sumCondensed(const HsgNode& node, const ProcSymbols& sym) {

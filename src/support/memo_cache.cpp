@@ -26,12 +26,13 @@ std::size_t QueryCache::capacity() const {
 
 std::optional<Truth> QueryCache::lookup(Tag tag, const std::vector<std::uint64_t>& words) {
   if (!enabled()) return std::nullopt;
+  const std::uint64_t now = epoch();
   Key key{static_cast<std::uint64_t>(tag), words};
   Shard& shard = shardFor(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
-  if (auto it = shard.map.find(key); it != shard.map.end()) {
+  if (auto it = shard.map.find(key); it != shard.map.end() && it->second.epoch == now) {
     ++shard.hits;
-    return it->second;
+    return it->second.verdict;
   }
   ++shard.misses;
   return std::nullopt;
@@ -41,17 +42,23 @@ void QueryCache::store(Tag tag, std::vector<std::uint64_t> words, Truth verdict)
   const std::size_t cap = capacity();
   if (cap == 0) return;
   const std::size_t perShard = cap / kShards > 0 ? cap / kShards : 1;
+  const std::uint64_t now = epoch();
   Key key{static_cast<std::uint64_t>(tag), std::move(words)};
   Shard& shard = shardFor(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
-  if (shard.map.contains(key)) return;  // raced with another thread: same verdict
+  if (auto it = shard.map.find(key); it != shard.map.end()) {
+    // Current-epoch twin: a racing thread stored the same verdict. Stale
+    // entry: refresh in place (the key already sits in the FIFO deque).
+    it->second = Entry{verdict, now};
+    return;
+  }
   while (shard.map.size() >= perShard && !shard.order.empty()) {
     shard.map.erase(shard.order.front());
     shard.order.pop_front();
     ++shard.evictions;
   }
   shard.order.push_back(key);
-  shard.map.emplace(std::move(key), verdict);
+  shard.map.emplace(std::move(key), Entry{verdict, now});
 }
 
 QueryCache::Stats QueryCache::stats() const {

@@ -1,0 +1,264 @@
+// Lifecycle guarantees of the incremental analysis session:
+//   * a warm re-submit after an edit produces reports byte-identical to a
+//     cold analysis of the edited source, at 1 and 4+ threads;
+//   * invalidation is transitive through the summary dependency graph —
+//     editing a leaf re-summarizes the leaf and every transitive caller
+//     while siblings keep their cached summaries and epochs;
+//   * identical resubmission recomputes nothing;
+//   * procedure add/remove dirties only the affected unit;
+//   * an ablation-relevant options change invalidates everything once.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "panorama/obs/metrics.h"
+#include "panorama/session/session.h"
+#include "panorama/support/memo_cache.h"
+
+namespace panorama {
+namespace {
+
+/// Restores the global cache to its default configuration when a test ends,
+/// so test order never matters.
+struct CacheGuard {
+  ~CacheGuard() { QueryCache::global().configure(QueryCache::kDefaultCapacity); }
+};
+
+// A diamond-free call chain main -> top -> mid -> leaf plus a sibling that
+// main calls directly. `leaf` is textually last so edits to it cannot shift
+// any other procedure's line numbers (see the line-number note in
+// session/session.h).
+const char* kBase = R"(
+      program main
+      real a(100)
+      real b(100)
+      do i = 1, 100
+        a(i) = 0.0
+      enddo
+      call sib(b)
+      call top(a)
+      end
+      subroutine sib(s)
+      real s(100)
+      do i = 1, 100
+        s(i) = 1.0
+      enddo
+      end
+      subroutine top(t)
+      real t(100)
+      call mid(t)
+      end
+      subroutine mid(m)
+      real m(100)
+      call leaf(m)
+      end
+      subroutine leaf(x)
+      real x(100)
+      do i = 1, 100
+        x(i) = 2.0
+      enddo
+      end
+)";
+
+// Same program with the leaf's loop body changed.
+const char* kLeafEdited = R"(
+      program main
+      real a(100)
+      real b(100)
+      do i = 1, 100
+        a(i) = 0.0
+      enddo
+      call sib(b)
+      call top(a)
+      end
+      subroutine sib(s)
+      real s(100)
+      do i = 1, 100
+        s(i) = 1.0
+      enddo
+      end
+      subroutine top(t)
+      real t(100)
+      call mid(t)
+      end
+      subroutine mid(m)
+      real m(100)
+      call leaf(m)
+      end
+      subroutine leaf(x)
+      real x(100)
+      do i = 1, 100
+        x(i) = 3.0
+      enddo
+      end
+)";
+
+std::string render(const SessionResult& r) {
+  std::ostringstream os;
+  for (const SessionLoopResult& loop : r.loops) {
+    os << loop.procName << " | line " << loop.line << " | " << toString(loop.classification)
+       << '\n'
+       << loop.report << loop.provenance << '\n';
+  }
+  return os.str();
+}
+
+TEST(SessionTest, WarmRunByteIdenticalToColdAcrossThreadCounts) {
+  CacheGuard guard;
+  for (std::size_t threads : {1u, 4u, 8u}) {
+    AnalysisOptions options;
+    options.numThreads = threads;
+
+    AnalysisSession warmSession(options);
+    ASSERT_TRUE(warmSession.submit(kBase).ok) << threads << " threads";
+    SessionResult warm = warmSession.submit(kLeafEdited);
+    ASSERT_TRUE(warm.ok) << threads << " threads";
+    EXPECT_GT(warm.stats.summariesReused, 0u) << threads << " threads";
+
+    AnalysisSession coldSession(options);
+    SessionResult cold = coldSession.submit(kLeafEdited);
+    ASSERT_TRUE(cold.ok) << threads << " threads";
+    EXPECT_TRUE(cold.stats.fullInvalidation);
+
+    ASSERT_EQ(cold.loops.size(), warm.loops.size()) << threads << " threads";
+    EXPECT_EQ(render(cold), render(warm)) << threads << " threads";
+  }
+}
+
+TEST(SessionTest, IdenticalResubmissionRecomputesNothing) {
+  CacheGuard guard;
+  AnalysisSession session;
+  SessionResult first = session.submit(kBase);
+  ASSERT_TRUE(first.ok);
+  EXPECT_TRUE(first.stats.fullInvalidation);
+  EXPECT_EQ(first.stats.added, 5u);
+
+  SessionResult second = session.submit(kBase);
+  ASSERT_TRUE(second.ok);
+  EXPECT_FALSE(second.stats.fullInvalidation);
+  EXPECT_EQ(second.stats.unchanged, 5u);
+  EXPECT_EQ(second.stats.dirty, 0u);
+  EXPECT_EQ(second.stats.summariesReused, 5u);
+  EXPECT_EQ(second.stats.summariesRecomputed, 0u);
+  EXPECT_EQ(second.stats.loopsRecomputed, 0u);
+  EXPECT_EQ(second.stats.loopsReused, second.loops.size());
+  EXPECT_EQ(render(first), render(second));
+  for (const char* name : {"main", "sib", "top", "mid", "leaf"})
+    EXPECT_EQ(session.summaryEpochOf(name), 1u) << name;
+}
+
+TEST(SessionTest, TransitiveInvalidationThroughCallChain) {
+  CacheGuard guard;
+  AnalysisSession session;
+  ASSERT_TRUE(session.submit(kBase).ok);
+
+  SessionResult warm = session.submit(kLeafEdited);
+  ASSERT_TRUE(warm.ok);
+  EXPECT_FALSE(warm.stats.fullInvalidation);
+  EXPECT_EQ(warm.stats.modified, 1u);
+  EXPECT_EQ(warm.stats.unchanged, 4u);
+  // The dirty cone is the edited leaf plus its transitive callers; the
+  // sibling keeps its epoch-1 summary.
+  EXPECT_EQ(warm.stats.dirty, 4u);
+  EXPECT_EQ(warm.stats.summariesReused, 1u);
+  EXPECT_EQ(session.summaryEpochOf("leaf"), 2u);
+  EXPECT_EQ(session.summaryEpochOf("mid"), 2u);
+  EXPECT_EQ(session.summaryEpochOf("top"), 2u);
+  EXPECT_EQ(session.summaryEpochOf("main"), 2u);
+  EXPECT_EQ(session.summaryEpochOf("sib"), 1u);
+
+  // The same accounting is published as session.* metrics.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  EXPECT_EQ(reg.counterValue("session.dirty_cone"), 4u);
+  EXPECT_EQ(reg.counterValue("session.summaries_reused"), 1u);
+  EXPECT_EQ(reg.counterValue("session.modified"), 1u);
+  EXPECT_EQ(reg.counterValue("session.epoch"), 2u);
+}
+
+TEST(SessionTest, ProcedureAddAndRemoveDirtyOnlyTheAffectedUnit) {
+  CacheGuard guard;
+  std::string withExtra = std::string(kBase) +
+                          "      subroutine extra(e)\n"
+                          "      real e(100)\n"
+                          "      do i = 1, 100\n"
+                          "        e(i) = 4.0\n"
+                          "      enddo\n"
+                          "      end\n";
+  AnalysisSession session;
+  ASSERT_TRUE(session.submit(kBase).ok);
+
+  SessionResult added = session.submit(withExtra);
+  ASSERT_TRUE(added.ok);
+  EXPECT_EQ(added.stats.added, 1u);
+  EXPECT_EQ(added.stats.unchanged, 5u);
+  EXPECT_EQ(added.stats.dirty, 1u);
+  EXPECT_EQ(session.summaryEpochOf("extra"), 2u);
+  EXPECT_EQ(session.summaryEpochOf("main"), 1u);
+
+  SessionResult removed = session.submit(kBase);
+  ASSERT_TRUE(removed.ok);
+  EXPECT_EQ(removed.stats.removed, 1u);
+  EXPECT_EQ(removed.stats.unchanged, 5u);
+  EXPECT_EQ(removed.stats.dirty, 0u);
+  EXPECT_EQ(session.summaryEpochOf("extra"), 0u);
+  EXPECT_EQ(session.summaryEpochOf("main"), 1u);
+}
+
+TEST(SessionTest, OptionsChangeInvalidatesEverythingOnce) {
+  CacheGuard guard;
+  AnalysisSession session;
+  ASSERT_TRUE(session.submit(kBase).ok);
+
+  AnalysisOptions quantified = session.options();
+  quantified.quantified = true;
+  session.setOptions(quantified);
+  SessionResult invalidated = session.submit(kBase);
+  ASSERT_TRUE(invalidated.ok);
+  EXPECT_TRUE(invalidated.stats.fullInvalidation);
+  EXPECT_EQ(invalidated.stats.dirty, 5u);
+  EXPECT_EQ(invalidated.stats.summariesReused, 0u);
+  for (const char* name : {"main", "sib", "top", "mid", "leaf"})
+    EXPECT_EQ(session.summaryEpochOf(name), 2u) << name;
+
+  // The new options are now the steady state: resubmitting reuses again.
+  SessionResult steady = session.submit(kBase);
+  ASSERT_TRUE(steady.ok);
+  EXPECT_FALSE(steady.stats.fullInvalidation);
+  EXPECT_EQ(steady.stats.dirty, 0u);
+}
+
+TEST(SessionTest, ThreadCountChangeDoesNotInvalidate) {
+  CacheGuard guard;
+  AnalysisSession session;
+  ASSERT_TRUE(session.submit(kBase).ok);
+  AnalysisOptions moreThreads = session.options();
+  moreThreads.numThreads = 4;
+  session.setOptions(moreThreads);
+  SessionResult warm = session.submit(kBase);
+  ASSERT_TRUE(warm.ok);
+  EXPECT_FALSE(warm.stats.fullInvalidation);
+  EXPECT_EQ(warm.stats.dirty, 0u);
+}
+
+TEST(SessionTest, FailedSubmitLeavesSessionIntact) {
+  CacheGuard guard;
+  AnalysisSession session;
+  ASSERT_TRUE(session.submit(kBase).ok);
+  EXPECT_EQ(session.epoch(), 1u);
+
+  SessionResult bad = session.submit("      program main\n      call nosuch(\n      end\n");
+  EXPECT_FALSE(bad.ok);
+  EXPECT_FALSE(bad.error.empty());
+  EXPECT_EQ(session.epoch(), 1u);
+
+  // The session still re-analyzes incrementally from the surviving state.
+  SessionResult warm = session.submit(kLeafEdited);
+  ASSERT_TRUE(warm.ok);
+  EXPECT_FALSE(warm.stats.fullInvalidation);
+  EXPECT_EQ(warm.stats.dirty, 4u);
+  EXPECT_EQ(warm.stats.summariesReused, 1u);
+}
+
+}  // namespace
+}  // namespace panorama
