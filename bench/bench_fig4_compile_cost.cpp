@@ -8,6 +8,7 @@
 #include <map>
 
 #include "bench_util.h"
+#include "harness.h"
 
 using namespace panorama;
 using namespace panorama::bench;
@@ -22,9 +23,7 @@ struct Cost {
   std::size_t peakList = 0;
 };
 
-}  // namespace
-
-int main() {
+BenchResult run() {
   std::printf("Figure 4 (analysis cost) — per benchmark program\n");
   std::printf("parser-only vs +conventional dependence tests vs full GAR dataflow analysis\n\n");
   std::printf("%-8s | parse ms | +conv ms | full ms | full/parse | GARs | peak list\n",
@@ -34,6 +33,10 @@ int main() {
   std::map<std::string, std::vector<const CorpusLoop*>> byProgram;
   for (const CorpusLoop& cl : perfectCorpus()) byProgram[cl.program].push_back(&cl);
 
+  BenchResult result;
+  result.addConfig("corpus", "perfect (Table 1/2 kernels)");
+  double totalParseMs = 0, totalFullMs = 0;
+  std::size_t totalGars = 0;
   constexpr int kRepeat = 20;  // timings are sub-millisecond: repeat and average
   for (const auto& [name, loops] : byProgram) {
     Cost cost;
@@ -73,7 +76,16 @@ int main() {
     std::printf("%-8s | %8.2f | %8.2f | %7.2f | %9.1fx | %4zu | %8zu\n", name.c_str(),
                 cost.parseMs, cost.conventionalMs, cost.fullMs,
                 cost.parseMs > 0 ? cost.fullMs / cost.parseMs : 0.0, cost.gars, cost.peakList);
+    // Sub-millisecond per-program timings: recorded, never gated.
+    result.add(name + "_full_ms", cost.fullMs, Direction::LowerIsBetter, 3.0, "ms").gated = false;
+    totalParseMs += cost.parseMs;
+    totalFullMs += cost.fullMs;
+    totalGars += cost.gars;
   }
+  result.add("total_parse_ms", totalParseMs, Direction::LowerIsBetter, 3.0, "ms").gated = false;
+  result.add("total_full_ms", totalFullMs, Direction::LowerIsBetter, 3.0, "ms");
+  result.add("total_gars_created", static_cast<double>(totalGars), Direction::Exact);
+
   // ------------------------------------------------------------- scaling
   // The paper's programs have hundreds of loops; show the analysis cost
   // grows linearly in program size on synthesized inputs.
@@ -101,6 +113,8 @@ int main() {
     double ms = secondsSince(t0) * 1000;
     std::printf("%8d | %9.1f | %11.3f   (%zu loops analyzed)\n", routines, ms,
                 ms / routines, loops.size());
+    result.add("scaling_" + std::to_string(routines) + "_ms", ms, Direction::LowerIsBetter, 3.0,
+               "ms").gated = false;
   }
 
   std::printf(
@@ -109,5 +123,9 @@ int main() {
       "full GAR analysis costs milliseconds per kernel; the multiplier over the\n"
       "(very fast) parser is dominated by the symbolic set operations, with\n"
       "ARC2D filerx the most expensive (its Figure 1(b) case-splitting).\n");
-  return 0;
+  return result;
 }
+
+const Registration reg{{"fig4_compile_cost", /*repetitions=*/1, /*warmup=*/0, run}};
+
+}  // namespace

@@ -3,22 +3,28 @@
 // MOD_{<i}, and the empty intersection UE_i ∩ MOD_{<i} that proves
 // privatizability.
 #include "bench_util.h"
+#include "harness.h"
 
 using namespace panorama;
 using namespace panorama::bench;
 
-int main() {
+namespace {
+
+BenchResult run() {
+  BenchResult result;
+  result.addConfig("kernel", "Figure 1(b) filer");
+
   std::printf("Figure 5: privatizing array A in the Figure 1(b) example\n\n");
   DiagnosticEngine diags;
   auto p = parseProgram(fig1bSource(), diags);
   if (!p) {
-    std::fprintf(stderr, "parse failed:\n%s", diags.str().c_str());
-    return 1;
+    result.fail("parse failed:\n" + diags.str());
+    return result;
   }
   auto sema = analyze(*p, diags);
   if (!sema) {
-    std::fprintf(stderr, "sema failed:\n%s", diags.str().c_str());
-    return 1;
+    result.fail("sema failed:\n" + diags.str());
+    return result;
   }
   Hsg hsg = buildHsg(*p, *sema, diags);
 
@@ -33,8 +39,8 @@ int main() {
   const Stmt* loop = findOuterLoop(*p, "filer", 0);
   const LoopSummary* ls = analyzer.loopSummary(loop);
   if (!ls) {
-    std::fprintf(stderr, "no loop summary\n");
-    return 1;
+    result.fail("no loop summary for the filer I loop");
+    return result;
   }
 
   const SymbolTable& tab = sema->symbols;
@@ -59,5 +65,12 @@ int main() {
   LoopAnalysis la = lp.analyzeLoop(*loop, *filer);
   std::printf("\n-- verdict --------------------------------------------------------\n%s\n",
               formatLoopAnalysis(la).c_str());
-  return empty == Truth::True ? 0 : 1;
+
+  result.add("a_privatizable", empty == Truth::True ? 1 : 0, Direction::Exact);
+  if (empty != Truth::True) result.fail("UE_i ∩ MOD_<i not provably empty");
+  return result;
 }
+
+const Registration reg{{"fig5_trace", /*repetitions=*/1, /*warmup=*/0, run}};
+
+}  // namespace

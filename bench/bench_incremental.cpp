@@ -1,6 +1,5 @@
 // The incremental-session bench: cold analysis of the whole Perfect corpus
-// versus a warm re-analysis after a single-procedure edit, emitted as JSON
-// (to stdout and, when a path is given as argv[1], to that file).
+// versus a warm re-analysis after a single-procedure edit.
 //
 // Setup: one persistent AnalysisSession per corpus kernel. The cold phase
 // submits every kernel's source; the warm phase re-submits every source
@@ -10,10 +9,12 @@
 // kernel's dirty cone is served from the session caches, so warm wall time
 // collapses to roughly the edited cone's share of the corpus.
 //
-// Contracts checked here (and by the CI smoke run):
+// Contracts checked here (the bench fails, and CI with it, when violated):
 //   * warm reports are byte-identical to a cold analysis of the edited
-//     sources (exit 2 otherwise);
-//   * warm wall time does not exceed cold wall time (exit 3 otherwise).
+//     sources;
+//   * warm wall time does not exceed cold wall time;
+//   * reuse counters are exact — a change in the dirty-cone size is a
+//     behavior change, not noise.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -21,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "harness.h"
 #include "panorama/corpus/corpus.h"
 #include "panorama/session/session.h"
 
@@ -53,6 +55,8 @@ std::string fingerprintOf(const std::vector<SessionResult>& results) {
 }
 
 struct RunResult {
+  bool ok = true;
+  std::string error;
   double coldMs = 0;
   double warmMs = 0;
   std::size_t warmReused = 0;
@@ -73,8 +77,9 @@ RunResult runOnce(const std::vector<std::string>& baseSources,
   for (std::size_t k = 0; k < baseSources.size(); ++k) {
     SessionResult r = sessions[k]->submit(baseSources[k]);
     if (!r.ok) {
-      std::fprintf(stderr, "cold submit %zu failed:\n%s", k, r.error.c_str());
-      std::exit(1);
+      rr.ok = false;
+      rr.error = "cold submit " + std::to_string(k) + " failed:\n" + r.error;
+      return rr;
     }
   }
   rr.coldMs =
@@ -85,8 +90,9 @@ RunResult runOnce(const std::vector<std::string>& baseSources,
   for (std::size_t k = 0; k < warmSources.size(); ++k) {
     warm[k] = sessions[k]->submit(warmSources[k]);
     if (!warm[k].ok) {
-      std::fprintf(stderr, "warm submit %zu failed:\n%s", k, warm[k].error.c_str());
-      std::exit(1);
+      rr.ok = false;
+      rr.error = "warm submit " + std::to_string(k) + " failed:\n" + warm[k].error;
+      return rr;
     }
   }
   rr.warmMs =
@@ -101,26 +107,9 @@ RunResult runOnce(const std::vector<std::string>& baseSources,
   return rr;
 }
 
-void emit(FILE* f, const std::string& editedKernel, const RunResult& best, bool identical) {
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"bench\": \"incremental\",\n");
-  std::fprintf(f, "  \"corpus\": \"perfect (Table 1/2 kernels)\",\n");
-  std::fprintf(f, "  \"edited_kernel\": \"%s\",\n", editedKernel.c_str());
-  std::fprintf(f, "  \"edit\": \"CONTINUE inserted into the kernel's last procedure\",\n");
-  std::fprintf(f, "  \"cold_wall_ms\": %.3f,\n", best.coldMs);
-  std::fprintf(f, "  \"warm_wall_ms\": %.3f,\n", best.warmMs);
-  std::fprintf(f, "  \"warm_speedup\": %.2f,\n", best.coldMs / best.warmMs);
-  std::fprintf(f, "  \"warm_summaries_reused\": %zu,\n", best.warmReused);
-  std::fprintf(f, "  \"warm_summaries_recomputed\": %zu,\n", best.warmRecomputed);
-  std::fprintf(f, "  \"warm_dirty_cone\": %zu,\n", best.warmDirty);
-  std::fprintf(f, "  \"warm_identical_to_cold\": %s\n", identical ? "true" : "false");
-  std::fprintf(f, "}\n");
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
+bench::BenchResult run() {
   constexpr int kRepeats = 5;
+  bench::BenchResult result;
 
   std::vector<std::string> baseSources;
   std::vector<std::string> warmSources;
@@ -133,8 +122,8 @@ int main(int argc, char** argv) {
       warmSources.push_back(editLastProcedure(corpus[k].source));
       editedKernel = corpus[k].id;
       if (warmSources.back() == baseSources.back()) {
-        std::fprintf(stderr, "edit had no effect on kernel %s\n", editedKernel.c_str());
-        return 1;
+        result.fail("edit had no effect on kernel " + editedKernel);
+        return result;
       }
     } else {
       warmSources.push_back(corpus[k].source);
@@ -149,8 +138,8 @@ int main(int argc, char** argv) {
       AnalysisSession session;
       ref[k] = session.submit(warmSources[k]);
       if (!ref[k].ok) {
-        std::fprintf(stderr, "reference submit %zu failed:\n%s", k, ref[k].error.c_str());
-        return 1;
+        result.fail("reference submit " + std::to_string(k) + " failed:\n" + ref[k].error);
+        return result;
       }
     }
     coldEditedFingerprint = fingerprintOf(ref);
@@ -162,6 +151,10 @@ int main(int argc, char** argv) {
   bool identical = true;
   for (int r = 0; r < kRepeats; ++r) {
     RunResult rr = runOnce(baseSources, warmSources);
+    if (!rr.ok) {
+      result.fail(rr.error);
+      return result;
+    }
     identical = identical && rr.warmFingerprint == coldEditedFingerprint;
     if (rr.warmMs < best.warmMs) {
       double coldMs = std::min(best.coldMs, rr.coldMs);
@@ -172,17 +165,31 @@ int main(int argc, char** argv) {
     }
   }
 
-  emit(stdout, editedKernel, best, identical);
-  if (argc > 1) {
-    if (FILE* f = std::fopen(argv[1], "w")) {
-      emit(f, editedKernel, best, identical);
-      std::fclose(f);
-    } else {
-      std::fprintf(stderr, "cannot write %s\n", argv[1]);
-      return 1;
-    }
-  }
-  if (!identical) return 2;
-  if (best.warmMs > best.coldMs) return 3;
-  return 0;
+  std::printf("incremental sessions — perfect corpus, one edited kernel (%s)\n",
+              editedKernel.c_str());
+  std::printf("cold wall:   %.3f ms\n", best.coldMs);
+  std::printf("warm wall:   %.3f ms  (%.2fx)\n", best.warmMs, best.coldMs / best.warmMs);
+  std::printf("warm reuse:  %zu summaries reused, %zu recomputed, dirty cone %zu\n",
+              best.warmReused, best.warmRecomputed, best.warmDirty);
+  std::printf("warm identical to cold-of-edited: %s\n", identical ? "yes" : "NO");
+
+  result.addConfig("corpus", "perfect (Table 1/2 kernels)");
+  result.addConfig("edited_kernel", editedKernel);
+  result.addConfig("edit", "CONTINUE inserted into the kernel's last procedure");
+  result.add("cold_wall_ms", best.coldMs, bench::Direction::LowerIsBetter, 3.0, "ms");
+  result.add("warm_wall_ms", best.warmMs, bench::Direction::LowerIsBetter, 3.0, "ms");
+  result.add("warm_speedup", best.coldMs / best.warmMs, bench::Direction::HigherIsBetter, 1.0, "x")
+      .gated = false;
+  result.add("warm_summaries_reused", static_cast<double>(best.warmReused),
+             bench::Direction::Exact);
+  result.add("warm_summaries_recomputed", static_cast<double>(best.warmRecomputed),
+             bench::Direction::Exact);
+  result.add("warm_dirty_cone", static_cast<double>(best.warmDirty), bench::Direction::Exact);
+  if (!identical) result.fail("warm reports diverge from a cold analysis of the edited sources");
+  if (best.warmMs > best.coldMs) result.fail("warm re-analysis slower than cold analysis");
+  return result;
 }
+
+const bench::Registration reg{{"incremental", /*repetitions=*/1, /*warmup=*/0, run}};
+
+}  // namespace

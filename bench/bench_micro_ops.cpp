@@ -2,8 +2,15 @@
 // supporting Figure 4's practicality claim with per-operation costs:
 // symbolic arithmetic, predicate simplification and implication, range and
 // region set operations, GAR difference, and the expansion function.
+//
+// Registered with the unified harness: run() drives google-benchmark
+// programmatically (forwarding any --benchmark_* flags the entry point
+// collected) and records each BM_* real time as an *ungated* metric —
+// sub-microsecond timings drown in shared-runner noise, so they go into the
+// snapshot history but never trip the regression gate.
 #include <benchmark/benchmark.h>
 
+#include "harness.h"
 #include "panorama/region/gar.h"
 
 namespace panorama {
@@ -184,7 +191,39 @@ void BM_IntersectionEmptinessProof(benchmark::State& state) {
 }
 BENCHMARK(BM_IntersectionEmptinessProof);
 
+/// ConsoleReporter that also captures each run's name and adjusted real
+/// time, so the harness can record them as metrics.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  std::vector<std::pair<std::string, double>> runs;
+
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& r : report)
+      if (!r.error_occurred) runs.emplace_back(r.benchmark_name(), r.GetAdjustedRealTime());
+    ConsoleReporter::ReportRuns(report);
+  }
+};
+
+bench::BenchResult run() {
+  std::vector<std::string> args;
+  args.push_back("bench_micro_ops");
+  for (const std::string& a : bench::extraArgs()) args.push_back(a);
+  std::vector<char*> argv;
+  for (std::string& a : args) argv.push_back(a.data());
+  int argc = static_cast<int>(argv.size());
+  benchmark::Initialize(&argc, argv.data());
+
+  CaptureReporter reporter;
+  std::size_t ran = benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  bench::BenchResult result;
+  for (const auto& [name, ns] : reporter.runs)
+    result.add(name + "_ns", ns, bench::Direction::LowerIsBetter, 3.0, "ns").gated = false;
+  if (ran == 0) result.fail("google-benchmark ran no benchmarks");
+  return result;
+}
+
+const bench::Registration reg{{"micro_ops", /*repetitions=*/1, /*warmup=*/0, run}};
+
 }  // namespace
 }  // namespace panorama
-
-BENCHMARK_MAIN();

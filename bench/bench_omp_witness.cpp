@@ -11,6 +11,8 @@
 #include <omp.h>
 #endif
 
+#include "harness.h"
+
 namespace {
 
 constexpr int kNrs = 256;
@@ -56,14 +58,17 @@ double seconds(void (*fn)(std::vector<double>&), std::vector<double>& x) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 }
 
-}  // namespace
-
-int main() {
+panorama::bench::BenchResult run() {
+  using panorama::bench::Direction;
   std::printf("OpenMP privatization witness — TRFD olda/100 shape (%d x %d)\n", kNrs, kMrs);
+  panorama::bench::BenchResult result;
+  result.addConfig("kernel", "TRFD olda/100 shape");
 #ifdef _OPENMP
   std::printf("OpenMP enabled, max threads = %d\n", omp_get_max_threads());
+  result.addConfig("openmp", "enabled");
 #else
   std::printf("OpenMP not available: the 'parallel' version runs serially\n");
+  result.addConfig("openmp", "unavailable");
 #endif
 
   std::vector<double> serial = freshInput();
@@ -75,5 +80,14 @@ int main() {
   std::printf("serial:               %8.3f ms\n", ts * 1000);
   std::printf("privatized parallel:  %8.3f ms\n", tp * 1000);
   std::printf("results identical:    %s\n", equal ? "yes" : "NO — privatization unsound!");
-  return equal ? 0 : 1;
+
+  // Millisecond kernels on a shared runner: recorded, never gated.
+  result.add("serial_ms", ts * 1000, Direction::LowerIsBetter, 3.0, "ms").gated = false;
+  result.add("parallel_ms", tp * 1000, Direction::LowerIsBetter, 3.0, "ms").gated = false;
+  if (!equal) result.fail("privatized parallel run diverged from serial — unsound");
+  return result;
 }
+
+const panorama::bench::Registration reg{{"omp_witness", /*repetitions=*/1, /*warmup=*/0, run}};
+
+}  // namespace

@@ -5,17 +5,26 @@
 // scrambled-order privatized run is checked against the serial run as a
 // semantic witness.
 #include "bench_util.h"
+#include "harness.h"
 
 using namespace panorama;
 using namespace panorama::bench;
 
-int main() {
+namespace {
+
+BenchResult run() {
   std::printf("Table 1 (loop speedups) — Alliant FX/8 measurements vs simulated 8-CPU model\n");
   std::printf("(absolute numbers are not comparable; who speeds up, and roughly how much, is)\n\n");
   std::printf("%-18s | %%seq | paper | simulated | iterations | witness\n", "loop");
   std::printf("-------------------+------+-------+-----------+------------+--------\n");
 
+  BenchResult result;
+  result.addConfig("corpus", "perfect (Table 1/2 kernels)");
+  result.addConfig("machine", "simulated 8-CPU model (FX/8 substitution)");
   bool allOk = true;
+  int witnessed = 0;
+  int loops = 0;
+  double speedupSum = 0;
   for (const CorpusLoop& cl : perfectCorpus()) {
     LoadedKernel k = loadAndAnalyze(cl, {});
     if (!k.ok) {
@@ -67,11 +76,26 @@ int main() {
       }
     }
     allOk = allOk && witness;
+    witnessed += witness;
+    ++loops;
+    speedupSum += est.speedup;
 
     std::printf("%-18s | %4.0f%% |  %4.1f |   %6.1f  |   %6zu   | %s\n", cl.id.c_str(),
                 cl.paperSeqPercent, cl.paperSpeedup, est.speedup,
                 interp.trace().iterOps.size(), witness ? "ok" : "FAILED");
   }
   std::printf("\nwitness = privatized scrambled-order execution matches serial memory\n");
-  return allOk ? 0 : 1;
+
+  result.add("loops", loops, Direction::Exact);
+  result.add("witnessed_loops", witnessed, Direction::Exact);
+  // The machine model is deterministic, so the mean simulated speedup is
+  // exact too — a change means the model or the analysis moved.
+  result.add("mean_simulated_speedup", loops ? speedupSum / loops : 0.0, Direction::Exact, 0.0,
+             "x");
+  if (!allOk) result.fail("a privatized scrambled-order run diverged from serial memory");
+  return result;
 }
+
+const Registration reg{{"table1_speedup", /*repetitions=*/1, /*warmup=*/0, run}};
+
+}  // namespace

@@ -4,11 +4,14 @@
 // A technique is required iff disabling it loses at least one of the
 // Table 2 "yes" arrays.
 #include "bench_util.h"
+#include "harness.h"
 
 using namespace panorama;
 using namespace panorama::bench;
 
-int main() {
+namespace {
+
+BenchResult run() {
   std::printf("Table 1 (technique requirements) — paper vs this reproduction\n");
   std::printf("T1: symbolic analysis, T2: IF-condition analysis, T3: interprocedural analysis\n\n");
   std::printf("%-18s | paper T1 T2 T3 | ours T1 T2 T3 | match\n", "loop");
@@ -40,5 +43,15 @@ int main() {
                 same ? "yes" : "NO");
   }
   std::printf("\n%d / %d loops match the paper's technique matrix\n", matches, total);
-  return matches == total ? 0 : 1;
+
+  BenchResult result;
+  result.addConfig("corpus", "perfect (Table 1/2 kernels)");
+  result.add("matching_loops", matches, Direction::Exact);
+  result.add("total_loops", total, Direction::Exact);
+  if (matches != total) result.fail("technique matrix diverges from Table 1");
+  return result;
 }
+
+const Registration reg{{"table1_techniques", /*repetitions=*/1, /*warmup=*/0, run}};
+
+}  // namespace

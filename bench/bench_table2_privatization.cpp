@@ -4,17 +4,21 @@
 // extension). Also reruns with the quantified extension enabled to show the
 // future-work column resolved.
 #include "bench_util.h"
+#include "harness.h"
 
 using namespace panorama;
 using namespace panorama::bench;
 
-int main() {
+namespace {
+
+BenchResult run() {
   std::printf("Table 2 (privatization status) — paper vs this reproduction\n\n");
   std::printf("%-18s %-10s | paper | base analysis | +quantified ext\n", "loop", "array");
   std::printf("------------------------------+-------+---------------+----------------\n");
 
   int agree = 0;
   int total = 0;
+  int extYes = 0;
   for (const CorpusLoop& cl : perfectCorpus()) {
     LoadedKernel base = loadAndAnalyze(cl, {});
     AnalysisOptions quantOpt;
@@ -26,6 +30,7 @@ int main() {
       bool ext = quant.ok && arrayPrivatizable(quant.loop, name);
       bool same = ours == paperYes;
       agree += same;
+      extYes += ext;
       ++total;
       std::printf("%-18s %-10s |  %-4s |      %-8s |      %s\n", cl.id.c_str(), name.c_str(),
                   paperYes ? "yes" : "no", ours ? "yes" : "NO", ext ? "yes" : "no");
@@ -34,5 +39,16 @@ int main() {
     for (const std::string& name : cl.notPrivatizable) row(name, false);
   }
   std::printf("\n%d / %d array statuses match Table 2\n", agree, total);
-  return agree == total ? 0 : 1;
+
+  BenchResult result;
+  result.addConfig("corpus", "perfect (Table 1/2 kernels)");
+  result.add("matching_statuses", agree, Direction::Exact);
+  result.add("total_statuses", total, Direction::Exact);
+  result.add("quantified_ext_privatized", extYes, Direction::Exact);
+  if (agree != total) result.fail("privatization statuses diverge from Table 2");
+  return result;
 }
+
+const Registration reg{{"table2_privatization", /*repetitions=*/1, /*warmup=*/0, run}};
+
+}  // namespace

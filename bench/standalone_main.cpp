@@ -1,0 +1,6 @@
+// main() for the per-bench standalone binaries: each bench_<name> target
+// compiles its bench TU (whose file-scope Registration populates the
+// registry) plus this file.
+#include "harness.h"
+
+int main(int argc, char** argv) { return panorama::bench::standaloneMain(argc, argv); }

@@ -1,0 +1,84 @@
+# CLI contract of panorama_driver's observability flags, run as a ctest:
+#   * an unwritable --trace/--metrics/--profile path fails the run with a
+#     clear diagnostic and a non-zero exit (a silent partial run is worse
+#     than no run);
+#   * a good run writes all three artifacts, and the profile is the §4.5
+#     cost-profile schema;
+#   * --annotate no longer drops the artifacts on the early-return path.
+# Invoked with -DDRIVER=<path> -DWORKDIR=<scratch dir>.
+
+file(MAKE_DIRECTORY "${WORKDIR}")
+set(BAD "${WORKDIR}/no-such-dir/out.json")
+
+function(expect_failure flag diagnostic)
+  execute_process(
+    COMMAND "${DRIVER}" --corpus-run "${flag}=${BAD}"
+    RESULT_VARIABLE code
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(code EQUAL 0)
+    message(FATAL_ERROR "${flag}=${BAD} exited 0; expected a failure")
+  endif()
+  if(NOT err MATCHES "${diagnostic}")
+    message(FATAL_ERROR "${flag} failure lacks diagnostic '${diagnostic}': ${err}")
+  endif()
+endfunction()
+
+expect_failure(--trace "cannot write trace file")
+expect_failure(--metrics "cannot write metrics file")
+expect_failure(--profile "cannot write profile file")
+
+# The happy path: one corpus run, all three artifacts.
+execute_process(
+  COMMAND "${DRIVER}" --corpus-run
+          --trace=${WORKDIR}/trace.json
+          --metrics=${WORKDIR}/metrics.json
+          --profile=${WORKDIR}/profile.json
+  RESULT_VARIABLE code
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "corpus run with artifacts failed (${code}): ${err}")
+endif()
+foreach(artifact trace.json metrics.json profile.json)
+  if(NOT EXISTS "${WORKDIR}/${artifact}")
+    message(FATAL_ERROR "corpus run did not write ${artifact}")
+  endif()
+endforeach()
+file(READ "${WORKDIR}/profile.json" profile)
+if(NOT profile MATCHES "\"schema_version\": 1")
+  message(FATAL_ERROR "profile.json is not the cost-profile schema: ${profile}")
+endif()
+if(NOT profile MATCHES "\"top_queries\"")
+  message(FATAL_ERROR "profile.json lacks the top_queries section")
+endif()
+
+# --annotate used to return before the artifact writes; it must both fail on
+# a bad path and write on a good one.
+file(WRITE "${WORKDIR}/tiny.f"
+"      program main
+      real a(10)
+      do i = 1, 10
+        a(i) = 0.0
+      enddo
+      end
+")
+execute_process(
+  COMMAND "${DRIVER}" --annotate "--trace=${BAD}" "${WORKDIR}/tiny.f"
+  RESULT_VARIABLE code
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(code EQUAL 0)
+  message(FATAL_ERROR "--annotate with unwritable --trace exited 0")
+endif()
+execute_process(
+  COMMAND "${DRIVER}" --annotate "--trace=${WORKDIR}/annotate-trace.json" "${WORKDIR}/tiny.f"
+  RESULT_VARIABLE code
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "--annotate with writable --trace failed (${code}): ${err}")
+endif()
+if(NOT EXISTS "${WORKDIR}/annotate-trace.json")
+  message(FATAL_ERROR "--annotate dropped the --trace artifact")
+endif()

@@ -16,6 +16,7 @@
 //          --threads=N --cache-capacity=N --no-cache --stats
 //   observability: --trace=FILE  (Chrome trace-event JSON, chrome://tracing)
 //                  --metrics=FILE (unified metrics-registry JSON dump)
+//                  --profile=FILE (hierarchical cost profile, DESIGN.md §4.5)
 //                  --explain     (per-loop decision provenance)
 #include <charconv>
 #include <cstdio>
@@ -30,6 +31,7 @@
 #include "panorama/corpus/corpus.h"
 #include "panorama/frontend/parser.h"
 #include "panorama/obs/metrics.h"
+#include "panorama/obs/profile.h"
 #include "panorama/obs/trace.h"
 #include "panorama/predicate/arena.h"
 #include "panorama/session/session.h"
@@ -57,7 +59,7 @@ int usage() {
                "flags: --no-symbolic --no-if-conditions --no-interprocedural\n"
                "       --quantified --summaries --hsg --annotate\n"
                "       --threads=N (0 = all cores) --cache-capacity=N --no-cache --stats\n"
-               "       --trace=FILE --metrics=FILE --explain\n");
+               "       --trace=FILE --metrics=FILE --profile=FILE --explain\n");
   return 2;
 }
 
@@ -80,8 +82,13 @@ bool parseCountFlag(std::string_view arg, std::string_view prefix, std::size_t& 
 }
 
 /// Writes the requested observability artifacts after a run; reports and
-/// returns false when an output file cannot be written.
-bool writeObsArtifacts(const std::string& tracePath, const std::string& metricsPath) {
+/// returns false when an output file cannot be written. The cost profile is
+/// built from the global tracer's span snapshot with the global cache
+/// counters attached; `sessions` carries per-submit reuse records on
+/// --reanalyze runs.
+bool writeObsArtifacts(const std::string& tracePath, const std::string& metricsPath,
+                       const std::string& profilePath,
+                       const std::vector<obs::SessionReuse>& sessions = {}) {
   if (!tracePath.empty()) {
     if (!obs::Tracer::global().writeChromeTrace(tracePath)) {
       std::fprintf(stderr, "cannot write trace file '%s'\n", tracePath.c_str());
@@ -97,6 +104,26 @@ bool writeObsArtifacts(const std::string& tracePath, const std::string& metricsP
     }
     std::fprintf(stderr, "metrics -> %s\n", metricsPath.c_str());
   }
+  if (!profilePath.empty()) {
+    obs::CostProfile profile = obs::buildCostProfile(obs::Tracer::global().snapshot());
+    const QueryCache::Stats qc = QueryCache::global().stats();
+    const QueryCache::Stats memo = simplifyMemoStats();
+    profile.caches.push_back({"query cache", qc.hits, qc.misses, qc.entries, qc.evictions,
+                              qc.evictedStale, qc.evictedLive});
+    profile.caches.push_back({"simplify memo", memo.hits, memo.misses, memo.entries,
+                              memo.evictions, memo.evictedStale, memo.evictedLive});
+    profile.sessions = sessions;
+    const std::string json = obs::renderCostProfileJson(profile);
+    FILE* f = std::fopen(profilePath.c_str(), "w");
+    bool ok = f != nullptr && std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    if (f) ok = (std::fclose(f) == 0) && ok;
+    if (!ok) {
+      std::fprintf(stderr, "cannot write profile file '%s'\n", profilePath.c_str());
+      return false;
+    }
+    std::fprintf(stderr, "profile: %zu span(s) -> %s\n",
+                 static_cast<std::size_t>(profile.events), profilePath.c_str());
+  }
   return true;
 }
 
@@ -104,7 +131,7 @@ bool writeObsArtifacts(const std::string& tracePath, const std::string& metricsP
 /// per-loop reports (plus provenance under --explain) and the registry-driven
 /// stats block.
 int runWholeCorpus(const AnalysisOptions& options, bool explain, const std::string& tracePath,
-                   const std::string& metricsPath) {
+                   const std::string& metricsPath, const std::string& profilePath) {
   CorpusAnalysisResult result = analyzeCorpusParallel(options);
   for (const CorpusRoutineResult& r : result.loops) {
     std::printf("[%s]\n%s", r.kernelId.c_str(), r.report.c_str());
@@ -112,7 +139,7 @@ int runWholeCorpus(const AnalysisOptions& options, bool explain, const std::stri
     std::printf("\n");
   }
   std::printf("%s", formatCorpusStats(result).c_str());
-  return writeObsArtifacts(tracePath, metricsPath) ? 0 : 1;
+  return writeObsArtifacts(tracePath, metricsPath, profilePath) ? 0 : 1;
 }
 
 /// Publishes the single-file run's stats into the global registry so that
@@ -129,6 +156,8 @@ void publishFileRunMetrics(const SummaryStats& s, const QueryCache::Stats& qc,
   reg.counter("query_cache.misses").set(qc.misses);
   reg.counter("query_cache.entries").set(qc.entries);
   reg.counter("query_cache.evictions").set(qc.evictions);
+  reg.counter("query_cache.evicted_stale").set(qc.evictedStale);
+  reg.counter("query_cache.evicted_live").set(qc.evictedLive);
   reg.counter("simplify_memo.hits").set(memo.hits);
   reg.counter("simplify_memo.misses").set(memo.misses);
   reg.counter("simplify_memo.entries").set(memo.entries);
@@ -148,6 +177,7 @@ int main(int argc, char** argv) {
   bool corpusRun = false;
   std::string tracePath;
   std::string metricsPath;
+  std::string profilePath;
   std::string reanalyzePath;
   std::string source;
   std::string inputName;
@@ -188,6 +218,8 @@ int main(int argc, char** argv) {
       tracePath = std::string(arg.substr(8));
     } else if (arg.rfind("--metrics=", 0) == 0) {
       metricsPath = std::string(arg.substr(10));
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      profilePath = std::string(arg.substr(10));
     } else if (arg == "--corpus-run") {
       corpusRun = true;
     } else if (arg == "--corpus") {
@@ -222,9 +254,10 @@ int main(int argc, char** argv) {
       inputName = arg;
     }
   }
-  if (!tracePath.empty()) obs::Tracer::global().enable();
+  // The cost profile aggregates span buffers, so --profile implies tracing.
+  if (!tracePath.empty() || !profilePath.empty()) obs::Tracer::global().enable();
 
-  if (corpusRun) return runWholeCorpus(options, explain, tracePath, metricsPath);
+  if (corpusRun) return runWholeCorpus(options, explain, tracePath, metricsPath, profilePath);
   if (source.empty()) return usage();
 
   if (!reanalyzePath.empty()) {
@@ -260,7 +293,13 @@ int main(int argc, char** argv) {
     }
     std::printf("%s", formatSessionStats(warm.stats).c_str());
     if (showStats) printArenaStats();
-    return writeObsArtifacts(tracePath, metricsPath) ? 0 : 1;
+    // The profile embeds both submits' reuse records: the cold epoch shows
+    // what a full run costs, the warm epoch attributes every dirty unit to
+    // its invalidation cause.
+    return writeObsArtifacts(tracePath, metricsPath, profilePath,
+                             {sessionReuseFor(cold.stats), sessionReuseFor(warm.stats)})
+               ? 0
+               : 1;
   }
 
   DiagnosticEngine diags;
@@ -296,7 +335,10 @@ int main(int argc, char** argv) {
 
   if (annotateOutput) {
     std::printf("%s", emitParallelSource(*program, loops).c_str());
-    return 0;
+    // --annotate used to return early and silently drop --trace/--metrics
+    // dumps; artifacts (and their failure exit) apply here too.
+    publishFileRunMetrics(analyzer.stats(), QueryCache::global().stats(), simplifyMemoStats());
+    return writeObsArtifacts(tracePath, metricsPath, profilePath) ? 0 : 1;
   }
 
   std::printf("%s: %zu loop(s)\n\n", inputName.c_str(), loops.size());
@@ -336,5 +378,5 @@ int main(int argc, char** argv) {
                             .c_str());
     printArenaStats();
   }
-  return writeObsArtifacts(tracePath, metricsPath) ? 0 : 1;
+  return writeObsArtifacts(tracePath, metricsPath, profilePath) ? 0 : 1;
 }

@@ -1,0 +1,152 @@
+// Cost-attribution profiles (panorama::obs pillar 4).
+//
+// A CostProfile is a post-processing aggregation over the span buffers of
+// obs/trace.h: it folds the flat per-thread event streams back into the
+// nesting structure the RAII spans had at runtime and rolls them up three
+// ways —
+//
+//   * by taxonomy: a phase tree keyed by span category (corpus.run →
+//     summary.wave → summary.proc → ... → query.fm/query.implies), each
+//     node carrying count, total time, self time (total minus the time
+//     attributed to child phases) and the maximum single-span duration;
+//   * by program entity: per-procedure cost (summary construction + loop
+//     analysis + the cold queries issued underneath) and per-loop cost;
+//   * by query: the top-K most expensive cold FM / implication evaluations,
+//     with the rendered expression, the guard context (ProvenanceScope
+//     label) and the verdict the span recorded.
+//
+// Cache-effectiveness lines (query cache, simplify memo) and incremental-
+// session reuse records — including *why* each dirty unit was invalidated —
+// are attached by the caller (the layers that own those counters), so the
+// profile is a pure function of its inputs and this header stays free of
+// analysis-layer dependencies.
+//
+// The aggregation invariant, asserted by tests/profile_test.cpp: for every
+// phase node, selfNs + Σ children.totalNs == totalNs, and (single-threaded)
+// the root phase totals sum to the traced wall time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "panorama/obs/trace.h"
+
+namespace panorama::obs {
+
+/// One node of the phase tree. Children are aggregated by category: every
+/// span whose dynamically enclosing span mapped to this node contributes to
+/// the child node of its own category.
+struct PhaseNode {
+  std::string category;
+  std::uint64_t count = 0;
+  std::int64_t totalNs = 0;
+  std::int64_t selfNs = 0;  ///< totalNs minus Σ children.totalNs (exact)
+  std::int64_t maxNs = 0;   ///< longest single span
+  std::vector<PhaseNode> children;  ///< sorted by totalNs descending
+};
+
+/// Cost attributed to one procedure: its summary.proc spans plus the
+/// analysis.loop / deptest.loop spans whose names carry its prefix.
+struct ProcCost {
+  std::string name;
+  std::uint64_t summarySpans = 0;
+  std::int64_t summaryNs = 0;
+  std::uint64_t loopSpans = 0;
+  std::int64_t loopNs = 0;
+  std::uint64_t coldQueries = 0;  ///< outermost query.* spans underneath
+  std::int64_t coldQueryNs = 0;
+  std::int64_t totalNs() const { return summaryNs + loopNs; }
+};
+
+/// Cost attributed to one loop (an analysis.loop or deptest.loop span).
+struct LoopCost {
+  std::string proc;
+  std::string name;  ///< "DO var"
+  std::uint64_t count = 0;
+  std::int64_t totalNs = 0;
+  std::uint64_t coldQueries = 0;
+  std::int64_t coldQueryNs = 0;
+};
+
+/// One expensive cold query, lifted verbatim from its span.
+struct QueryCost {
+  std::string kind;  ///< "query.fm" or "query.implies"
+  std::string name;
+  std::int64_t durNs = 0;
+  std::uint32_t tid = 0;
+  std::string expr;     ///< rendered expression ("expr" span arg, may be "")
+  std::string context;  ///< guard context ("ctx" span arg, may be "")
+  std::string verdict;  ///< "verdict" span arg
+};
+
+/// One cache's effectiveness counters, attached by the cache's owner.
+struct CacheLine {
+  std::string label;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t evictedStale = 0;
+  std::uint64_t evictedLive = 0;
+  double hitRate() const {
+    const double total = static_cast<double>(hits + misses);
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// Why one session unit was re-analyzed instead of reused.
+struct InvalidationCause {
+  std::string unit;
+  std::string cause;  ///< "fingerprint" | "added" | "callee-epoch" |
+                      ///< "options-change" | "first-submit"
+  std::string detail;
+};
+
+/// One submit's reuse accounting, converted from SessionStats by the
+/// session layer (sessionReuseFor) so obs stays below it.
+struct SessionReuse {
+  std::uint64_t epoch = 0;
+  bool warm = false;  ///< some prior state was reusable
+  bool fullInvalidation = false;
+  std::uint64_t procedures = 0;
+  std::uint64_t unchanged = 0;
+  std::uint64_t modified = 0;
+  std::uint64_t added = 0;
+  std::uint64_t removed = 0;
+  std::uint64_t dirty = 0;
+  std::uint64_t summariesReused = 0;
+  std::uint64_t summariesRecomputed = 0;
+  std::uint64_t loopsReused = 0;
+  std::uint64_t loopsRecomputed = 0;
+  std::vector<InvalidationCause> causes;  ///< one per dirty unit
+};
+
+struct CostProfile {
+  std::int64_t wallNs = 0;  ///< latest span end minus earliest span start
+  std::uint64_t events = 0;
+  std::uint32_t threads = 0;            ///< distinct trace tids
+  std::vector<PhaseNode> phases;        ///< merged roots, totalNs descending
+  std::vector<ProcCost> procedures;     ///< totalNs descending
+  std::vector<LoopCost> loops;          ///< totalNs descending
+  std::vector<QueryCost> topQueries;    ///< durNs descending, K deep
+  std::vector<CacheLine> caches;        ///< attached by the caller
+  std::vector<SessionReuse> sessions;   ///< attached by the caller
+};
+
+struct ProfileOptions {
+  std::size_t topQueries = 10;
+};
+
+/// Folds a span snapshot (Tracer::snapshot() order or any order — events are
+/// re-sorted) into a CostProfile. Caches/sessions start empty.
+CostProfile buildCostProfile(const std::vector<TraceEvent>& events,
+                             const ProfileOptions& options = {});
+
+/// Human-readable multi-section rendering.
+std::string renderCostProfileText(const CostProfile& profile);
+
+/// JSON rendering (schema_version 1; documented in DESIGN.md §4.5).
+std::string renderCostProfileJson(const CostProfile& profile);
+
+}  // namespace panorama::obs

@@ -87,6 +87,11 @@ class ProvenanceScope {
   static void note(const char* source, std::string detail);
   static bool active();
 
+  /// The active scope's label ("" without one) — the guard context cold
+  /// query spans attach so the cost profile can say which test paid for an
+  /// expensive FM/implication evaluation.
+  static std::string currentLabel();
+
  private:
   DecisionTrail* prevTrail_;
   std::string prevLabel_;

@@ -44,9 +44,19 @@
 #include "panorama/analysis/analysis.h"
 #include "panorama/ast/fingerprint.h"
 #include "panorama/hsg/hsg.h"
+#include "panorama/obs/profile.h"
 #include "panorama/support/thread_pool.h"
 
 namespace panorama {
+
+/// Why one unit landed in the dirty cone — the provenance record the cost
+/// profiler renders for warm runs ("which edit cost me this recompute").
+struct UnitInvalidation {
+  std::string unit;
+  std::string cause;  ///< "fingerprint" | "added" | "callee-epoch" |
+                      ///< "options-change" | "first-submit"
+  std::string detail;
+};
 
 /// Per-submit recomputation accounting — the `session.*` metrics source and
 /// the hook the lifecycle tests assert dirty-cone sizes through.
@@ -63,6 +73,8 @@ struct SessionStats {
   std::size_t loopsReused = 0;      ///< loop analyses served from cache
   std::size_t loopsRecomputed = 0;
   bool fullInvalidation = false;    ///< first submit or options change
+  /// One record per dirty unit, in source order.
+  std::vector<UnitInvalidation> invalidations;
 };
 
 /// One analyzed DO loop, with the same formatted report a batch run prints.
@@ -159,5 +171,10 @@ void publishSessionMetrics(const SessionStats& stats);
 
 /// Human-readable stats block for panorama_driver --reanalyze --stats.
 std::string formatSessionStats(const SessionStats& stats);
+
+/// Converts a submit's stats into the obs-layer reuse record a CostProfile
+/// embeds (the profile subsystem sits below the session and cannot name
+/// SessionStats itself).
+obs::SessionReuse sessionReuseFor(const SessionStats& stats);
 
 }  // namespace panorama

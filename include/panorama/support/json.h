@@ -1,0 +1,64 @@
+// A minimal JSON reader for the observability tooling: baseline snapshots
+// (bench/harness), profile/metrics schema checks in tests, and the
+// bench_runner regression gate. Parse-only — every JSON producer in the
+// repo renders by hand so the output format stays auditable.
+//
+// Deliberately small: no comments, no trailing commas, numbers as double
+// (the values we round-trip — wall times, counters — fit a double's 53-bit
+// mantissa), object member order preserved.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace panorama::support {
+
+class JsonValue {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind() const { return kind_; }
+  bool isNull() const { return kind_ == Kind::Null; }
+  bool isBool() const { return kind_ == Kind::Bool; }
+  bool isNumber() const { return kind_ == Kind::Number; }
+  bool isString() const { return kind_ == Kind::String; }
+  bool isArray() const { return kind_ == Kind::Array; }
+  bool isObject() const { return kind_ == Kind::Object; }
+
+  bool asBool() const { return bool_; }
+  double asNumber() const { return number_; }
+  const std::string& asString() const { return string_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const { return members_; }
+
+  /// First member with `key` (objects only), or nullptr.
+  const JsonValue* find(std::string_view key) const;
+
+  /// Parses one JSON document (trailing whitespace allowed, trailing content
+  /// is an error). On failure returns nullopt and sets `error` if given.
+  static std::optional<JsonValue> parse(std::string_view text, std::string* error = nullptr);
+
+  static JsonValue makeNull() { return JsonValue{}; }
+  static JsonValue makeBool(bool v);
+  static JsonValue makeNumber(double v);
+  static JsonValue makeString(std::string v);
+  static JsonValue makeArray(std::vector<JsonValue> v);
+  static JsonValue makeObject(std::vector<std::pair<std::string, JsonValue>> v);
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Escapes `s` for embedding in a JSON string literal (shared by the
+/// hand-rolled renderers that live outside src/obs).
+void appendJsonEscaped(std::string& out, std::string_view s);
+
+}  // namespace panorama::support

@@ -12,8 +12,12 @@
 //     vector compare, not its hash), so two different queries can never
 //     alias: a cached verdict is always the verdict a cold evaluation
 //     would produce, regardless of query order or thread interleaving.
-//   * Bounded. Capacity is split across shards; each shard evicts its
-//     oldest entries (FIFO) once full. Eviction only forgets — the next
+//   * Bounded. Capacity is split across shards; each shard evicts once
+//     full. Eviction is session-aware: victims are preferred among *stale*
+//     entries — stored under an earlier epoch (bumpEpoch) or before the
+//     last noteUnitsRetired() call (procedures left the session's unit
+//     table) — falling back to plain FIFO among live entries only when no
+//     stale entry remains in the shard. Eviction only forgets — the next
 //     lookup recomputes and re-stores the identical verdict.
 //   * Sharded locking. A key's shard is chosen by its hash; each shard has
 //     its own mutex, so concurrent analysis threads rarely contend.
@@ -61,6 +65,8 @@ class QueryCache {
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
     std::uint64_t entries = 0;
+    std::uint64_t evictedStale = 0;  ///< victims that were already invalid
+    std::uint64_t evictedLive = 0;   ///< victims that could still have hit
 
     double hitRate() const {
       const double total = static_cast<double>(hits + misses);
@@ -95,6 +101,18 @@ class QueryCache {
   /// freed; the next store of a stale key overwrites it in place).
   void bumpEpoch() { epoch_.fetch_add(1, std::memory_order_acq_rel); }
 
+  /// Marks every currently resident entry eviction-preferred. The session
+  /// calls this when procedures leave its unit table: their verdicts stay
+  /// *correct* (keys are pure), so entries still hit — but they are the
+  /// first to go under capacity pressure. Coarse by design: tracking exact
+  /// per-procedure key ownership would cost more than the cache saves.
+  void noteUnitsRetired() { retire_.fetch_add(1, std::memory_order_acq_rel); }
+  std::uint64_t retireGeneration() const { return retire_.load(std::memory_order_acquire); }
+
+  /// The shard a key routes to — lets tests construct same-shard key sets
+  /// to pin down eviction order deterministically.
+  static std::size_t shardIndexForTesting(Tag tag, const std::vector<std::uint64_t>& words);
+
  private:
   static constexpr std::size_t kShards = 16;
 
@@ -115,24 +133,41 @@ class QueryCache {
   };
   struct Entry {
     Truth verdict = Truth::Unknown;
-    std::uint64_t epoch = 0;  ///< store-time epoch; stale entries never hit
+    std::uint64_t epoch = 0;   ///< store-time epoch; stale entries never hit
+    std::uint64_t retire = 0;  ///< store-time retire generation
   };
   struct Shard {
     mutable std::mutex mutex;
     std::unordered_map<Key, Entry, KeyHasher> map;
-    std::deque<Key> order;  ///< FIFO eviction order
+    std::deque<Key> order;  ///< insertion order; victims scanned from front
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
+    std::uint64_t evictedStale = 0;
+    std::uint64_t evictedLive = 0;
+    /// Entries stored before the last observed epoch/retire change (all of
+    /// them are eviction-preferred). Refreshed lazily under the shard lock:
+    /// when the global (epoch, retire) pair moved since the shard last
+    /// looked, every resident entry predates the move.
+    std::uint64_t staleCount = 0;
+    std::uint64_t seenEpoch = 0;
+    std::uint64_t seenRetire = 0;
   };
 
   Shard& shardFor(const Key& k) const;
+  /// Refreshes `staleCount` against the current (epoch, retire) pair; must
+  /// hold the shard lock.
+  void refreshStale(Shard& shard, std::uint64_t epochNow, std::uint64_t retireNow);
+  static bool entryStale(const Entry& e, std::uint64_t epochNow, std::uint64_t retireNow) {
+    return e.epoch != epochNow || e.retire != retireNow;
+  }
 
   mutable std::array<Shard, kShards> shards_;
   /// Default mirrors the seed's always-on (but unbounded, single-threaded)
   /// atom-pair memo; AnalysisOptions::cacheCapacity overrides per run.
   std::atomic<std::size_t> capacity_{kDefaultCapacity};
   std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint64_t> retire_{0};
 
  public:
   static constexpr std::size_t kDefaultCapacity = 1u << 18;

@@ -64,4 +64,9 @@ void ProvenanceScope::note(const char* source, std::string detail) {
 
 bool ProvenanceScope::active() { return sink().trail != nullptr; }
 
+std::string ProvenanceScope::currentLabel() {
+  Sink& s = sink();
+  return s.trail ? s.label : std::string();
+}
+
 }  // namespace panorama::obs

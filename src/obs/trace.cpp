@@ -187,6 +187,10 @@ void Span::begin(const char* category, std::string_view name) {
 void Span::end() {
   Tracer& tracer = Tracer::global();
   event_.durNs = tracer.nowNs() - event_.startNs;
+  // A span that straddles clear() measures against a re-based epoch and can
+  // come out negative; clamp so consumers (profile builder, Chrome export)
+  // never see a negative duration.
+  if (event_.durNs < 0) event_.durNs = 0;
   // A span that straddles disable() is still recorded: the buffer always
   // accepts; only *construction* consults the enabled flag.
   tracer.localBuffer().append(std::move(event_));

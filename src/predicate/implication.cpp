@@ -59,6 +59,24 @@ Truth Pred::implies(const Pred& other, const SimplifyOptions& opts) const {
   // is reported to the active provenance scope (cached verdicts skip both —
   // the notes are best-effort by design, see obs/provenance.h).
   obs::Span span("query.implies", "Pred::implies");
+  if (span.active()) {
+    // Full predicate rendering needs a SymbolTable (unreachable here), so
+    // the span carries a structural skeleton: interned keys plus clause and
+    // atom cardinalities, enough to identify the query in a profile.
+    auto atomCount = [](const Pred& p) {
+      std::size_t n = 0;
+      for (const Disjunct& d : p.clauses()) n += d.atoms.size();
+      return n;
+    };
+    span.arg("expr", "P#" + std::to_string(predKey(*this)) + " (" +
+                         std::to_string(clauses().size()) + " clauses, " +
+                         std::to_string(atomCount(*this)) + " atoms) => P#" +
+                         std::to_string(predKey(other)) + " (" +
+                         std::to_string(other.clauses().size()) + " clauses, " +
+                         std::to_string(atomCount(other)) + " atoms)");
+    if (std::string ctx = obs::ProvenanceScope::currentLabel(); !ctx.empty())
+      span.arg("ctx", std::move(ctx));
+  }
   Truth verdict = [&] {
     // The hypothesis context available to FM: unit clauses of the CNF
     // over-approximation. (actual => CNF => goal suffices.)

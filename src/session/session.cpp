@@ -34,6 +34,7 @@
 #include "panorama/frontend/parser.h"
 #include "panorama/obs/metrics.h"
 #include "panorama/obs/trace.h"
+#include "panorama/support/memo_cache.h"
 
 namespace panorama {
 
@@ -193,6 +194,7 @@ SessionResult AnalysisSession::submit(const std::string& source) {
   // and prune to a fixpoint: a unit stays clean only while every callee it
   // folded in at SUM_call is itself clean at the recorded summary epoch.
   std::set<std::string> clean;
+  std::map<std::string, std::string> pruneDetail;  ///< fixpoint-pruned unit -> why
   if (!fullInvalidation) {
     clean = unchangedSet;
     bool changed = true;
@@ -201,18 +203,26 @@ SessionResult AnalysisSession::submit(const std::string& source) {
       for (auto it = clean.begin(); it != clean.end();) {
         const Unit& u = units_.at(*it);
         bool valid = true;
+        std::string why;
         for (const std::string& dep : u.deps) {
           auto du = units_.find(dep);
           auto de = u.calleeEpochs.find(dep);
-          if (du == units_.end() || !clean.count(dep) || de == u.calleeEpochs.end() ||
-              du->second.summaryEpoch != de->second) {
-            valid = false;
-            break;
+          if (du == units_.end()) {
+            why = "callee '" + dep + "' left the unit table";
+          } else if (!clean.count(dep)) {
+            why = "callee '" + dep + "' is dirty";
+          } else if (de == u.calleeEpochs.end() || du->second.summaryEpoch != de->second) {
+            why = "callee '" + dep + "' summary epoch changed";
+          } else {
+            continue;
           }
+          valid = false;
+          break;
         }
         if (valid) {
           ++it;
         } else {
+          pruneDetail.emplace(*it, std::move(why));
           it = clean.erase(it);
           changed = true;
         }
@@ -222,6 +232,30 @@ SessionResult AnalysisSession::submit(const std::string& source) {
   stats.dirty = incoming.procedures.size() - clean.size();
   stats.summariesReused = clean.size();
   stats.summariesRecomputed = stats.dirty;
+
+  // Attribute every dirty unit to its invalidation cause — the record the
+  // cost profiler surfaces for warm runs.
+  if (fullInvalidation) {
+    const char* cause = !live_ ? "first-submit" : "options-change";
+    const char* detail =
+        !live_ ? "no prior session state" : "ablation-relevant analysis options changed";
+    for (const Procedure& p : incoming.procedures)
+      stats.invalidations.push_back({p.name, cause, detail});
+  } else {
+    for (const Procedure& p : incoming.procedures) {
+      if (clean.count(p.name)) continue;
+      auto it = units_.find(p.name);
+      if (it == units_.end()) {
+        stats.invalidations.push_back({p.name, "added", "no unit on record"});
+      } else if (it->second.fp != fps.at(p.name)) {
+        stats.invalidations.push_back({p.name, "fingerprint", "content fingerprint changed"});
+      } else {
+        auto pd = pruneDetail.find(p.name);
+        stats.invalidations.push_back(
+            {p.name, "callee-epoch", pd == pruneDetail.end() ? std::string() : pd->second});
+      }
+    }
+  }
 
   // 5. Snapshot the clean units' memoized state out of the previous
   // analyzer while its Procedure keys are still the previous epoch's
@@ -387,6 +421,9 @@ SessionResult AnalysisSession::submit(const std::string& source) {
   epoch_ = newEpoch;
   unitsOptionsKey_ = optionsKey_;
   live_ = true;
+  // Verdicts cached on behalf of removed procedures stay correct (keys are
+  // pure) but become eviction-preferred under capacity pressure.
+  if (stats.removed > 0) QueryCache::global().noteUnitsRetired();
 
   // Assemble the report in the batch drivers' order: procedures bottom-up,
   // loops in walk order within each.
@@ -433,6 +470,26 @@ void publishSessionMetrics(const SessionStats& stats) {
   reg.counter("session.loops_reused").set(stats.loopsReused);
   reg.counter("session.loops_recomputed").set(stats.loopsRecomputed);
   reg.counter("session.full_invalidation").set(stats.fullInvalidation ? 1 : 0);
+}
+
+obs::SessionReuse sessionReuseFor(const SessionStats& stats) {
+  obs::SessionReuse out;
+  out.epoch = stats.epoch;
+  out.warm = stats.epoch > 1 && !stats.fullInvalidation;
+  out.fullInvalidation = stats.fullInvalidation;
+  out.procedures = stats.procedures;
+  out.unchanged = stats.unchanged;
+  out.modified = stats.modified;
+  out.added = stats.added;
+  out.removed = stats.removed;
+  out.dirty = stats.dirty;
+  out.summariesReused = stats.summariesReused;
+  out.summariesRecomputed = stats.summariesRecomputed;
+  out.loopsReused = stats.loopsReused;
+  out.loopsRecomputed = stats.loopsRecomputed;
+  for (const UnitInvalidation& inv : stats.invalidations)
+    out.causes.push_back({inv.unit, inv.cause, inv.detail});
+  return out;
 }
 
 std::string formatSessionStats(const SessionStats& stats) {

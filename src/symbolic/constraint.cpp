@@ -34,6 +34,57 @@ namespace {
 /// Canonical key of the variable part for syntactic clash detection.
 bool sameVarPart(const AffineForm& a, const AffineForm& b) { return a.coeffs == b.coeffs; }
 
+/// Table-free rendering of one affine form ("2*v7 - v3 + 1"): the span args
+/// on cold FM queries are built deep in the query layer, where no
+/// SymbolTable is reachable, so variables print as their interned ids.
+void appendAffine(std::string& out, const AffineForm& f) {
+  bool first = true;
+  for (const auto& [v, coeff] : f.coeffs) {
+    if (coeff == 0) continue;
+    if (first) {
+      if (coeff < 0) out += '-';
+    } else {
+      out += coeff < 0 ? " - " : " + ";
+    }
+    const std::int64_t mag = coeff < 0 ? -coeff : coeff;
+    if (mag != 1) {
+      out += std::to_string(mag);
+      out += '*';
+    }
+    out += 'v';
+    out += std::to_string(v.value);
+    first = false;
+  }
+  if (first) {
+    out += std::to_string(f.constant);
+  } else if (f.constant != 0) {
+    out += f.constant < 0 ? " - " : " + ";
+    out += std::to_string(f.constant < 0 ? -f.constant : f.constant);
+  }
+}
+
+/// The whole constraint system, " && "-joined, capped so pathological sets
+/// do not bloat the trace buffers.
+std::string renderConstraints(const std::vector<LinearConstraint>& constraints) {
+  constexpr std::size_t kMaxChars = 400;
+  std::string out;
+  for (const LinearConstraint& c : constraints) {
+    if (!out.empty()) out += " && ";
+    if (out.size() > kMaxChars) {
+      out += "...";
+      break;
+    }
+    appendAffine(out, c.form);
+    switch (c.kind) {
+      case ConstraintKind::LE0: out += " <= 0"; break;
+      case ConstraintKind::EQ0: out += " = 0"; break;
+      case ConstraintKind::NE0: out += " != 0"; break;
+    }
+    if (c.form.overflow) out += " [overflow]";
+  }
+  return out;
+}
+
 }  // namespace
 
 Truth ConstraintSet::contradictory(const FmBudget& budget) const {
@@ -67,7 +118,12 @@ Truth ConstraintSet::contradictoryUncached(const FmBudget& budget) const {
   // Cold FM evaluations are traced and report Unknown verdicts into the
   // active provenance scope (memoized verdicts skip this path entirely).
   obs::Span span("query.fm", "ConstraintSet::contradictory");
-  if (span.active()) span.arg("constraints", std::to_string(constraints_.size()));
+  if (span.active()) {
+    span.arg("constraints", std::to_string(constraints_.size()));
+    span.arg("expr", renderConstraints(constraints_));
+    if (std::string ctx = obs::ProvenanceScope::currentLabel(); !ctx.empty())
+      span.arg("ctx", std::move(ctx));
+  }
   Truth verdict = contradictoryCold(budget);
   if (span.active()) span.arg("verdict", toString(verdict));
   if (verdict == Truth::Unknown && obs::ProvenanceScope::active())

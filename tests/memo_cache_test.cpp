@@ -1,0 +1,129 @@
+// Session-aware eviction in the bounded query cache: stale entries (older
+// epoch, or stored before the last noteUnitsRetired) are evicted before
+// live ones, retire marks never block hits, and live-only shards fall back
+// to plain FIFO. Keys are crafted onto one shard via shardIndexForTesting
+// so eviction order is fully deterministic.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "panorama/support/memo_cache.h"
+
+namespace panorama {
+namespace {
+
+constexpr QueryCache::Tag kTag = QueryCache::Tag::FmContradictory;
+
+/// `n` distinct single-word keys that all route to the same shard (the
+/// shard of {seed 0}).
+std::vector<std::vector<std::uint64_t>> sameShardKeys(std::size_t n) {
+  std::vector<std::vector<std::uint64_t>> keys;
+  const std::size_t shard = QueryCache::shardIndexForTesting(kTag, {0});
+  for (std::uint64_t seed = 0; keys.size() < n; ++seed) {
+    std::vector<std::uint64_t> words{seed};
+    if (QueryCache::shardIndexForTesting(kTag, words) == shard) keys.push_back(std::move(words));
+  }
+  return keys;
+}
+
+TEST(MemoCacheEvictionTest, StaleEpochEntriesEvictBeforeLiveOnes) {
+  QueryCache cache;
+  cache.configure(64);  // 16 shards -> 4 entries per shard
+  auto k = sameShardKeys(7);
+
+  cache.store(kTag, k[0], Truth::True);
+  cache.store(kTag, k[1], Truth::True);
+  cache.bumpEpoch();  // k0/k1 are now epoch-stale and can never hit again
+  cache.store(kTag, k[2], Truth::False);
+  cache.store(kTag, k[3], Truth::False);
+
+  // The shard is full. The next two stores must victimize the stale pair
+  // (oldest first), not the live FIFO front.
+  cache.store(kTag, k[4], Truth::True);
+  cache.store(kTag, k[5], Truth::True);
+  EXPECT_EQ(cache.stats().evictedStale, 2u);
+  EXPECT_EQ(cache.stats().evictedLive, 0u);
+  EXPECT_EQ(cache.lookup(kTag, k[2]), Truth::False);  // live entry survived
+
+  // No stale entry left: plain FIFO takes the oldest live entry (k2).
+  cache.store(kTag, k[6], Truth::True);
+  EXPECT_EQ(cache.stats().evictedLive, 1u);
+  EXPECT_EQ(cache.stats().evictions, 3u);
+  EXPECT_EQ(cache.lookup(kTag, k[2]), std::nullopt);
+  EXPECT_EQ(cache.lookup(kTag, k[3]), Truth::False);
+  EXPECT_EQ(cache.lookup(kTag, k[6]), Truth::True);
+}
+
+TEST(MemoCacheEvictionTest, RetiredEntriesStillHitButAreEvictedFirst) {
+  QueryCache cache;
+  cache.configure(64);
+  auto k = sameShardKeys(5);
+
+  cache.store(kTag, k[0], Truth::True);
+  cache.store(kTag, k[1], Truth::False);
+  cache.noteUnitsRetired();
+
+  // Retire marks entries eviction-preferred without invalidating them:
+  // verdict keys are pure, so the cached answers are still correct.
+  EXPECT_EQ(cache.lookup(kTag, k[0]), Truth::True);
+  EXPECT_EQ(cache.lookup(kTag, k[1]), Truth::False);
+
+  cache.store(kTag, k[2], Truth::True);
+  cache.store(kTag, k[3], Truth::True);
+  cache.store(kTag, k[4], Truth::True);  // full shard: k0 (retired) goes first
+  EXPECT_EQ(cache.stats().evictedStale, 1u);
+  EXPECT_EQ(cache.stats().evictedLive, 0u);
+  EXPECT_EQ(cache.lookup(kTag, k[0]), std::nullopt);
+  EXPECT_EQ(cache.lookup(kTag, k[1]), Truth::False);  // next victim, still resident
+  EXPECT_EQ(cache.lookup(kTag, k[2]), Truth::True);
+}
+
+TEST(MemoCacheEvictionTest, LiveOnlyShardFallsBackToFifo) {
+  QueryCache cache;
+  cache.configure(64);
+  auto k = sameShardKeys(5);
+  for (std::size_t i = 0; i < 4; ++i) cache.store(kTag, k[i], Truth::True);
+  cache.store(kTag, k[4], Truth::True);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().evictedStale, 0u);
+  EXPECT_EQ(cache.stats().evictedLive, 1u);
+  EXPECT_EQ(cache.lookup(kTag, k[0]), std::nullopt);  // FIFO front
+  EXPECT_EQ(cache.lookup(kTag, k[1]), Truth::True);
+}
+
+TEST(MemoCacheEvictionTest, RestoringAStaleKeyRevivesItInPlace) {
+  QueryCache cache;
+  cache.configure(64);
+  auto k = sameShardKeys(5);
+
+  cache.store(kTag, k[0], Truth::True);
+  cache.store(kTag, k[1], Truth::True);
+  cache.bumpEpoch();
+  cache.store(kTag, k[0], Truth::False);  // overwrites the stale slot in place
+  cache.store(kTag, k[2], Truth::True);
+  cache.store(kTag, k[3], Truth::True);
+
+  // Only k1 is stale now; it must be the victim even though k0 sits ahead
+  // of it in insertion order.
+  cache.store(kTag, k[4], Truth::True);
+  EXPECT_EQ(cache.stats().evictedStale, 1u);
+  EXPECT_EQ(cache.stats().evictedLive, 0u);
+  EXPECT_EQ(cache.lookup(kTag, k[0]), Truth::False);
+  EXPECT_EQ(cache.lookup(kTag, k[1]), std::nullopt);
+}
+
+TEST(MemoCacheEvictionTest, StatsSurfaceBothEvictionKinds) {
+  QueryCache cache;
+  cache.configure(64);
+  auto k = sameShardKeys(6);
+  for (std::size_t i = 0; i < 2; ++i) cache.store(kTag, k[i], Truth::True);
+  cache.bumpEpoch();
+  for (std::size_t i = 2; i < 6; ++i) cache.store(kTag, k[i], Truth::True);
+  QueryCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, stats.evictedStale + stats.evictedLive);
+  EXPECT_EQ(stats.evictedStale, 2u);
+  EXPECT_EQ(stats.entries, 4u);
+}
+
+}  // namespace
+}  // namespace panorama

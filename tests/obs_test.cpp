@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <cctype>
+#include <cstdio>
 #include <map>
 #include <set>
 #include <thread>
@@ -290,6 +291,80 @@ TEST_F(TraceTest, ChromeTraceJsonIsSchemaValidAndEscaped) {
 TEST_F(TraceTest, EmptyTraceIsStillValidJson) {
   std::string json = Tracer::global().chromeTraceJson();
   EXPECT_TRUE(JsonChecker(json).valid()) << json;
+}
+
+TEST_F(TraceTest, ClearStraddlingSpanIsClampedNotNegative) {
+  Tracer::global().enable();
+  {
+    Span span("test.unit", "straddle");
+    ASSERT_TRUE(span.active());
+    // clear() re-bases the epoch underneath the open span: its raw duration
+    // would be negative. The span must land in the *new* generation with a
+    // clamped, non-negative duration.
+    Tracer::global().clear();
+  }
+  std::vector<TraceEvent> events = Tracer::global().snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "straddle");
+  EXPECT_GE(events[0].durNs, 0);
+  std::string json = Tracer::global().chromeTraceJson();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_EQ(json.find("\"dur\": -"), std::string::npos) << json;
+}
+
+TEST_F(TraceTest, DisableStraddlingSpanIsStillRecorded) {
+  Tracer::global().enable();
+  {
+    Span span("test.unit", "tail");
+    Tracer::global().disable();
+  }
+  // Only construction consults the enabled flag; an open span always lands.
+  std::vector<TraceEvent> events = Tracer::global().snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "tail");
+}
+
+TEST_F(TraceTest, ChromeExportTimesArePerTidMonotonicWithNonNegativeDurations) {
+  Tracer::global().enable();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([] {
+      for (int k = 0; k < 20; ++k) {
+        Span outer("test.thread", "outer");
+        Span inner("test.thread", "inner");
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  // Exported events must satisfy what chrome://tracing assumes of complete
+  // ("X") events: one per line here, non-negative dur, ts non-decreasing
+  // within each tid track.
+  std::string json = Tracer::global().chromeTraceJson();
+  ASSERT_TRUE(JsonChecker(json).valid());
+  std::map<unsigned, double> lastTs;
+  std::size_t parsed = 0;
+  std::size_t pos = 0;
+  while ((pos = json.find("{\"ph\": \"X\"", pos)) != std::string::npos) {
+    unsigned tid = 0;
+    double ts = -1, dur = -1;
+    ASSERT_EQ(std::sscanf(json.c_str() + pos,
+                          "{\"ph\": \"X\", \"pid\": 1, \"tid\": %u, \"ts\": %lf, \"dur\": %lf",
+                          &tid, &ts, &dur),
+              3)
+        << json.substr(pos, 80);
+    EXPECT_GE(ts, 0.0);
+    EXPECT_GE(dur, 0.0);
+    auto [it, fresh] = lastTs.try_emplace(tid, ts);
+    if (!fresh) {
+      EXPECT_GE(ts, it->second) << "tid " << tid;
+      it->second = ts;
+    }
+    ++parsed;
+    ++pos;
+  }
+  EXPECT_EQ(parsed, 3u * 20u * 2u);
+  EXPECT_EQ(lastTs.size(), 3u);
 }
 
 TEST_F(TraceTest, TracedParallelCorpusRunMatchesUntracedVerdicts) {

@@ -9,6 +9,7 @@
 //   * an ablation-relevant options change invalidates everything once.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <sstream>
 #include <string>
 
@@ -174,6 +175,66 @@ TEST(SessionTest, TransitiveInvalidationThroughCallChain) {
   EXPECT_EQ(reg.counterValue("session.summaries_reused"), 1u);
   EXPECT_EQ(reg.counterValue("session.modified"), 1u);
   EXPECT_EQ(reg.counterValue("session.epoch"), 2u);
+}
+
+TEST(SessionTest, EveryDirtyUnitCarriesItsInvalidationCause) {
+  CacheGuard guard;
+  AnalysisSession session;
+
+  SessionResult cold = session.submit(kBase);
+  ASSERT_TRUE(cold.ok);
+  ASSERT_EQ(cold.stats.invalidations.size(), 5u);
+  for (const UnitInvalidation& inv : cold.stats.invalidations)
+    EXPECT_EQ(inv.cause, "first-submit") << inv.unit;
+
+  // Warm run after the leaf edit: the leaf itself is dirty by fingerprint,
+  // its transitive callers by callee-epoch, and the sibling not at all.
+  SessionResult warm = session.submit(kLeafEdited);
+  ASSERT_TRUE(warm.ok);
+  ASSERT_EQ(warm.stats.invalidations.size(), warm.stats.dirty);
+  std::map<std::string, const UnitInvalidation*> byUnit;
+  for (const UnitInvalidation& inv : warm.stats.invalidations) byUnit[inv.unit] = &inv;
+  ASSERT_TRUE(byUnit.count("leaf"));
+  EXPECT_EQ(byUnit.at("leaf")->cause, "fingerprint");
+  for (const char* caller : {"mid", "top", "main"}) {
+    ASSERT_TRUE(byUnit.count(caller)) << caller;
+    EXPECT_EQ(byUnit.at(caller)->cause, "callee-epoch") << caller;
+  }
+  EXPECT_FALSE(byUnit.count("sib"));
+
+  // The obs-layer conversion carries the same records into CostProfiles.
+  obs::SessionReuse reuse = sessionReuseFor(warm.stats);
+  EXPECT_TRUE(reuse.warm);
+  EXPECT_FALSE(reuse.fullInvalidation);
+  EXPECT_EQ(reuse.epoch, 2u);
+  ASSERT_EQ(reuse.causes.size(), warm.stats.invalidations.size());
+  EXPECT_EQ(reuse.causes[0].unit, warm.stats.invalidations[0].unit);
+  EXPECT_EQ(reuse.causes[0].cause, warm.stats.invalidations[0].cause);
+
+  // An added procedure and an options flip attribute their own causes. Build
+  // on the edited source: the session's live state is kLeafEdited, so the
+  // only delta is the new procedure.
+  std::string withExtra = std::string(kLeafEdited) +
+                          "      subroutine extra(e)\n"
+                          "      real e(100)\n"
+                          "      do i = 1, 100\n"
+                          "        e(i) = 4.0\n"
+                          "      enddo\n"
+                          "      end\n";
+  SessionResult added = session.submit(withExtra);
+  ASSERT_TRUE(added.ok);
+  ASSERT_EQ(added.stats.invalidations.size(), 1u);
+  EXPECT_EQ(added.stats.invalidations[0].unit, "extra");
+  EXPECT_EQ(added.stats.invalidations[0].cause, "added");
+
+  AnalysisOptions quantified = session.options();
+  quantified.quantified = true;
+  session.setOptions(quantified);
+  SessionResult flipped = session.submit(withExtra);
+  ASSERT_TRUE(flipped.ok);
+  ASSERT_EQ(flipped.stats.invalidations.size(), 6u);
+  for (const UnitInvalidation& inv : flipped.stats.invalidations)
+    EXPECT_EQ(inv.cause, "options-change") << inv.unit;
 }
 
 TEST(SessionTest, ProcedureAddAndRemoveDirtyOnlyTheAffectedUnit) {
