@@ -27,7 +27,14 @@ void BenchResult::addConfig(std::string key, std::string value) {
 
 void BenchResult::fail(std::string why) {
   ok = false;
-  if (failure.empty()) failure = std::move(why);
+  // Accumulate every reason: a --check run that regresses three metrics must
+  // report all three, not just the first one it happened to evaluate.
+  if (failure.empty()) {
+    failure = std::move(why);
+  } else {
+    failure += "; ";
+    failure += why;
+  }
 }
 
 const Metric* BenchResult::find(std::string_view name) const {

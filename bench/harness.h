@@ -51,7 +51,7 @@ struct Metric {
 
 struct BenchResult {
   bool ok = true;
-  std::string failure;  ///< set by fail(); a failed bench exits non-zero
+  std::string failure;  ///< every fail() reason, "; "-joined; non-zero exit
   std::vector<std::pair<std::string, Metric>> metrics;
   std::vector<std::pair<std::string, std::string>> config;
   std::string profileJson;  ///< rendered CostProfile ("" = none)

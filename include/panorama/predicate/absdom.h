@@ -1,0 +1,74 @@
+// Abstract-domain pre-filter for Fourier-Motzkin queries (tier 1 of 2).
+//
+// A constant-time interval/congruence evaluator over the guard context that
+// tries to discharge an emptiness query before the elimination engine runs.
+// The tier never weakens verdicts: Truth::True ("no integer solution") is
+// only ever produced by paths that mirror the classic engine bit-for-bit,
+// and Truth::False ("not provably empty") is only produced from a concrete
+// integer witness that has been substituted into every constraint and
+// verified. Everything else declines, and the caller falls through to the
+// precise engine — FM stays the final authority, so enabling the tier keeps
+// loop classifications and reports byte-identical to FM-only mode.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "panorama/symbolic/constraint.h"
+
+namespace panorama::absdom {
+
+/// One variable's value range, with independent ±∞ ends. Finite ends
+/// saturate at the int64 limits; a saturated end is still usable as a
+/// witness candidate because every candidate is re-verified by exact
+/// substitution before it can influence a verdict.
+struct Interval {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  bool loInf = true;  ///< no finite lower end
+  bool hiInf = true;  ///< no finite upper end
+
+  static Interval top() { return Interval{}; }
+  static Interval point(std::int64_t v) { return Interval{v, v, false, false}; }
+
+  /// Only meaningful with both ends finite; unbounded intervals are never
+  /// empty.
+  bool empty() const { return !loInf && !hiInf && lo > hi; }
+  bool contains(std::int64_t v) const { return (loInf || lo <= v) && (hiInf || v <= hi); }
+
+  /// Intersection with v <= bound / v >= bound; returns true when the
+  /// interval changed (propagation fixpoint detection).
+  bool clampHi(std::int64_t bound);
+  bool clampLo(std::int64_t bound);
+};
+
+/// Per-attempt telemetry; the caller folds these into the
+/// `query.prefilter.*` metrics.
+struct PrefilterStats {
+  std::uint64_t attempts = 0;    ///< tryDischarge invocations
+  std::uint64_t mirrored = 0;    ///< discharged via an exact classic-engine mirror
+  std::uint64_t witnessed = 0;   ///< discharged via a verified integer witness
+  std::uint64_t fallbacks = 0;   ///< declined; classic FM ran
+};
+
+/// Interval fixpoint of the system (exposed for tests): one interval per
+/// distinct variable, refined from the LE0/EQ0 constraints until stable or
+/// a bounded number of rounds elapse. NE0 constraints do not refine.
+std::vector<std::pair<VarId, Interval>> intervalFixpoint(
+    const std::vector<LinearConstraint>& constraints);
+
+/// Attempts to discharge `constraints` without running elimination.
+/// Returns:
+///  - Truth::Unknown  — some form carries the overflow poison bit (mirrors
+///                      the classic engine's first screen exactly);
+///  - Truth::True     — the system is all-constant and some constraint is
+///                      violated (again an exact mirror of the classic
+///                      screen; never produced for systems with variables);
+///  - Truth::False    — a concrete integer witness was found and verified
+///                      against every constraint, including disequalities;
+///  - std::nullopt    — declined; the caller must run the precise engine.
+std::optional<Truth> tryDischarge(const std::vector<LinearConstraint>& constraints,
+                                  const FmBudget& budget);
+
+}  // namespace panorama::absdom

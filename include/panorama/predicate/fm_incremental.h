@@ -1,0 +1,81 @@
+// Incremental Fourier-Motzkin (tier 2 of 2): memoized elimination keyed on
+// hash-consed canonical constraint-system handles.
+//
+// Every system the eliminator visits — the query itself and each
+// intermediate system one variable-elimination step produces — is
+// canonicalized (tightened, sorted, deduplicated, variables densely renamed
+// in an order-preserving way) and interned; the cache maps each handle to
+// the verdict full elimination from that point yields. Near-identical query
+// families (the `system + d <= -1` / `system + d >= 1` disequality probes,
+// per-kernel copies of the same guard shapes) converge on shared canonical
+// systems after a step or two, so one family member pays for the whole
+// family's elimination suffix.
+//
+// Exactness: the order-preserving renaming is a bit-for-bit simulation of
+// the eliminator (greedy choice, combination order, tightening, overflow
+// and budget checks all depend only on relative variable order), so a
+// memoized verdict is always the verdict `fourierMotzkinInfeasible` would
+// produce on the same input. Entries are tagged with the global QueryCache
+// epoch: a session options change bumps the epoch and retires every cached
+// elimination in O(1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "panorama/symbolic/constraint.h"
+
+namespace panorama {
+
+/// Process-global switch for the two-level query tier (absdom pre-filter +
+/// memoized elimination). Drivers configure it from
+/// AnalysisOptions::prefilter; `--no-prefilter` turns it off.
+bool queryTierEnabled();
+void setQueryTierEnabled(bool on);
+
+/// Counters of the elimination cache (entries counts live canonical-system
+/// handles; evictions counts inserts dropped at capacity).
+struct FmCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t evictions = 0;
+};
+FmCacheStats fmEliminationStats();
+
+/// Drops every interned system and zeroes the counters (fresh corpus run).
+void clearFmEliminationCache();
+
+/// Memoizing front of `fourierMotzkinInfeasible`; verdict-identical to it
+/// on every input (see the exactness note above).
+Truth fourierMotzkinInfeasibleMemo(std::vector<AffineForm> system, const FmBudget& budget);
+
+/// The eliminator's building blocks, shared between the classic entry point
+/// and the memoized one so the two can never diverge.
+namespace fmdetail {
+
+/// Entry screen: tighten, answer on overflow/violated constants, drop
+/// constant rows, then sort + dedup. nullopt means "run the elimination".
+std::optional<Truth> screen(std::vector<AffineForm>& system);
+
+/// Sort by (coeffs, constant) and remove exact duplicates.
+void canonOrder(std::vector<AffineForm>& system);
+
+std::size_t countVars(const std::vector<AffineForm>& system);
+
+struct StepResult {
+  std::optional<Truth> verdict;   ///< set when the step decided the system
+  std::vector<AffineForm> next;   ///< otherwise: the reduced system, canonical
+};
+
+/// One greedy variable elimination with the classic budget/overflow checks.
+StepResult eliminateOne(std::vector<AffineForm> system, const FmBudget& budget);
+
+/// Order-preserving dense renaming of the variables to 0..n-1 (the memo's
+/// canonical name space). Preserves the canonical sort order.
+void anonymizeVars(std::vector<AffineForm>& system);
+
+}  // namespace fmdetail
+
+}  // namespace panorama

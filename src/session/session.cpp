@@ -34,6 +34,7 @@
 #include "panorama/frontend/parser.h"
 #include "panorama/obs/metrics.h"
 #include "panorama/obs/trace.h"
+#include "panorama/predicate/fm_incremental.h"
 #include "panorama/support/memo_cache.h"
 
 namespace panorama {
@@ -61,6 +62,7 @@ std::vector<const Stmt*> collectLoops(const Procedure& proc) {
 AnalysisSession::AnalysisSession(AnalysisOptions options) : options_(options) {
   optionsKey_ = optionsKey(options_);
   QueryCache::global().configure(options_.cacheCapacity);
+  setQueryTierEnabled(options_.prefilter);
   pool_ = std::make_unique<ThreadPool>(options_.numThreads);
 }
 
@@ -78,6 +80,7 @@ std::uint64_t AnalysisSession::optionsKey(const AnalysisOptions& options) {
   mix(options.quantified);
   mix(options.computeDE);
   mix(options.garSimplifier);
+  mix(options.prefilter);
   mix(options.simplify.maxClauses);
   mix(options.simplify.maxAtomsPerClause);
   mix(options.simplify.useFourierMotzkin);
@@ -95,9 +98,11 @@ void AnalysisSession::setOptions(const AnalysisOptions& options) {
   optionsKey_ = key;
   if (threadsChanged) pool_ = std::make_unique<ThreadPool>(options_.numThreads);
   if (capacityChanged) QueryCache::global().configure(options_.cacheCapacity);
+  setQueryTierEnabled(options_.prefilter);
   if (ablationChanged) {
     // Cached verdicts were answered under the old budgets: one epoch bump
-    // retires every entry of the query cache and the simplify memo in O(1).
+    // retires every entry of the query cache, the simplify memo, and the FM
+    // elimination cache (all tagged with the same epoch) in O(1).
     QueryCache::global().bumpEpoch();
     // units_ carries unitsOptionsKey_; the mismatch with optionsKey_ makes
     // the next submit a full invalidation.

@@ -142,6 +142,17 @@ TEST(RenderRecordTest, FailureIsRecorded) {
   EXPECT_EQ(v->find("failure")->asString(), "fingerprints diverged");
 }
 
+TEST(RenderRecordTest, EveryFailureReasonIsKept) {
+  // A --check run that violates several contracts must report them all, not
+  // just the first one evaluated.
+  BenchResult result;
+  result.fail("speedup 3.1x below the 5.0x contract");
+  result.fail("tiered-mode loop reports diverged");
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.failure,
+            "speedup 3.1x below the 5.0x contract; tiered-mode loop reports diverged");
+}
+
 // --- the regression gate ---------------------------------------------------
 
 std::string baselineFor(const BenchResult& result) {
