@@ -1,0 +1,126 @@
+// The ingestion bench: what does the frontend-neutral builder layer cost?
+//
+// Three measurements over the whole Perfect corpus:
+//   * parse-only wall time (the F77 parser producing the pre-sema AST);
+//   * parse + builder::rebuild() wall time (the same AST replayed through
+//     the fluent ProgramBuilder, validation layer included);
+//   * one full analysis per ingest mode (direct vs builder round-trip).
+//
+// The only gated contract is report identity: both ingest paths must
+// produce byte-identical loop reports and provenance for every corpus
+// loop. The timing metrics are informational (.gated = false) — the
+// builder's cost is a second AST construction plus validation, and the
+// overhead ratio is tracked, not gated.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+#include "panorama/analysis/driver.h"
+#include "panorama/builder/builder.h"
+#include "panorama/corpus/corpus.h"
+#include "panorama/frontend/parser.h"
+
+using namespace panorama;
+
+namespace {
+
+double msSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+}
+
+std::string renderCorpus(const CorpusAnalysisResult& r) {
+  std::string out;
+  for (const CorpusRoutineResult& loop : r.loops) {
+    out += loop.kernelId;
+    out += '|';
+    out += loop.procName;
+    out += '|';
+    out += std::to_string(loop.line);
+    out += '\n';
+    out += loop.report;
+    out += loop.provenance;
+  }
+  return out;
+}
+
+bench::BenchResult run() {
+  constexpr int kRepeats = 5;
+  bench::BenchResult result;
+  const std::vector<CorpusLoop>& corpus = perfectCorpus();
+
+  // Parse-only vs parse + rebuild, best of kRepeats.
+  double parseMs = 1e18;
+  double rebuildMs = 1e18;
+  std::size_t procedures = 0;
+  for (int r = 0; r < kRepeats; ++r) {
+    auto t0 = std::chrono::steady_clock::now();
+    std::size_t procs = 0;
+    for (const CorpusLoop& cl : corpus) {
+      DiagnosticEngine diags;
+      auto parsed = parseProgram(cl.source, diags);
+      if (!parsed) {
+        result.fail("parse failed for " + cl.id + ":\n" + diags.str());
+        return result;
+      }
+      procs += parsed->procedures.size();
+    }
+    parseMs = std::min(parseMs, msSince(t0));
+    procedures = procs;
+
+    t0 = std::chrono::steady_clock::now();
+    for (const CorpusLoop& cl : corpus) {
+      DiagnosticEngine diags;
+      auto parsed = parseProgram(cl.source, diags);
+      if (!parsed) {
+        result.fail("parse failed for " + cl.id + ":\n" + diags.str());
+        return result;
+      }
+      builder::BuildResult rebuilt = builder::rebuild(*parsed);
+      if (!rebuilt.ok()) {
+        result.fail("builder round-trip failed for " + cl.id + ":\n" + rebuilt.error());
+        return result;
+      }
+    }
+    rebuildMs = std::min(rebuildMs, msSince(t0));
+  }
+
+  // One full analysis per ingest mode; the reports must be byte-identical.
+  AnalysisOptions options;
+  auto t0 = std::chrono::steady_clock::now();
+  CorpusAnalysisResult direct = analyzeCorpusParallel(options, CorpusIngest::Parse);
+  double directMs = msSince(t0);
+  t0 = std::chrono::steady_clock::now();
+  CorpusAnalysisResult viaBuilder = analyzeCorpusParallel(options, CorpusIngest::BuilderRoundTrip);
+  double viaBuilderMs = msSince(t0);
+  bool identical = renderCorpus(direct) == renderCorpus(viaBuilder) && !direct.loops.empty();
+
+  std::printf("frontend ingestion — %zu kernels, %zu procedures\n", corpus.size(), procedures);
+  std::printf("parse only:        %.3f ms\n", parseMs);
+  std::printf("parse + rebuild:   %.3f ms  (%.2fx)\n", rebuildMs, rebuildMs / parseMs);
+  std::printf("analysis (parse):  %.3f ms\n", directMs);
+  std::printf("analysis (builder):%.3f ms\n", viaBuilderMs);
+  std::printf("reports identical: %s  (%zu loops)\n", identical ? "yes" : "NO",
+              direct.loops.size());
+
+  result.addConfig("corpus", "perfect (Table 1/2 kernels)");
+  result.addConfig("rebuild", "parse -> builder::rebuild() -> analyze");
+  result.add("parse_wall_ms", parseMs, bench::Direction::LowerIsBetter, 3.0, "ms").gated = false;
+  result.add("rebuild_wall_ms", rebuildMs, bench::Direction::LowerIsBetter, 3.0, "ms").gated =
+      false;
+  result.add("ingest_overhead_x", rebuildMs / parseMs, bench::Direction::LowerIsBetter, 1.0, "x")
+      .gated = false;
+  result.add("analysis_direct_ms", directMs, bench::Direction::LowerIsBetter, 3.0, "ms").gated =
+      false;
+  result.add("analysis_builder_ms", viaBuilderMs, bench::Direction::LowerIsBetter, 3.0, "ms")
+      .gated = false;
+  result.add("reports_identical", identical ? 1.0 : 0.0, bench::Direction::Exact);
+  result.add("corpus_loops", static_cast<double>(direct.loops.size()), bench::Direction::Exact);
+  if (!identical) result.fail("builder round-trip reports diverge from the parser path");
+  return result;
+}
+
+const bench::Registration reg{{"ingest", /*repetitions=*/1, /*warmup=*/0, run}};
+
+}  // namespace

@@ -27,6 +27,7 @@ endfunction()
 expect_failure(--trace "cannot write trace file")
 expect_failure(--metrics "cannot write metrics file")
 expect_failure(--profile "cannot write profile file")
+expect_failure(--dump-ir "cannot write IR dump file")
 
 # The happy path: one corpus run, all three artifacts.
 execute_process(
@@ -81,4 +82,45 @@ if(NOT code EQUAL 0)
 endif()
 if(NOT EXISTS "${WORKDIR}/annotate-trace.json")
   message(FATAL_ERROR "--annotate dropped the --trace artifact")
+endif()
+
+# --dump-ir writes the frontend-neutral IR for a single-file run.
+execute_process(
+  COMMAND "${DRIVER}" "--dump-ir=${WORKDIR}/tiny.ir" "${WORKDIR}/tiny.f"
+  RESULT_VARIABLE code
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "--dump-ir on tiny.f failed (${code}): ${err}")
+endif()
+if(NOT EXISTS "${WORKDIR}/tiny.ir")
+  message(FATAL_ERROR "--dump-ir did not write the IR dump")
+endif()
+file(READ "${WORKDIR}/tiny.ir" ir)
+if(NOT ir MATCHES "program main" OR NOT ir MATCHES "loop i")
+  message(FATAL_ERROR "IR dump lacks the program/loop structure: ${ir}")
+endif()
+
+# The C-like frontend is dispatched by extension and reaches the same
+# pipeline (classification in the report proves the analysis ran).
+file(WRITE "${WORKDIR}/tiny.cl"
+"main tiny() {
+  const n = 10;
+  int i;
+  real a[10];
+  for (i = 1 to n) {
+    a[i] = 0.0;
+  }
+}
+")
+execute_process(
+  COMMAND "${DRIVER}" "${WORKDIR}/tiny.cl"
+  RESULT_VARIABLE code
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "C-like driver run failed (${code}): ${err}")
+endif()
+if(NOT out MATCHES "parallel")
+  message(FATAL_ERROR "C-like driver run produced no classification: ${out}")
 endif()

@@ -14,10 +14,16 @@
 //   flags: --no-symbolic --no-if-conditions --no-interprocedural
 //          --quantified --summaries --hsg
 //          --threads=N --cache-capacity=N --no-cache --stats
+//          --via-builder (parse -> builder IR round-trip -> analyze)
 //   observability: --trace=FILE  (Chrome trace-event JSON, chrome://tracing)
 //                  --metrics=FILE (unified metrics-registry JSON dump)
 //                  --profile=FILE (hierarchical cost profile, DESIGN.md §4.5)
+//                  --dump-ir=FILE (frontend-neutral IR pretty-print)
 //                  --explain     (per-loop decision provenance)
+//
+// Inputs ending in .cl / .clike parse through the C-like frontend
+// (frontend/clike.h); everything else through the Fortran-77 parser. Both
+// converge on the same pre-sema Program.
 #include <charconv>
 #include <cstdio>
 #include <cstdlib>
@@ -27,8 +33,10 @@
 
 #include "panorama/analysis/analysis.h"
 #include "panorama/analysis/driver.h"
+#include "panorama/builder/builder.h"
 #include "panorama/codegen/annotate.h"
 #include "panorama/corpus/corpus.h"
+#include "panorama/frontend/clike.h"
 #include "panorama/frontend/parser.h"
 #include "panorama/obs/metrics.h"
 #include "panorama/obs/profile.h"
@@ -61,7 +69,9 @@ int usage() {
                "       --no-prefilter (FM-only queries: disable the abstract-domain tier)\n"
                "       --quantified --summaries --hsg --annotate\n"
                "       --threads=N (0 = all cores) --cache-capacity=N --no-cache --stats\n"
-               "       --trace=FILE --metrics=FILE --profile=FILE --explain\n");
+               "       --via-builder (ingest through the builder IR round-trip)\n"
+               "       --trace=FILE --metrics=FILE --profile=FILE --dump-ir=FILE --explain\n"
+               "inputs ending in .cl/.clike parse through the C-like frontend\n");
   return 2;
 }
 
@@ -132,15 +142,38 @@ bool writeObsArtifacts(const std::string& tracePath, const std::string& metricsP
 /// --corpus-run: the whole Table 1/2 corpus through the parallel driver, with
 /// per-loop reports (plus provenance under --explain) and the registry-driven
 /// stats block.
-int runWholeCorpus(const AnalysisOptions& options, bool explain, const std::string& tracePath,
-                   const std::string& metricsPath, const std::string& profilePath) {
-  CorpusAnalysisResult result = analyzeCorpusParallel(options);
+int runWholeCorpus(const AnalysisOptions& options, bool explain, CorpusIngest ingest,
+                   const std::string& tracePath, const std::string& metricsPath,
+                   const std::string& profilePath, const std::string& dumpIrPath) {
+  CorpusAnalysisResult result = analyzeCorpusParallel(options, ingest);
   for (const CorpusRoutineResult& r : result.loops) {
     std::printf("[%s]\n%s", r.kernelId.c_str(), r.report.c_str());
     if (explain) std::printf("%s", r.provenance.c_str());
     std::printf("\n");
   }
   std::printf("%s", formatCorpusStats(result).c_str());
+  if (!dumpIrPath.empty()) {
+    // One concatenated dump, kernels in corpus order.
+    std::string text;
+    std::size_t procs = 0;
+    for (const CorpusLoop& cl : perfectCorpus()) {
+      DiagnosticEngine diags;
+      std::optional<Program> program = parseProgram(cl.source, diags);
+      if (!program) continue;
+      if (!text.empty()) text += '\n';
+      text += "// kernel " + cl.id + '\n';
+      text += builder::dumpIr(*program);
+      procs += program->procedures.size();
+    }
+    FILE* f = std::fopen(dumpIrPath.c_str(), "w");
+    bool ok = f != nullptr && std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    if (f) ok = (std::fclose(f) == 0) && ok;
+    if (!ok) {
+      std::fprintf(stderr, "cannot write IR dump file '%s'\n", dumpIrPath.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "ir: %zu procedure(s) -> %s\n", procs, dumpIrPath.c_str());
+  }
   return writeObsArtifacts(tracePath, metricsPath, profilePath) ? 0 : 1;
 }
 
@@ -166,6 +199,38 @@ void publishFileRunMetrics(const SummaryStats& s, const QueryCache::Stats& qc,
   reg.counter("simplify_memo.evictions").set(memo.evictions);
 }
 
+/// True for inputs the C-like frontend owns (see clike.h).
+bool isCLikeInput(std::string_view name) {
+  auto endsWith = [&](std::string_view suffix) {
+    return name.size() >= suffix.size() &&
+           name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
+  };
+  return endsWith(".cl") || endsWith(".clike");
+}
+
+/// Frontend dispatch: one pre-sema Program regardless of surface syntax.
+std::optional<Program> parseInput(const std::string& inputName, const std::string& source,
+                                  DiagnosticEngine& diags) {
+  if (isCLikeInput(inputName)) return parseCLike(source, diags);
+  return parseProgram(source, diags);
+}
+
+/// --dump-ir=FILE: pretty-prints the frontend-neutral IR. Fails (with a
+/// diagnostic, like --trace/--metrics/--profile) when FILE is unwritable.
+bool writeIrDump(const std::string& path, const Program& program) {
+  if (path.empty()) return true;
+  const std::string text = builder::dumpIr(program);
+  FILE* f = std::fopen(path.c_str(), "w");
+  bool ok = f != nullptr && std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  if (f) ok = (std::fclose(f) == 0) && ok;
+  if (!ok) {
+    std::fprintf(stderr, "cannot write IR dump file '%s'\n", path.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "ir: %zu procedure(s) -> %s\n", program.procedures.size(), path.c_str());
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -177,9 +242,11 @@ int main(int argc, char** argv) {
   bool showStats = false;
   bool explain = false;
   bool corpusRun = false;
+  bool viaBuilder = false;
   std::string tracePath;
   std::string metricsPath;
   std::string profilePath;
+  std::string dumpIrPath;
   std::string reanalyzePath;
   std::string source;
   std::string inputName;
@@ -224,6 +291,14 @@ int main(int argc, char** argv) {
       metricsPath = std::string(arg.substr(10));
     } else if (arg.rfind("--profile=", 0) == 0) {
       profilePath = std::string(arg.substr(10));
+    } else if (arg.rfind("--dump-ir=", 0) == 0) {
+      dumpIrPath = std::string(arg.substr(10));
+      if (dumpIrPath.empty()) {
+        std::fprintf(stderr, "--dump-ir needs a file argument\n");
+        return 2;
+      }
+    } else if (arg == "--via-builder") {
+      viaBuilder = true;
     } else if (arg == "--corpus-run") {
       corpusRun = true;
     } else if (arg == "--corpus") {
@@ -261,7 +336,10 @@ int main(int argc, char** argv) {
   // The cost profile aggregates span buffers, so --profile implies tracing.
   if (!tracePath.empty() || !profilePath.empty()) obs::Tracer::global().enable();
 
-  if (corpusRun) return runWholeCorpus(options, explain, tracePath, metricsPath, profilePath);
+  if (corpusRun)
+    return runWholeCorpus(options, explain,
+                          viaBuilder ? CorpusIngest::BuilderRoundTrip : CorpusIngest::Parse,
+                          tracePath, metricsPath, profilePath, dumpIrPath);
   if (source.empty()) return usage();
 
   if (!reanalyzePath.empty()) {
@@ -276,13 +354,28 @@ int main(int argc, char** argv) {
     std::ostringstream buf;
     buf << in.rdbuf();
 
+    // Both submits go through the frontend-neutral entry point: parse (by
+    // extension-dispatched frontend) here, submit(Program) below.
+    DiagnosticEngine pdiags;
+    std::optional<Program> coldProgram = parseInput(inputName, source, pdiags);
+    if (!coldProgram) {
+      std::fprintf(stderr, "%s: parse failed\n%s", inputName.c_str(), pdiags.str().c_str());
+      return 1;
+    }
+    if (!writeIrDump(dumpIrPath, *coldProgram)) return 1;
+    std::optional<Program> warmProgram = parseInput(reanalyzePath, buf.str(), pdiags);
+    if (!warmProgram) {
+      std::fprintf(stderr, "%s: parse failed\n%s", reanalyzePath.c_str(), pdiags.str().c_str());
+      return 1;
+    }
+
     AnalysisSession session(options);
-    SessionResult cold = session.submit(source);
+    SessionResult cold = session.submit(std::move(*coldProgram));
     if (!cold.ok) {
       std::fprintf(stderr, "%s: analysis failed\n%s", inputName.c_str(), cold.error.c_str());
       return 1;
     }
-    SessionResult warm = session.submit(buf.str());
+    SessionResult warm = session.submit(std::move(*warmProgram));
     if (!warm.ok) {
       std::fprintf(stderr, "%s: re-analysis failed\n%s", reanalyzePath.c_str(),
                    warm.error.c_str());
@@ -307,10 +400,20 @@ int main(int argc, char** argv) {
   }
 
   DiagnosticEngine diags;
-  auto program = parseProgram(source, diags);
+  auto program = parseInput(inputName, source, diags);
   if (!program) {
     std::fprintf(stderr, "%s: parse failed\n%s", inputName.c_str(), diags.str().c_str());
     return 1;
+  }
+  if (!writeIrDump(dumpIrPath, *program)) return 1;
+  if (viaBuilder) {
+    builder::BuildResult rebuilt = builder::rebuild(*program);
+    if (!rebuilt.ok()) {
+      std::fprintf(stderr, "%s: builder round-trip failed\n%s", inputName.c_str(),
+                   rebuilt.error().c_str());
+      return 1;
+    }
+    program = std::move(rebuilt.program);
   }
   auto sema = analyze(*program, diags);
   if (!sema) {

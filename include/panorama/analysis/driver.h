@@ -16,6 +16,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -37,6 +39,33 @@ std::vector<std::vector<const Procedure*>> callGraphWaves(const SemaResult& sema
 /// concurrently. The result vector order is identical to the serial
 /// driver's. With pool.threadCount() <= 1 this *is* the serial driver.
 std::vector<LoopAnalysis> analyzeProgramParallel(SummaryAnalyzer& analyzer, ThreadPool& pool);
+
+/// Everything one analyzed program owns. The analyzer keeps references into
+/// program/sema/hsg, so the four live (and die) together; `loops` is in the
+/// serial driver's walk order.
+struct ProgramAnalysis {
+  Program program;
+  SemaResult sema;
+  Hsg hsg;
+  std::unique_ptr<SummaryAnalyzer> analyzer;
+  std::vector<LoopAnalysis> loops;
+  bool ok = false;
+  std::string error;  ///< sema/HSG diagnostics when !ok
+};
+
+/// Frontend-neutral batch entry point: analyzes a pre-sema `Program` from
+/// any producer — the F77 parser, the C-like frontend, or a ProgramBuilder —
+/// through sema → HSG → call-graph-wave summaries → per-loop fan-out on
+/// `pool`. The corpus driver, the single-file driver, and the second
+/// frontend all converge here; only the text-to-Program step differs.
+ProgramAnalysis analyzeProgramUnit(Program program, const AnalysisOptions& options,
+                                   ThreadPool& pool);
+
+/// How corpus kernels become Programs.
+enum class CorpusIngest : std::uint8_t {
+  Parse,             ///< F77 parser, directly
+  BuilderRoundTrip,  ///< parse → builder::rebuild() → analyze (validation replay)
+};
 
 /// One analyzed loop of one corpus kernel.
 struct CorpusRoutineResult {
@@ -67,8 +96,11 @@ struct CorpusAnalysisResult {
 /// result is fixed (corpus order, serial walk order) regardless of thread
 /// count. Quantified runs parallelize like any other: each analyzer
 /// carries its own ψ binding (PsiDims in CmpCtx), so kernels never share
-/// mutable symbolic state.
-CorpusAnalysisResult analyzeCorpusParallel(const AnalysisOptions& options = {});
+/// mutable symbolic state. `ingest` selects the direct parser path or the
+/// builder round-trip replay (`--via-builder`); both must produce identical
+/// loop reports — CI diffs them.
+CorpusAnalysisResult analyzeCorpusParallel(const AnalysisOptions& options = {},
+                                           CorpusIngest ingest = CorpusIngest::Parse);
 
 /// Publishes every counter of a corpus run — classifications, summary cost,
 /// query-cache and simplify-memo counters, provenance volume — into the

@@ -1,0 +1,39 @@
+// The second frontend: a small C-like DSL that parses into the
+// frontend-neutral ProgramBuilder API (it never constructs AST nodes
+// directly — everything goes through panorama::builder). Existence proof
+// that the analysis pipeline is decoupled from the Fortran-77 parser.
+//
+// Surface syntax (free-form, `//` comments, ';' statement terminators):
+//
+//   main shallow() {                      // PROGRAM unit
+//     const n = 1000;                     // PARAMETER constant
+//     int i, j;                           // INTEGER scalars
+//     real a[1000], b[1000, 64];          // REAL arrays (upper bounds)
+//     bool flag;                          // LOGICAL scalar
+//     shared(blk) a, j;                   // COMMON /blk/ a, j
+//     for (i = 1 to n step 2) {           // DO i = 1, n, 2
+//       if (a[i] > 0.0) { a[i] = b[i, 1]; } else { j = j + 1; }
+//       interp(i, j);                     // CALL interp(i, j)
+//     }
+//     return;
+//   }
+//   proc interp(i, j) { ... }             // SUBROUTINE
+//
+// Expressions use C precedence/operators (`&& || ! == != < <= > >=`),
+// `a[i, j]` for array elements, `name(args)` for intrinsics (max, min, mod,
+// abs, ...). There is no GOTO — structured control flow only.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "panorama/ast/ast.h"
+
+namespace panorama {
+
+/// Parses C-like DSL source into the shared pre-sema Program (via the
+/// builder's validation layer). Returns nullopt when any syntax or builder
+/// diagnostic was reported.
+std::optional<Program> parseCLike(std::string_view source, DiagnosticEngine& diags);
+
+}  // namespace panorama

@@ -22,9 +22,18 @@ enum class TokKind : std::uint8_t {
   Plus, Minus, Star, Slash, Power,   // + - * / **
   LParen, RParen, Comma, Colon, Assign,  // ( ) , : =
   Lt, Le, Gt, Ge, EqEq, Ne,          // relationals (both .LT. and < styles)
-  And, Or, Not,                      // .AND. .OR. .NOT.
-  TrueLit, FalseLit,                 // .TRUE. .FALSE.
+  And, Or, Not,                      // .AND. .OR. .NOT.  (&& || ! in C-like)
+  TrueLit, FalseLit,                 // .TRUE. .FALSE.  (true/false in C-like)
+  LBrace, RBrace,                    // { }  (C-like dialect only)
+  LBracket, RBracket,                // [ ]  (C-like dialect only)
+  Semicolon,                         // ;    (C-like dialect only)
 };
+
+/// The two surface syntaxes sharing this tokenizer. `Fortran` is the
+/// newline-terminated F77 subset; `CLike` is free-form (newlines are
+/// whitespace, statements end at ';'), comments are `//`, logical operators
+/// are `&& || !`, and braces/brackets are real tokens.
+enum class LexDialect : std::uint8_t { Fortran, CLike };
 
 struct Token {
   TokKind kind = TokKind::Eof;
@@ -41,7 +50,8 @@ struct Token {
 /// Tokenizes `source`. Lexical errors are reported into `diags`; the token
 /// stream is still returned (error tokens are skipped) so the parser can
 /// recover enough to report further problems.
-std::vector<Token> lex(std::string_view source, DiagnosticEngine& diags);
+std::vector<Token> lex(std::string_view source, DiagnosticEngine& diags,
+                       LexDialect dialect = LexDialect::Fortran);
 
 const char* tokKindName(TokKind k);
 

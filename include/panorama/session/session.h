@@ -105,6 +105,14 @@ class AnalysisSession {
   /// was — the previous program stays live and queryable.
   SessionResult submit(const std::string& source);
 
+  /// Frontend-neutral entry point: analyzes an already-constructed pre-sema
+  /// `Program` (from the F77 parser, the C-like frontend, or a
+  /// ProgramBuilder) incrementally against the session state. The string
+  /// overload is exactly parse + this. Fingerprints are structural and
+  /// SourceLoc-blind, so a builder-constructed procedure that equals a
+  /// parsed one diffs as unchanged — the two frontends share one cache.
+  SessionResult submit(Program program);
+
   /// Replaces the analysis options. Ablation-relevant changes invalidate
   /// every unit on the next submit and bump the query-cache epoch (O(1)
   /// verdict invalidation); execution-only changes (threads) do not.

@@ -7,6 +7,7 @@
 #include <memory>
 #include <utility>
 
+#include "panorama/builder/builder.h"
 #include "panorama/corpus/corpus.h"
 #include "panorama/frontend/parser.h"
 #include "panorama/hsg/hsg.h"
@@ -99,21 +100,44 @@ std::vector<LoopAnalysis> analyzeProgramParallel(SummaryAnalyzer& analyzer, Thre
   return out;
 }
 
+ProgramAnalysis analyzeProgramUnit(Program program, const AnalysisOptions& options,
+                                   ThreadPool& pool) {
+  ProgramAnalysis out;
+  out.program = std::move(program);
+  DiagnosticEngine diags;
+  auto sr = [&] {
+    obs::Span s("frontend.sema", "program unit");
+    return analyze(out.program, diags);
+  }();
+  if (!sr) {
+    out.error = diags.str();
+    return out;
+  }
+  out.sema = std::move(*sr);
+  {
+    obs::Span s("frontend.hsg", "program unit");
+    out.hsg = buildHsg(out.program, out.sema, diags);
+  }
+  if (diags.hasErrors()) {
+    out.error = diags.str();
+    return out;
+  }
+  out.analyzer = std::make_unique<SummaryAnalyzer>(out.program, out.sema, out.hsg, options);
+  out.loops = analyzeProgramParallel(*out.analyzer, pool);
+  out.ok = true;
+  return out;
+}
+
 namespace {
 
-/// Everything one corpus kernel's analysis owns (the analyzer keeps
-/// references into program/sema/hsg, so they live together).
+/// One corpus kernel's text-to-Program step plus its ProgramAnalysis.
 struct KernelJob {
   const CorpusLoop* cl = nullptr;
-  Program program;
-  SemaResult sema;
-  Hsg hsg;
-  std::unique_ptr<SummaryAnalyzer> analyzer;
-  std::vector<LoopAnalysis> loops;
-  bool ok = false;
+  ProgramAnalysis pa;
 };
 
-void runKernel(KernelJob& job, const AnalysisOptions& options, ThreadPool& pool) {
+void runKernel(KernelJob& job, const AnalysisOptions& options, ThreadPool& pool,
+               CorpusIngest ingest) {
   obs::Span span("corpus.kernel", job.cl->id);
   DiagnosticEngine diags;
   auto parsed = [&] {
@@ -121,25 +145,22 @@ void runKernel(KernelJob& job, const AnalysisOptions& options, ThreadPool& pool)
     return parseProgram(job.cl->source, diags);
   }();
   if (!parsed) return;
-  job.program = std::move(*parsed);
-  auto sr = [&] {
-    obs::Span s("frontend.sema", job.cl->id);
-    return analyze(job.program, diags);
-  }();
-  if (!sr) return;
-  job.sema = std::move(*sr);
-  {
-    obs::Span s("frontend.hsg", job.cl->id);
-    job.hsg = buildHsg(job.program, job.sema, diags);
+  Program program = std::move(*parsed);
+  if (ingest == CorpusIngest::BuilderRoundTrip) {
+    obs::Span s("frontend.rebuild", job.cl->id);
+    builder::BuildResult rebuilt = builder::rebuild(program);
+    if (!rebuilt.ok()) {
+      job.pa.error = rebuilt.error();
+      return;
+    }
+    program = std::move(*rebuilt.program);
   }
-  job.analyzer = std::make_unique<SummaryAnalyzer>(job.program, job.sema, job.hsg, options);
-  job.loops = analyzeProgramParallel(*job.analyzer, pool);
-  job.ok = true;
+  job.pa = analyzeProgramUnit(std::move(program), options, pool);
 }
 
 }  // namespace
 
-CorpusAnalysisResult analyzeCorpusParallel(const AnalysisOptions& options) {
+CorpusAnalysisResult analyzeCorpusParallel(const AnalysisOptions& options, CorpusIngest ingest) {
   obs::Span span("corpus.run", "perfect corpus");
   QueryCache::global().configure(options.cacheCapacity);
   setQueryTierEnabled(options.prefilter);
@@ -162,12 +183,13 @@ CorpusAnalysisResult analyzeCorpusParallel(const AnalysisOptions& options) {
   std::vector<std::function<void()>> tasks;
   tasks.reserve(jobs.size());
   for (KernelJob& job : jobs)
-    tasks.push_back([&job, &options, &pool] { runKernel(job, options, pool); });
+    tasks.push_back([&job, &options, &pool, ingest] { runKernel(job, options, pool, ingest); });
   pool.runBatch(std::move(tasks));
 
   CorpusAnalysisResult result;
   result.threadsUsed = pool.threadCount();
-  for (const KernelJob& job : jobs) {
+  for (const KernelJob& kj : jobs) {
+    const ProgramAnalysis& job = kj.pa;
     if (!job.ok) continue;
     SummaryStats s = job.analyzer->stats();
     result.summaryStats.blockSteps += s.blockSteps;
@@ -178,7 +200,7 @@ CorpusAnalysisResult analyzeCorpusParallel(const AnalysisOptions& options) {
     result.summaryStats.garsCreated += s.garsCreated;
     for (const LoopAnalysis& la : job.loops) {
       CorpusRoutineResult r;
-      r.kernelId = job.cl->id;
+      r.kernelId = kj.cl->id;
       r.procName = la.procName;
       r.line = la.line;
       r.classification = la.classification;

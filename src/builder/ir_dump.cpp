@@ -1,0 +1,208 @@
+// dumpIr(): human-readable rendering of the frontend-neutral IR — the region
+// tree (loops/guards), the basic blocks with their array reads/writes and
+// calls, and the implied intra-region edge chains. Consumed by
+// `panorama_driver --dump-ir=FILE`; deterministic for golden tests.
+#include <string>
+#include <vector>
+
+#include "panorama/ast/sema.h"
+#include "panorama/builder/builder.h"
+
+namespace panorama::builder {
+namespace {
+
+struct Dumper {
+  std::string out;
+  int blockId = 0;
+
+  void line(int depth, const std::string& text) {
+    out.append(static_cast<std::size_t>(depth) * 2, ' ');
+    out += text;
+    out += '\n';
+  }
+
+  static void appendList(std::string& dst, const std::vector<std::string>& items) {
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (i != 0) dst += ", ";
+      dst += items[i];
+    }
+  }
+
+  /// Array accesses inside one expression. `reads` collects subscripted
+  /// references that are not intrinsic calls; intrinsic arguments are
+  /// scanned recursively.
+  void collectReads(const Expr& e, std::vector<std::string>& reads) {
+    if (e.kind == Expr::Kind::ArrayRef && !isIntrinsicName(e.name)) reads.push_back(toString(e));
+    // Subscripts and intrinsic arguments may themselves read arrays (a(b(i))).
+    for (const ExprPtr& a : e.args) collectReads(*a, reads);
+  }
+
+  static std::string loc(const Stmt& s) {
+    if (s.loc.line == 0) return {};
+    return " @" + std::to_string(s.loc.line);
+  }
+
+  void dumpBlock(const std::vector<StmtPtr>& body, std::size_t begin, std::size_t end, int depth,
+                 std::string& name) {
+    name = "bb" + std::to_string(blockId++);
+    std::vector<std::string> reads, writes, calls, flow;
+    for (std::size_t i = begin; i < end; ++i) {
+      const Stmt& s = *body[i];
+      switch (s.kind) {
+        case Stmt::Kind::Assign:
+          if (s.lhs->kind == Expr::Kind::VarRef) {
+            writes.push_back(s.lhs->name);
+          } else {
+            writes.push_back(toString(*s.lhs));
+            for (const ExprPtr& a : s.lhs->args) collectReads(*a, reads);
+          }
+          collectReads(*s.rhs, reads);
+          break;
+        case Stmt::Kind::Call: {
+          std::string c = s.callee + "(";
+          std::vector<std::string> args;
+          for (const ExprPtr& a : s.args) {
+            args.push_back(toString(*a));
+            collectReads(*a, reads);
+          }
+          appendList(c, args);
+          c += ")";
+          calls.push_back(std::move(c));
+          break;
+        }
+        case Stmt::Kind::Goto:
+          flow.push_back("goto " + std::to_string(s.gotoLabel));
+          break;
+        case Stmt::Kind::Continue:
+          if (s.label != 0) flow.push_back("label " + std::to_string(s.label));
+          break;
+        case Stmt::Kind::Return:
+          flow.push_back("return");
+          break;
+        case Stmt::Kind::Stop:
+          flow.push_back("stop");
+          break;
+        default:
+          break;
+      }
+    }
+    std::string head = name + loc(*body[begin]) + " (" + std::to_string(end - begin) +
+                       (end - begin == 1 ? " stmt)" : " stmts)");
+    line(depth, head);
+    auto emit = [&](const char* tag, std::vector<std::string>& items) {
+      if (items.empty()) return;
+      std::string text = std::string(tag) + ": ";
+      appendList(text, items);
+      line(depth + 1, text);
+    };
+    emit("writes", writes);
+    emit("reads", reads);
+    emit("calls", calls);
+    emit("flow", flow);
+  }
+
+  void dumpBody(const std::vector<StmtPtr>& body, int depth) {
+    std::vector<std::string> chain;
+    std::size_t i = 0;
+    while (i < body.size()) {
+      const Stmt& s = *body[i];
+      if (s.kind == Stmt::Kind::Do) {
+        std::string head = "loop " + s.doVar + " = " + toString(*s.lo) + ", " + toString(*s.hi);
+        if (s.step) head += ", " + toString(*s.step);
+        if (s.label != 0) head += " [label " + std::to_string(s.label) + "]";
+        head += loc(s) + " {";
+        line(depth, head);
+        dumpBody(s.body, depth + 1);
+        line(depth, "}");
+        chain.push_back("loop." + s.doVar);
+        ++i;
+      } else if (s.kind == Stmt::Kind::If) {
+        line(depth, "guard (" + toString(*s.cond) + ")" + loc(s) + " {");
+        dumpBody(s.thenBody, depth + 1);
+        if (!s.elseBody.empty()) {
+          line(depth, "} else {");
+          dumpBody(s.elseBody, depth + 1);
+        }
+        line(depth, "}");
+        chain.push_back("guard");
+        ++i;
+      } else {
+        std::size_t j = i;
+        while (j < body.size() && body[j]->kind != Stmt::Kind::Do &&
+               body[j]->kind != Stmt::Kind::If)
+          ++j;
+        std::string name;
+        dumpBlock(body, i, j, depth, name);
+        chain.push_back(std::move(name));
+        i = j;
+      }
+    }
+    if (chain.size() > 1) {
+      std::string text = "edges: ";
+      for (std::size_t k = 0; k < chain.size(); ++k) {
+        if (k != 0) text += " >> ";
+        text += chain[k];
+      }
+      line(depth, text);
+    }
+  }
+
+  void dumpDecl(const VarDecl& d, int depth) {
+    std::string text;
+    switch (d.type) {
+      case BaseType::Integer: text = "integer "; break;
+      case BaseType::Real: text = "real "; break;
+      case BaseType::Logical: text = "logical "; break;
+    }
+    text += d.name;
+    if (d.isArray()) {
+      text += "(";
+      std::vector<std::string> bounds;
+      for (const VarDecl::DimBound& b : d.dims) {
+        std::string dim;
+        if (b.lo) dim += toString(*b.lo) + ":";
+        dim += b.up ? toString(*b.up) : "*";
+        bounds.push_back(std::move(dim));
+      }
+      appendList(text, bounds);
+      text += ")";
+    }
+    line(depth, text);
+  }
+
+  void dumpProcedure(const Procedure& p) {
+    std::string head = (p.isMain ? "program " : "procedure ") + p.name;
+    if (!p.params.empty()) {
+      head += "(";
+      appendList(head, p.params);
+      head += ")";
+    }
+    if (p.loc.line != 0) head += " @" + std::to_string(p.loc.line);
+    head += " {";
+    line(0, head);
+    for (const VarDecl& d : p.decls) dumpDecl(d, 1);
+    for (const ParamConst& pc : p.paramConsts)
+      line(1, "const " + pc.name + " = " + toString(*pc.value));
+    for (const CommonBlock& blk : p.commons) {
+      std::string text = "common /" + blk.name + "/ ";
+      appendList(text, blk.vars);
+      line(1, text);
+    }
+    dumpBody(p.body, 1);
+    line(0, "}");
+  }
+};
+
+}  // namespace
+
+std::string dumpIr(const Program& program) {
+  Dumper d;
+  for (std::size_t i = 0; i < program.procedures.size(); ++i) {
+    if (i != 0) d.out += '\n';
+    d.blockId = 0;
+    d.dumpProcedure(program.procedures[i]);
+  }
+  return d.out;
+}
+
+}  // namespace panorama::builder

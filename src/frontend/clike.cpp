@@ -1,0 +1,423 @@
+// Recursive-descent parser for the C-like DSL (see clike.h for the
+// grammar). Reuses the shared tokenizer in its CLike dialect and emits the
+// program exclusively through the panorama::builder fluent API — this file
+// is the proof that a frontend needs nothing from the F77 parser or the AST
+// constructors to reach the full analysis pipeline.
+#include "panorama/frontend/clike.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "panorama/builder/builder.h"
+#include "panorama/frontend/lexer.h"
+
+namespace panorama {
+
+namespace {
+
+using builder::Val;
+
+class CLikeParser {
+ public:
+  CLikeParser(std::vector<Token> tokens, DiagnosticEngine& diags)
+      : tokens_(std::move(tokens)), diags_(diags) {}
+
+  bool run(builder::ProgramBuilder& b) {
+    while (!at(TokKind::Eof) && !fatal_) parseUnit(b);
+    return !fatal_ && !diags_.hasErrors();
+  }
+
+ private:
+  const Token& cur() const { return tokens_[pos_]; }
+  const Token& take() { return tokens_[pos_++]; }
+  bool at(TokKind k) const { return cur().kind == k; }
+  bool atWord(std::string_view w) const { return cur().isWord(w); }
+
+  bool accept(TokKind k) {
+    if (!at(k)) return false;
+    ++pos_;
+    return true;
+  }
+
+  void expect(TokKind k, const char* context) {
+    if (accept(k)) return;
+    diags_.error(cur().loc, std::string("expected ") + tokKindName(k) + " " + context + ", got " +
+                                tokKindName(cur().kind));
+    fatal_ = true;
+  }
+
+  std::string expectIdent(const char* context) {
+    if (at(TokKind::Ident)) return take().text;
+    diags_.error(cur().loc,
+                 std::string("expected identifier ") + context + ", got " + tokKindName(cur().kind));
+    fatal_ = true;
+    return {};
+  }
+
+  void syncAt(const Token& t, builder::ProcedureBuilder& pb) {
+    pb.at(static_cast<int>(t.loc.line), static_cast<int>(t.loc.column));
+  }
+
+  // ------------------------------------------------------------ units
+
+  void parseUnit(builder::ProgramBuilder& b) {
+    const Token& kw = cur();
+    bool isMain = kw.isWord("main");
+    if (!isMain && !kw.isWord("proc")) {
+      diags_.error(kw.loc, "expected 'main' or 'proc' at top level, got " +
+                               (kw.kind == TokKind::Ident ? "'" + kw.text + "'"
+                                                          : std::string(tokKindName(kw.kind))));
+      fatal_ = true;
+      return;
+    }
+    take();
+    std::string name = expectIdent("as unit name");
+    if (fatal_) return;
+    builder::ProcedureBuilder& pb = isMain ? b.mainProgram(name) : b.procedure(name);
+    syncAt(kw, pb);
+    expect(TokKind::LParen, "after unit name");
+    if (!at(TokKind::RParen)) {
+      do {
+        pb.param(expectIdent("as formal parameter"));
+      } while (!fatal_ && accept(TokKind::Comma));
+    }
+    expect(TokKind::RParen, "after formal parameters");
+    expect(TokKind::LBrace, "to open the unit body");
+    while (!fatal_ && !at(TokKind::RBrace) && !at(TokKind::Eof)) parseItem(pb);
+    expect(TokKind::RBrace, "to close the unit body");
+  }
+
+  void parseItem(builder::ProcedureBuilder& pb) {
+    if (atWord("int") || atWord("real") || atWord("bool")) {
+      parseDecl(pb);
+    } else if (atWord("const")) {
+      parseConst(pb);
+    } else if (atWord("shared")) {
+      parseShared(pb);
+    } else {
+      parseStmt(pb);
+    }
+  }
+
+  // ----------------------------------------------------- declarations
+
+  void parseDecl(builder::ProcedureBuilder& pb) {
+    syncAt(cur(), pb);
+    const std::string kw = take().text;
+    BaseType type = kw == "int"    ? BaseType::Integer
+                    : kw == "bool" ? BaseType::Logical
+                                   : BaseType::Real;
+    do {
+      const Token& nameTok = cur();
+      std::string name = expectIdent("in declaration");
+      if (fatal_) return;
+      syncAt(nameTok, pb);
+      if (accept(TokKind::LBracket)) {
+        std::vector<Val> bounds;
+        do {
+          bounds.push_back(parseExpr());
+        } while (!fatal_ && accept(TokKind::Comma));
+        expect(TokKind::RBracket, "after array bounds");
+        pb.array(std::move(name), std::move(bounds), type);
+      } else {
+        pb.scalar(std::move(name), type);
+      }
+    } while (!fatal_ && accept(TokKind::Comma));
+    expect(TokKind::Semicolon, "after declaration");
+  }
+
+  void parseConst(builder::ProcedureBuilder& pb) {
+    syncAt(cur(), pb);
+    take();  // 'const'
+    std::string name = expectIdent("as constant name");
+    expect(TokKind::Assign, "in constant definition");
+    Val value = parseExpr();
+    expect(TokKind::Semicolon, "after constant definition");
+    if (!fatal_) pb.constant(std::move(name), std::move(value));
+  }
+
+  void parseShared(builder::ProcedureBuilder& pb) {
+    syncAt(cur(), pb);
+    take();  // 'shared'
+    expect(TokKind::LParen, "after 'shared'");
+    std::string blockName = expectIdent("as shared-block name");
+    expect(TokKind::RParen, "after shared-block name");
+    std::vector<std::string> vars;
+    do {
+      vars.push_back(expectIdent("in shared-block list"));
+    } while (!fatal_ && accept(TokKind::Comma));
+    expect(TokKind::Semicolon, "after shared-block list");
+    if (!fatal_) pb.common(std::move(blockName), std::move(vars));
+  }
+
+  // ------------------------------------------------------- statements
+
+  void parseStmt(builder::ProcedureBuilder& pb) {
+    const Token& first = cur();
+    syncAt(first, pb);
+    if (atWord("for")) {
+      parseFor(pb);
+      return;
+    }
+    if (atWord("if")) {
+      parseIf(pb);
+      return;
+    }
+    if (atWord("return")) {
+      take();
+      expect(TokKind::Semicolon, "after 'return'");
+      pb.ret();
+      return;
+    }
+    if (atWord("stop")) {
+      take();
+      expect(TokKind::Semicolon, "after 'stop'");
+      pb.stop();
+      return;
+    }
+    if (!at(TokKind::Ident)) {
+      diags_.error(first.loc, std::string("expected a statement, got ") + tokKindName(first.kind));
+      fatal_ = true;
+      return;
+    }
+    std::string name = take().text;
+    if (at(TokKind::LParen)) {
+      // Call statement: name(args);
+      take();
+      std::vector<Val> args;
+      if (!at(TokKind::RParen)) {
+        do {
+          args.push_back(parseExpr());
+        } while (!fatal_ && accept(TokKind::Comma));
+      }
+      expect(TokKind::RParen, "after call arguments");
+      expect(TokKind::Semicolon, "after call");
+      if (!fatal_) pb.call(std::move(name), std::move(args));
+      return;
+    }
+    if (accept(TokKind::LBracket)) {
+      std::vector<Val> subs;
+      do {
+        subs.push_back(parseExpr());
+      } while (!fatal_ && accept(TokKind::Comma));
+      expect(TokKind::RBracket, "after subscripts");
+      expect(TokKind::Assign, "in array store");
+      Val value = parseExpr();
+      expect(TokKind::Semicolon, "after assignment");
+      if (!fatal_) pb.store(std::move(name), std::move(subs), std::move(value));
+      return;
+    }
+    expect(TokKind::Assign, "in assignment");
+    Val value = parseExpr();
+    expect(TokKind::Semicolon, "after assignment");
+    if (!fatal_) pb.assign(std::move(name), std::move(value));
+  }
+
+  void parseFor(builder::ProcedureBuilder& pb) {
+    take();  // 'for'
+    expect(TokKind::LParen, "after 'for'");
+    std::string var = expectIdent("as loop variable");
+    expect(TokKind::Assign, "in loop header");
+    Val lo = parseExpr();
+    if (!atWord("to")) {
+      diags_.error(cur().loc, "expected 'to' in loop header");
+      fatal_ = true;
+      return;
+    }
+    take();
+    Val hi = parseExpr();
+    bool hasStep = false;
+    Val step = Val(1);
+    if (atWord("step")) {
+      take();
+      step = parseExpr();
+      hasStep = true;
+    }
+    expect(TokKind::RParen, "after loop header");
+    if (fatal_) return;
+    if (hasStep)
+      pb.beginLoop(std::move(var), std::move(lo), std::move(hi), std::move(step));
+    else
+      pb.beginLoop(std::move(var), std::move(lo), std::move(hi));
+    parseBlock(pb);
+    pb.endLoop();
+  }
+
+  void parseIf(builder::ProcedureBuilder& pb) {
+    take();  // 'if'
+    expect(TokKind::LParen, "after 'if'");
+    Val cond = parseExpr();
+    expect(TokKind::RParen, "after condition");
+    if (fatal_) return;
+    pb.beginGuard(std::move(cond));
+    parseBlock(pb);
+    if (atWord("else")) {
+      take();
+      pb.beginElse();
+      if (atWord("if")) {
+        // else-if chains nest, exactly like the F77 parser's ELSE IF.
+        parseIf(pb);
+      } else {
+        parseBlock(pb);
+      }
+    }
+    pb.endGuard();
+  }
+
+  void parseBlock(builder::ProcedureBuilder& pb) {
+    expect(TokKind::LBrace, "to open a block");
+    while (!fatal_ && !at(TokKind::RBrace) && !at(TokKind::Eof)) parseItem(pb);
+    expect(TokKind::RBrace, "to close a block");
+  }
+
+  // ------------------------------------------------------ expressions
+  // C precedence: || < && < ! < relational < additive < multiplicative
+  // < unary minus < primary. No exponent operator; use pow(a, b).
+
+  Val parseExpr() { return parseOr(); }
+
+  Val parseOr() {
+    Val l = parseAnd();
+    while (!fatal_ && accept(TokKind::Or)) l = std::move(l) || parseAnd();
+    return l;
+  }
+
+  Val parseAnd() {
+    Val l = parseNot();
+    while (!fatal_ && accept(TokKind::And)) l = std::move(l) && parseNot();
+    return l;
+  }
+
+  Val parseNot() {
+    if (accept(TokKind::Not)) return !parseNot();
+    return parseRel();
+  }
+
+  Val parseRel() {
+    Val l = parseAdd();
+    if (fatal_) return l;
+    switch (cur().kind) {
+      case TokKind::Lt: take(); return std::move(l) < parseAdd();
+      case TokKind::Le: take(); return std::move(l) <= parseAdd();
+      case TokKind::Gt: take(); return std::move(l) > parseAdd();
+      case TokKind::Ge: take(); return std::move(l) >= parseAdd();
+      case TokKind::EqEq: take(); return std::move(l) == parseAdd();
+      case TokKind::Ne: take(); return std::move(l) != parseAdd();
+      default: return l;
+    }
+  }
+
+  Val parseAdd() {
+    Val l = parseMul();
+    while (!fatal_) {
+      if (accept(TokKind::Plus))
+        l = std::move(l) + parseMul();
+      else if (accept(TokKind::Minus))
+        l = std::move(l) - parseMul();
+      else
+        break;
+    }
+    return l;
+  }
+
+  Val parseMul() {
+    Val l = parseUnary();
+    while (!fatal_) {
+      if (accept(TokKind::Star))
+        l = std::move(l) * parseUnary();
+      else if (accept(TokKind::Slash))
+        l = std::move(l) / parseUnary();
+      else
+        break;
+    }
+    return l;
+  }
+
+  Val parseUnary() {
+    if (accept(TokKind::Minus)) return -parseUnary();
+    if (accept(TokKind::Plus)) return parseUnary();
+    return parsePrimary();
+  }
+
+  Val parsePrimary() {
+    const Token& t = cur();
+    switch (t.kind) {
+      case TokKind::IntLit:
+        take();
+        return builder::cst(t.intValue);
+      case TokKind::RealLit:
+        take();
+        return builder::rcst(t.realValue);
+      case TokKind::TrueLit:
+        take();
+        return builder::lcst(true);
+      case TokKind::FalseLit:
+        take();
+        return builder::lcst(false);
+      case TokKind::LParen: {
+        take();
+        Val inner = parseExpr();
+        expect(TokKind::RParen, "after parenthesized expression");
+        return inner;
+      }
+      case TokKind::Ident: {
+        std::string name = take().text;
+        if (accept(TokKind::LBracket)) {
+          std::vector<Val> subs;
+          do {
+            subs.push_back(parseExpr());
+          } while (!fatal_ && accept(TokKind::Comma));
+          expect(TokKind::RBracket, "after subscripts");
+          return builder::elem(std::move(name), std::move(subs));
+        }
+        if (accept(TokKind::LParen)) {
+          std::vector<Val> args;
+          if (!at(TokKind::RParen)) {
+            do {
+              args.push_back(parseExpr());
+            } while (!fatal_ && accept(TokKind::Comma));
+          }
+          expect(TokKind::RParen, "after intrinsic arguments");
+          return builder::fn(std::move(name), std::move(args));
+        }
+        return builder::sym(std::move(name));
+      }
+      default:
+        diags_.error(t.loc,
+                     std::string("expected an expression, got ") + tokKindName(t.kind));
+        fatal_ = true;
+        return Val(0);
+    }
+  }
+
+  std::vector<Token> tokens_;
+  DiagnosticEngine& diags_;
+  std::size_t pos_ = 0;
+  bool fatal_ = false;
+};
+
+}  // namespace
+
+std::optional<Program> parseCLike(std::string_view source, DiagnosticEngine& diags) {
+  std::vector<Token> tokens = lex(source, diags, LexDialect::CLike);
+  if (diags.hasErrors()) return std::nullopt;
+
+  builder::ProgramBuilder b;
+  CLikeParser parser(std::move(tokens), diags);
+  if (!parser.run(b)) return std::nullopt;
+
+  builder::BuildResult result = b.build();
+  for (const Diagnostic& d : result.diags.diagnostics()) {
+    if (d.kind == DiagKind::Error)
+      diags.error(d.loc, d.message);
+    else if (d.kind == DiagKind::Warning)
+      diags.warning(d.loc, d.message);
+    else
+      diags.note(d.loc, d.message);
+  }
+  if (!result.ok()) return std::nullopt;
+  return std::move(result.program);
+}
+
+}  // namespace panorama

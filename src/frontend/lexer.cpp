@@ -13,9 +13,11 @@ char lower(char c) { return static_cast<char>(std::tolower(static_cast<unsigned 
 
 class Lexer {
  public:
-  Lexer(std::string_view src, DiagnosticEngine& diags) : src_(src), diags_(diags) {}
+  Lexer(std::string_view src, DiagnosticEngine& diags, LexDialect dialect)
+      : src_(src), diags_(diags), clike_(dialect == LexDialect::CLike) {}
 
   std::vector<Token> run() {
+    if (clike_) return runCLike();
     while (!atEnd()) lexLine();
     push(TokKind::Eof);
     return std::move(tokens_);
@@ -91,6 +93,29 @@ class Lexer {
     if (atEnd()) emitNewlineIfNeeded();
   }
 
+  std::vector<Token> runCLike() {
+    // Free-form: newlines are ordinary whitespace (no Newline tokens),
+    // statements end at ';', comments run from "//" to end of line.
+    while (!atEnd()) {
+      char c = peek();
+      if (c == '\n') {
+        newline();
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r') {
+        advance();
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        skipToEol();
+        continue;
+      }
+      lexToken();
+    }
+    push(TokKind::Eof);
+    return std::move(tokens_);
+  }
+
   void emitNewline() {
     newline();
     emitNewlineIfNeeded();
@@ -111,6 +136,10 @@ class Lexer {
     if (isIdentStart(c)) {
       std::string word;
       while (!atEnd() && isIdentChar(peek())) word.push_back(lower(advance()));
+      if (clike_ && (word == "true" || word == "false")) {
+        push(word == "true" ? TokKind::TrueLit : TokKind::FalseLit, loc);
+        return;
+      }
       Token t;
       t.kind = TokKind::Ident;
       t.loc = loc;
@@ -123,11 +152,46 @@ class Lexer {
       lexNumber(loc);
       return;
     }
-    if (c == '.') {
+    if (c == '.' && !clike_) {
       lexDotWord(loc);
       return;
     }
     advance();
+    if (clike_) {
+      switch (c) {
+        case '{': push(TokKind::LBrace, loc); return;
+        case '}': push(TokKind::RBrace, loc); return;
+        case '[': push(TokKind::LBracket, loc); return;
+        case ']': push(TokKind::RBracket, loc); return;
+        case ';': push(TokKind::Semicolon, loc); return;
+        case '!':
+          if (peek() == '=') {
+            advance();
+            push(TokKind::Ne, loc);
+          } else {
+            push(TokKind::Not, loc);
+          }
+          return;
+        case '&':
+          if (peek() == '&') {
+            advance();
+            push(TokKind::And, loc);
+          } else {
+            diags_.error(loc, "expected '&&'");
+          }
+          return;
+        case '|':
+          if (peek() == '|') {
+            advance();
+            push(TokKind::Or, loc);
+          } else {
+            diags_.error(loc, "expected '||'");
+          }
+          return;
+        case '/': push(TokKind::Slash, loc); return;  // '/=' is Fortran-only
+        default: break;
+      }
+    }
     switch (c) {
       case '+': push(TokKind::Plus, loc); return;
       case '-': push(TokKind::Minus, loc); return;
@@ -248,6 +312,7 @@ class Lexer {
 
   std::string_view src_;
   DiagnosticEngine& diags_;
+  bool clike_ = false;
   std::vector<Token> tokens_;
   std::size_t pos_ = 0;
   std::uint32_t line_ = 1;
@@ -256,8 +321,8 @@ class Lexer {
 
 }  // namespace
 
-std::vector<Token> lex(std::string_view source, DiagnosticEngine& diags) {
-  return Lexer(source, diags).run();
+std::vector<Token> lex(std::string_view source, DiagnosticEngine& diags, LexDialect dialect) {
+  return Lexer(source, diags, dialect).run();
 }
 
 const char* tokKindName(TokKind k) {
@@ -288,6 +353,11 @@ const char* tokKindName(TokKind k) {
     case TokKind::Not: return "'.not.'";
     case TokKind::TrueLit: return "'.true.'";
     case TokKind::FalseLit: return "'.false.'";
+    case TokKind::LBrace: return "'{'";
+    case TokKind::RBrace: return "'}'";
+    case TokKind::LBracket: return "'['";
+    case TokKind::RBracket: return "']'";
+    case TokKind::Semicolon: return "';'";
   }
   return "?";
 }

@@ -124,17 +124,20 @@ std::uint64_t AnalysisSession::summaryEpochOf(const std::string& name) const {
 }
 
 SessionResult AnalysisSession::submit(const std::string& source) {
-  obs::Span span("session", "session.reanalyze");
-  SessionResult out;
-
-  // 1. Parse.
+  // 1. Parse; all remaining steps are frontend-neutral.
   DiagnosticEngine pdiags;
   std::optional<Program> parsed = parseProgram(source, pdiags);
   if (!parsed) {
+    SessionResult out;
     out.error = pdiags.str();
     return out;
   }
-  Program incoming = std::move(*parsed);
+  return submit(std::move(*parsed));
+}
+
+SessionResult AnalysisSession::submit(Program incoming) {
+  obs::Span span("session", "session.reanalyze");
+  SessionResult out;
 
   // Fingerprint before sema touches the AST (sema reclassifies intrinsic
   // refs in place; fingerprints must be comparable across submits).
