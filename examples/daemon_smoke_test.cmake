@@ -1,0 +1,110 @@
+# End-to-end smoke of the analysis service (DESIGN.md §4.8), run as a ctest:
+#   * `panorama_driver --daemon=SOCKET` comes up and answers ping;
+#   * a client submit prints byte-for-byte what the batch driver prints for
+#     the same file;
+#   * a byte-identical resubmit into the same named session is served by the
+#     whole-file fast path (the --stats block records the skip);
+#   * a client shutdown request stops the daemon and removes the socket.
+# Invoked with -DDRIVER=<path> -DCLIENT=<path> -DWORKDIR=<scratch dir>.
+
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+# AF_UNIX socket paths are limited to ~107 bytes; the build tree's path can
+# exceed that, so the socket lives in /tmp under a random name.
+string(RANDOM LENGTH 8 ALPHABET abcdefghijklmnopqrstuvwxyz rand)
+set(SOCK "/tmp/pano_smoke_${rand}.sock")
+
+set(SRC "${WORKDIR}/smoke.f")
+file(WRITE "${SRC}"
+"      subroutine smoke(a, b, n)
+      integer n
+      real a(n), b(n)
+      real t(100)
+      do i = 1, n
+        t(i) = a(i) * 2.0
+        b(i) = t(i) + 1.0
+      enddo
+      end
+")
+
+function(stop_daemon)
+  execute_process(COMMAND "${CLIENT}" "${SOCK}" shutdown
+                  RESULT_VARIABLE ignored OUTPUT_QUIET ERROR_QUIET)
+endfunction()
+
+# Reference: the batch driver's report.
+execute_process(
+  COMMAND "${DRIVER}" "${SRC}"
+  RESULT_VARIABLE code OUTPUT_VARIABLE batch_out ERROR_VARIABLE err)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "batch run failed (${code}): ${err}")
+endif()
+
+# Start the daemon in the background and wait for it to answer ping.
+execute_process(
+  COMMAND sh -c "exec '${DRIVER}' --daemon='${SOCK}' > '${WORKDIR}/daemon.log' 2>&1 &"
+  RESULT_VARIABLE code)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "could not launch the daemon (${code})")
+endif()
+set(up FALSE)
+foreach(attempt RANGE 100)
+  execute_process(COMMAND "${CLIENT}" "${SOCK}" ping
+                  RESULT_VARIABLE code OUTPUT_QUIET ERROR_QUIET)
+  if(code EQUAL 0)
+    set(up TRUE)
+    break()
+  endif()
+  execute_process(COMMAND "${CMAKE_COMMAND}" -E sleep 0.1)
+endforeach()
+if(NOT up)
+  file(READ "${WORKDIR}/daemon.log" log)
+  message(FATAL_ERROR "daemon never answered ping: ${log}")
+endif()
+
+# Client submit == batch driver, byte for byte. --name sets the report
+# heading to the same input name the batch run printed.
+execute_process(
+  COMMAND "${CLIENT}" "${SOCK}" submit "${SRC}" "--name=${SRC}" --session=ci
+  RESULT_VARIABLE code OUTPUT_VARIABLE client_out ERROR_VARIABLE err)
+if(NOT code EQUAL 0)
+  stop_daemon()
+  message(FATAL_ERROR "client submit failed (${code}): ${err}")
+endif()
+if(NOT client_out STREQUAL batch_out)
+  stop_daemon()
+  message(FATAL_ERROR "client report diverges from the batch driver:\n${client_out}\n-- vs --\n${batch_out}")
+endif()
+
+# Byte-identical resubmit into the same named session: served without
+# re-parsing or diffing, and the stats block says so.
+execute_process(
+  COMMAND "${CLIENT}" "${SOCK}" submit "${SRC}" "--name=${SRC}" --session=ci --stats
+  RESULT_VARIABLE code OUTPUT_VARIABLE resubmit_out ERROR_VARIABLE err)
+if(NOT code EQUAL 0)
+  stop_daemon()
+  message(FATAL_ERROR "client resubmit failed (${code}): ${err}")
+endif()
+if(NOT resubmit_out MATCHES "file skips: 1")
+  stop_daemon()
+  message(FATAL_ERROR "resubmit did not ride the whole-file fast path:\n${resubmit_out}")
+endif()
+
+# Shutdown: the daemon acknowledges, exits, and unlinks its socket.
+execute_process(
+  COMMAND "${CLIENT}" "${SOCK}" shutdown
+  RESULT_VARIABLE code OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "client shutdown failed (${code}): ${err}")
+endif()
+set(gone FALSE)
+foreach(attempt RANGE 100)
+  if(NOT EXISTS "${SOCK}")
+    set(gone TRUE)
+    break()
+  endif()
+  execute_process(COMMAND "${CMAKE_COMMAND}" -E sleep 0.1)
+endforeach()
+if(NOT gone)
+  message(FATAL_ERROR "daemon did not remove its socket after shutdown")
+endif()

@@ -124,3 +124,89 @@ endif()
 if(NOT out MATCHES "parallel")
   message(FATAL_ERROR "C-like driver run produced no classification: ${out}")
 endif()
+
+# ---- service-mode flags (DESIGN.md §4.8) ----
+# Strict validation: unwritable/unreadable session paths and bad --daemon
+# arguments exit non-zero with a clear diagnostic.
+
+execute_process(
+  COMMAND "${DRIVER}" "--save-session=${WORKDIR}/no-such-dir/s.pano" "${WORKDIR}/tiny.f"
+  RESULT_VARIABLE code OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(code EQUAL 0)
+  message(FATAL_ERROR "--save-session into a missing directory exited 0")
+endif()
+if(NOT err MATCHES "cannot save session")
+  message(FATAL_ERROR "--save-session failure lacks its diagnostic: ${err}")
+endif()
+
+execute_process(
+  COMMAND "${DRIVER}" "--load-session=${WORKDIR}/never-written.pano" "${WORKDIR}/tiny.f"
+  RESULT_VARIABLE code OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(code EQUAL 0)
+  message(FATAL_ERROR "--load-session of a missing snapshot exited 0")
+endif()
+if(NOT err MATCHES "cannot load session")
+  message(FATAL_ERROR "--load-session failure lacks its diagnostic: ${err}")
+endif()
+
+# A corrupted snapshot is rejected with the store's structured diagnostic.
+file(WRITE "${WORKDIR}/garbage.pano" "this is not a session snapshot")
+execute_process(
+  COMMAND "${DRIVER}" "--load-session=${WORKDIR}/garbage.pano" "${WORKDIR}/tiny.f"
+  RESULT_VARIABLE code OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(code EQUAL 0)
+  message(FATAL_ERROR "--load-session of garbage exited 0")
+endif()
+if(NOT err MATCHES "not a panorama session snapshot|truncated snapshot")
+  message(FATAL_ERROR "garbage snapshot rejection lacks the store diagnostic: ${err}")
+endif()
+
+foreach(flag --daemon= --save-session= --load-session=)
+  execute_process(
+    COMMAND "${DRIVER}" "${flag}" "${WORKDIR}/tiny.f"
+    RESULT_VARIABLE code OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(code EQUAL 0)
+    message(FATAL_ERROR "empty ${flag} exited 0")
+  endif()
+endforeach()
+
+# --daemon refuses to clobber an existing non-socket file.
+execute_process(
+  COMMAND "${DRIVER}" "--daemon=${WORKDIR}/tiny.f"
+  RESULT_VARIABLE code OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(code EQUAL 0)
+  message(FATAL_ERROR "--daemon over an existing regular file exited 0")
+endif()
+if(NOT err MATCHES "is not a socket")
+  message(FATAL_ERROR "--daemon clobber refusal lacks its diagnostic: ${err}")
+endif()
+
+# Save/load round trip: the snapshot-mode runs print exactly what the batch
+# run prints, cold and restored alike.
+execute_process(
+  COMMAND "${DRIVER}" "${WORKDIR}/tiny.f"
+  RESULT_VARIABLE code OUTPUT_VARIABLE batch_out ERROR_VARIABLE err)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "batch run of tiny.f failed (${code}): ${err}")
+endif()
+execute_process(
+  COMMAND "${DRIVER}" "--save-session=${WORKDIR}/tiny.pano" "${WORKDIR}/tiny.f"
+  RESULT_VARIABLE code OUTPUT_VARIABLE save_out ERROR_VARIABLE err)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "--save-session run failed (${code}): ${err}")
+endif()
+if(NOT EXISTS "${WORKDIR}/tiny.pano")
+  message(FATAL_ERROR "--save-session did not write the snapshot")
+endif()
+execute_process(
+  COMMAND "${DRIVER}" "--load-session=${WORKDIR}/tiny.pano" "${WORKDIR}/tiny.f"
+  RESULT_VARIABLE code OUTPUT_VARIABLE load_out ERROR_VARIABLE err)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "--load-session run failed (${code}): ${err}")
+endif()
+if(NOT save_out STREQUAL batch_out)
+  message(FATAL_ERROR "--save-session output diverges from the batch run:\n${save_out}\n-- vs --\n${batch_out}")
+endif()
+if(NOT load_out STREQUAL batch_out)
+  message(FATAL_ERROR "--load-session output diverges from the batch run:\n${load_out}\n-- vs --\n${batch_out}")
+endif()

@@ -20,6 +20,12 @@
 //                  --profile=FILE (hierarchical cost profile, DESIGN.md §4.5)
 //                  --dump-ir=FILE (frontend-neutral IR pretty-print)
 //                  --explain     (per-loop decision provenance)
+//   service mode (DESIGN.md §4.8):
+//     panorama_driver --daemon=SOCKET       serve clients over a Unix socket
+//     panorama_driver file.f --save-session=S.pano
+//                                           analyze, then snapshot the session
+//     panorama_driver file.f --load-session=S.pano
+//                                           restore a snapshot, warm-submit file.f
 //
 // Inputs ending in .cl / .clike parse through the C-like frontend
 // (frontend/clike.h); everything else through the Fortran-77 parser. Both
@@ -44,6 +50,7 @@
 #include "panorama/predicate/arena.h"
 #include "panorama/predicate/fm_incremental.h"
 #include "panorama/session/session.h"
+#include "panorama/store/daemon.h"
 #include "panorama/symbolic/arena.h"
 
 using namespace panorama;
@@ -71,6 +78,8 @@ int usage() {
                "       --threads=N (0 = all cores) --cache-capacity=N --no-cache --stats\n"
                "       --via-builder (ingest through the builder IR round-trip)\n"
                "       --trace=FILE --metrics=FILE --profile=FILE --dump-ir=FILE --explain\n"
+               "service: --daemon=SOCKET (serve clients; see panorama_client)\n"
+               "         --save-session=FILE --load-session=FILE (session snapshots)\n"
                "inputs ending in .cl/.clike parse through the C-like frontend\n");
   return 2;
 }
@@ -248,6 +257,9 @@ int main(int argc, char** argv) {
   std::string profilePath;
   std::string dumpIrPath;
   std::string reanalyzePath;
+  std::string daemonSocket;
+  std::string saveSessionPath;
+  std::string loadSessionPath;
   std::string source;
   std::string inputName;
 
@@ -277,6 +289,24 @@ int main(int argc, char** argv) {
       reanalyzePath = std::string(arg.substr(12));
       if (reanalyzePath.empty()) {
         std::fprintf(stderr, "--reanalyze needs a file argument\n");
+        return 2;
+      }
+    } else if (arg.rfind("--daemon=", 0) == 0) {
+      daemonSocket = std::string(arg.substr(9));
+      if (daemonSocket.empty()) {
+        std::fprintf(stderr, "--daemon needs a socket path\n");
+        return 2;
+      }
+    } else if (arg.rfind("--save-session=", 0) == 0) {
+      saveSessionPath = std::string(arg.substr(15));
+      if (saveSessionPath.empty()) {
+        std::fprintf(stderr, "--save-session needs a file argument\n");
+        return 2;
+      }
+    } else if (arg.rfind("--load-session=", 0) == 0) {
+      loadSessionPath = std::string(arg.substr(15));
+      if (loadSessionPath.empty()) {
+        std::fprintf(stderr, "--load-session needs a file argument\n");
         return 2;
       }
     } else if (arg == "--no-cache") {
@@ -336,11 +366,84 @@ int main(int argc, char** argv) {
   // The cost profile aggregates span buffers, so --profile implies tracing.
   if (!tracePath.empty() || !profilePath.empty()) obs::Tracer::global().enable();
 
+  if (!daemonSocket.empty()) {
+    if (!source.empty() || corpusRun || !reanalyzePath.empty() || !saveSessionPath.empty() ||
+        !loadSessionPath.empty()) {
+      std::fprintf(stderr, "--daemon runs standalone; drop the input file and session flags\n");
+      return 2;
+    }
+    store::Daemon daemon(daemonSocket, options);
+    std::string error;
+    if (!daemon.start(error)) {
+      std::fprintf(stderr, "cannot start daemon: %s\n", error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "panorama_driver: serving on %s\n", daemonSocket.c_str());
+    daemon.wait();
+    return writeObsArtifacts(tracePath, metricsPath, profilePath) ? 0 : 1;
+  }
+
   if (corpusRun)
     return runWholeCorpus(options, explain,
                           viaBuilder ? CorpusIngest::BuilderRoundTrip : CorpusIngest::Parse,
                           tracePath, metricsPath, profilePath, dumpIrPath);
   if (source.empty()) return usage();
+
+  if (!saveSessionPath.empty() || !loadSessionPath.empty()) {
+    // Session-snapshot mode: the single-file run goes through an
+    // AnalysisSession so its state can be restored/saved around the submit.
+    // Loop reports print in the same order and format as the batch path, so
+    // the two outputs diff clean (driver_cli_test gates this).
+    if (!reanalyzePath.empty()) {
+      std::fprintf(stderr, "--save-session/--load-session cannot combine with --reanalyze\n");
+      return 2;
+    }
+    DiagnosticEngine pdiags;
+    std::optional<Program> program = parseInput(inputName, source, pdiags);
+    if (!program) {
+      std::fprintf(stderr, "%s: parse failed\n%s", inputName.c_str(), pdiags.str().c_str());
+      return 1;
+    }
+    if (!writeIrDump(dumpIrPath, *program)) return 1;
+
+    AnalysisSession session(options);
+    if (!loadSessionPath.empty()) {
+      store::StoreResult r = session.restore(loadSessionPath);
+      if (!r.ok) {
+        std::fprintf(stderr, "cannot load session: %s\n", r.error.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "session <- %s (epoch %llu)\n", loadSessionPath.c_str(),
+                   static_cast<unsigned long long>(session.epoch()));
+    }
+    SessionResult result = session.submit(std::move(*program));
+    if (!result.ok) {
+      std::fprintf(stderr, "%s: analysis failed\n%s", inputName.c_str(), result.error.c_str());
+      return 1;
+    }
+    std::printf("%s: %zu loop(s)\n\n", inputName.c_str(), result.loops.size());
+    for (const SessionLoopResult& r : result.loops) {
+      std::printf("%s", r.report.c_str());
+      if (explain) std::printf("%s", r.provenance.c_str());
+      std::printf("\n");
+    }
+    if (showStats) {
+      std::printf("%s", formatSessionStats(result.stats).c_str());
+      printArenaStats();
+    }
+    if (!saveSessionPath.empty()) {
+      store::StoreResult r = session.save(saveSessionPath);
+      if (!r.ok) {
+        std::fprintf(stderr, "cannot save session: %s\n", r.error.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "session -> %s\n", saveSessionPath.c_str());
+    }
+    return writeObsArtifacts(tracePath, metricsPath, profilePath,
+                             {sessionReuseFor(result.stats)})
+               ? 0
+               : 1;
+  }
 
   if (!reanalyzePath.empty()) {
     // Incremental session: cold-analyze the primary input, then warm-submit

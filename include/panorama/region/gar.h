@@ -31,6 +31,11 @@ class Gar {
   static Gar make(Pred guard, Region region, const PsiDims& psi = {});
   /// The fully unknown GAR Ω of one array: [Δ, all dims unknown].
   static Gar omega(ArrayId array, int rank);
+  /// Rebuilds a GAR verbatim from an already-normalized guard/region pair —
+  /// the session store's deserialization hook. Unlike make(), nothing is
+  /// conjoined or simplified: the parts must come from a previously built
+  /// GAR, or the validity contract of make() is silently lost.
+  static Gar fromParts(Pred guard, Region region);
 
   const Pred& guard() const { return guard_; }
   const Region& region() const { return region_; }
@@ -80,6 +85,10 @@ class GarList {
   auto end() const { return gars_.end(); }
 
   void add(Gar g);
+  /// Appends without the empty-piece filtering of add() — the session
+  /// store's deserialization hook, so a restored list is element-for-element
+  /// identical to the saved one.
+  void addRaw(Gar g) { gars_.push_back(std::move(g)); }
   void append(const GarList& other);
 
   /// Restricts every member's guard (IF-condition propagation).

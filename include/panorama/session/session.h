@@ -37,6 +37,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -45,6 +46,7 @@
 #include "panorama/ast/fingerprint.h"
 #include "panorama/hsg/hsg.h"
 #include "panorama/obs/profile.h"
+#include "panorama/store/format.h"
 #include "panorama/support/thread_pool.h"
 
 namespace panorama {
@@ -72,6 +74,10 @@ struct SessionStats {
   std::size_t summariesRecomputed = 0;
   std::size_t loopsReused = 0;      ///< loop analyses served from cache
   std::size_t loopsRecomputed = 0;
+  /// Cumulative byte-identical resubmits served by the whole-file fast path
+  /// (per-procedure diffing skipped entirely) — the `session.file_skips`
+  /// metric.
+  std::uint64_t fileSkips = 0;
   bool fullInvalidation = false;    ///< first submit or options change
   /// One record per dirty unit, in source order.
   std::vector<UnitInvalidation> invalidations;
@@ -96,6 +102,12 @@ struct SessionResult {
 class AnalysisSession {
  public:
   explicit AnalysisSession(AnalysisOptions options = {});
+  /// Daemon-mode constructor: schedules analysis batches on `sharedPool`
+  /// (not owned; must outlive the session) so concurrent client sessions
+  /// share one work-stealing pool instead of oversubscribing the machine.
+  /// With a shared pool, options.numThreads changes via setOptions() do not
+  /// re-thread — the pool's owner controls concurrency.
+  AnalysisSession(AnalysisOptions options, ThreadPool* sharedPool);
   ~AnalysisSession();
   AnalysisSession(const AnalysisSession&) = delete;
   AnalysisSession& operator=(const AnalysisSession&) = delete;
@@ -103,6 +115,11 @@ class AnalysisSession {
   /// Parses and analyzes `source` incrementally against the session state.
   /// A failed submit (parse/sema error) leaves the session exactly as it
   /// was — the previous program stays live and queryable.
+  ///
+  /// Whole-file fast path: when `source` is byte-identical to the previous
+  /// successful text submit (and the options did not change), the submit
+  /// skips parsing and per-procedure diffing entirely and serves every
+  /// cached loop report — counted under `session.file_skips`.
   SessionResult submit(const std::string& source);
 
   /// Frontend-neutral entry point: analyzes an already-constructed pre-sema
@@ -129,6 +146,25 @@ class AnalysisSession {
   /// epoch while siblings keep theirs.
   std::uint64_t summaryEpochOf(const std::string& name) const;
 
+  // ----- on-disk persistence (store/, DESIGN.md §4.8) -----
+
+  /// Serializes the live session — symbol/array tables, interned
+  /// expressions and predicates with stable snapshot-local ids, the
+  /// post-sema AST, per-unit fingerprints/epochs/dependency edges/cached
+  /// reports, and every memoized procedure snapshot — into a versioned,
+  /// integrity-hashed snapshot at `path` (temp-file + rename, so a crash
+  /// never leaves a torn file). Fails on a dead session or unwritable path.
+  store::StoreResult save(const std::string& path) const;
+
+  /// Replaces this session's state with a snapshot previously produced by
+  /// save(). The next submit behaves exactly like a warm submit against the
+  /// saved in-process session: byte-identical reports at any thread count.
+  /// A truncated, corrupted, or version-mismatched snapshot fails with a
+  /// structured diagnostic and leaves the session untouched (the same
+  /// atomicity contract as a failed submit). numThreads/cacheCapacity keep
+  /// their current values; the snapshot's ablation options are adopted.
+  store::StoreResult restore(const std::string& path);
+
  private:
   /// One fingerprinted procedure unit and its cached analysis state.
   struct CachedLoop {
@@ -153,6 +189,22 @@ class AnalysisSession {
 
   void resetState();
 
+  /// The incremental pipeline proper; callers hold mutex_.
+  SessionResult submitLocked(Program incoming);
+  /// The byte-identical-resubmit fast path; callers hold mutex_ and have
+  /// checked eligibility (live, same bytes, same options key).
+  SessionResult fileSkipLocked();
+
+  /// save()/restore() live in src/store/session_io.cpp (the serialization
+  /// layer needs the privates; the session logic stays here).
+  store::StoreResult saveLocked(const std::string& path) const;
+  store::StoreResult restoreLocked(const std::string& path);
+
+  /// One session-wide lock: submits, option changes, and save/restore
+  /// serialize against each other, so a snapshot taken under concurrent
+  /// submits is always one consistent epoch.
+  mutable std::mutex mutex_;
+
   AnalysisOptions options_;
   std::uint64_t optionsKey_ = 0;
   /// The options key units_ was computed under; a mismatch at submit time
@@ -168,9 +220,25 @@ class AnalysisSession {
   SemaResult sema_;
   Hsg hsg_;
   std::unique_ptr<SummaryAnalyzer> analyzer_;
-  std::unique_ptr<ThreadPool> pool_;
+  /// pool_ is what the pipeline schedules on; it aliases ownedPool_ in the
+  /// standalone case and the daemon's pool in the shared case.
+  std::unique_ptr<ThreadPool> ownedPool_;
+  ThreadPool* pool_ = nullptr;
 
   std::map<std::string, Unit> units_;
+
+  /// Whole-file fast path: hash of the last successfully submitted source
+  /// text (text submits only — Program submits clear it, their source is
+  /// unknown).
+  std::uint64_t lastSourceHash_ = 0;
+  bool hasSourceHash_ = false;
+  std::uint64_t fileSkips_ = 0;
+
+  /// Procedure snapshots carried by restore() until the next submit's seed
+  /// step consumes them. restore() must not construct an analyzer (doing so
+  /// would intern ψ symbols in a different order than the in-process warm
+  /// path), so the snapshots wait here instead of in analyzer_'s memo.
+  std::map<std::string, SummaryAnalyzer::ProcSnapshot> pendingSnapshots_;
 };
 
 /// Publishes the submit's counters as `session.*` metrics in the global

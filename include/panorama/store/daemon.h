@@ -1,0 +1,105 @@
+// Analysis-as-a-service (DESIGN.md §4.8): a daemon that keeps the
+// process-global hash-cons arenas, the query cache, and one shared
+// work-stealing pool warm across many client submissions.
+//
+// Each accepted connection gets its own handler thread and its own
+// AnalysisSession, so one client's incremental state (units, fingerprints,
+// cached reports) never bleeds into another's — what *is* shared is the
+// structural layer underneath: interned expressions/predicates, the FM
+// query cache, and the thread pool the dirty-cone batches run on. Requests
+// and responses travel as length-prefixed JSON frames (store/protocol.h).
+//
+// Request ops (every request carries a client-chosen "id", echoed back):
+//   {"id":N,"op":"ping"}
+//   {"id":N,"op":"submit","source":"...","name":"file.f",
+//    "session":"key"?,"explain":true?,"stats":true?}
+//   {"id":N,"op":"shutdown"}
+//
+// A submit with a "session" key runs against a named session that outlives
+// the connection (created on first use, shared by every client that names
+// it — AnalysisSession serializes its own submits), so resubmitting a file
+// under the same key exercises the whole-file fast path and the
+// incremental dirty-cone machinery across connections. Without a key the
+// submit runs against the connection-local session.
+//
+// A submit response's "report" field is byte-identical to what
+// `panorama_driver file.f` prints for the same source — the daemon smoke
+// test diffs the two.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "panorama/session/session.h"
+#include "panorama/support/thread_pool.h"
+
+namespace panorama::store {
+
+class Daemon {
+ public:
+  /// Configures the service; no I/O until start(). `options.numThreads`
+  /// sizes the one shared pool every client session schedules on.
+  Daemon(std::string socketPath, AnalysisOptions options);
+  ~Daemon();
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Binds the Unix-domain socket and starts the accept loop. False (with
+  /// `error` set) when the socket cannot be created — the path is too long,
+  /// exists as a non-socket file, or the directory is unwritable.
+  bool start(std::string& error);
+
+  /// Blocks until the service ends (a client's shutdown request or stop()),
+  /// then joins every handler thread. Call from the thread that started the
+  /// daemon.
+  void wait();
+
+  /// Requests shutdown: stops accepting, shuts down live client
+  /// connections (their handlers drain and exit), and wakes wait().
+  /// Idempotent; safe to call from a handler thread.
+  void stop();
+
+  const std::string& socketPath() const { return socketPath_; }
+
+ private:
+  void acceptLoop();
+  void handleClient(int fd);
+  /// Dispatches one framed request against `session`; returns the response
+  /// payload. Sets `shutdownRequested` on a shutdown op (the ack is still
+  /// sent before the daemon stops).
+  std::string handleRequest(const std::string& payload, AnalysisSession& session,
+                            bool& shutdownRequested);
+  /// The named session for `key`, created on first use.
+  AnalysisSession& namedSession(const std::string& key);
+
+  std::string socketPath_;
+  AnalysisOptions options_;
+  ThreadPool pool_;
+
+  int listenFd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::thread acceptThread_;
+
+  /// Guards clientFds_/handlers_ and every close/shutdown of a client fd,
+  /// so stop() can never race a handler's close into a recycled fd.
+  std::mutex mutex_;
+  std::vector<int> clientFds_;
+  std::vector<std::thread> handlers_;
+
+  std::mutex stopMutex_;
+  std::condition_variable stopCv_;
+
+  /// Cross-connection sessions, keyed by the submit's "session" field.
+  /// The map mutex only guards lookup/insert; the sessions themselves
+  /// serialize their own submits.
+  std::mutex sessionsMutex_;
+  std::map<std::string, std::unique_ptr<AnalysisSession>> namedSessions_;
+};
+
+}  // namespace panorama::store

@@ -1,0 +1,47 @@
+// The daemon's wire protocol (DESIGN.md §4.8): Unix-domain stream sockets
+// carrying length-prefixed frames.
+//
+//   frame := length:u32 (little-endian)  payload:length bytes
+//
+// Payloads are JSON documents; every request carries a client-chosen `id`
+// that the response echoes, so a client can pipeline requests and match
+// answers. Framing and transport are symmetric — the same helpers serve the
+// daemon and the client tool.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace panorama::store {
+
+/// Upper bound on one frame's payload. Large enough for any corpus source
+/// or report; small enough that a corrupt length prefix cannot drive a
+/// multi-gigabyte allocation.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Writes one frame, handling short writes and EINTR. False on any error
+/// (peer gone, oversized payload), with `error` describing it.
+bool writeFrame(int fd, std::string_view payload, std::string* error = nullptr);
+
+enum class FrameStatus {
+  Ok,    ///< one complete frame read
+  Eof,   ///< clean end of stream before a frame started
+  Error, ///< I/O error, truncated frame, or oversized length prefix
+};
+
+/// Reads one complete frame into `payload`. EOF exactly at a frame boundary
+/// is a clean `Eof`; EOF mid-frame is an `Error` (the peer died mid-send).
+FrameStatus readFrame(int fd, std::string& payload, std::string* error = nullptr);
+
+/// Creates, binds, and listens on a Unix-domain stream socket at `path`.
+/// A stale socket file from a dead daemon is replaced (only if the existing
+/// file is a socket — anything else is refused). Returns the listening fd,
+/// or -1 with `error` set.
+int listenUnixSocket(const std::string& path, std::string* error);
+
+/// Connects to the daemon's socket. Returns the connected fd, or -1 with
+/// `error` set.
+int connectUnixSocket(const std::string& path, std::string* error);
+
+}  // namespace panorama::store

@@ -84,6 +84,13 @@ std::string Gar::str(const SymbolTable& symtab, const ArrayTable& arrays) const 
   return out;
 }
 
+Gar Gar::fromParts(Pred guard, Region region) {
+  Gar g;
+  g.guard_ = std::move(guard);
+  g.region_ = std::move(region);
+  return g;
+}
+
 GarList GarList::single(Gar g) {
   GarList l;
   l.add(std::move(g));

@@ -63,7 +63,16 @@ AnalysisSession::AnalysisSession(AnalysisOptions options) : options_(options) {
   optionsKey_ = optionsKey(options_);
   QueryCache::global().configure(options_.cacheCapacity);
   setQueryTierEnabled(options_.prefilter);
-  pool_ = std::make_unique<ThreadPool>(options_.numThreads);
+  ownedPool_ = std::make_unique<ThreadPool>(options_.numThreads);
+  pool_ = ownedPool_.get();
+}
+
+AnalysisSession::AnalysisSession(AnalysisOptions options, ThreadPool* sharedPool)
+    : options_(options) {
+  optionsKey_ = optionsKey(options_);
+  QueryCache::global().configure(options_.cacheCapacity);
+  setQueryTierEnabled(options_.prefilter);
+  pool_ = sharedPool;
 }
 
 AnalysisSession::~AnalysisSession() = default;
@@ -90,13 +99,18 @@ std::uint64_t AnalysisSession::optionsKey(const AnalysisOptions& options) {
 }
 
 void AnalysisSession::setOptions(const AnalysisOptions& options) {
+  std::lock_guard<std::mutex> lock(mutex_);
   const std::uint64_t key = optionsKey(options);
   const bool threadsChanged = options.numThreads != options_.numThreads;
   const bool capacityChanged = options.cacheCapacity != options_.cacheCapacity;
   const bool ablationChanged = key != optionsKey_;
   options_ = options;
   optionsKey_ = key;
-  if (threadsChanged) pool_ = std::make_unique<ThreadPool>(options_.numThreads);
+  // With a shared pool the daemon owns concurrency; numThreads is advisory.
+  if (threadsChanged && ownedPool_) {
+    ownedPool_ = std::make_unique<ThreadPool>(options_.numThreads);
+    pool_ = ownedPool_.get();
+  }
   if (capacityChanged) QueryCache::global().configure(options_.cacheCapacity);
   setQueryTierEnabled(options_.prefilter);
   if (ablationChanged) {
@@ -112,10 +126,12 @@ void AnalysisSession::setOptions(const AnalysisOptions& options) {
 void AnalysisSession::resetState() {
   analyzer_.reset();
   units_.clear();
+  pendingSnapshots_.clear();
   program_ = Program{};
   sema_ = SemaResult{};
   hsg_ = Hsg{};
   live_ = false;
+  hasSourceHash_ = false;
 }
 
 std::uint64_t AnalysisSession::summaryEpochOf(const std::string& name) const {
@@ -124,6 +140,17 @@ std::uint64_t AnalysisSession::summaryEpochOf(const std::string& name) const {
 }
 
 SessionResult AnalysisSession::submit(const std::string& source) {
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  // Whole-file fast path: a byte-identical resubmit under unchanged options
+  // can only diff to "everything unchanged, dirty cone empty" — serve the
+  // cached reports without parsing or per-procedure fingerprinting.
+  const std::uint64_t sourceHash = store::fnv1a(source);
+  if (live_ && hasSourceHash_ && sourceHash == lastSourceHash_ &&
+      optionsKey_ == unitsOptionsKey_) {
+    return fileSkipLocked();
+  }
+
   // 1. Parse; all remaining steps are frontend-neutral.
   DiagnosticEngine pdiags;
   std::optional<Program> parsed = parseProgram(source, pdiags);
@@ -132,10 +159,59 @@ SessionResult AnalysisSession::submit(const std::string& source) {
     out.error = pdiags.str();
     return out;
   }
-  return submit(std::move(*parsed));
+  SessionResult out = submitLocked(std::move(*parsed));
+  if (out.ok) {
+    lastSourceHash_ = sourceHash;
+    hasSourceHash_ = true;
+  }
+  return out;
 }
 
-SessionResult AnalysisSession::submit(Program incoming) {
+SessionResult AnalysisSession::submit(Program program) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SessionResult out = submitLocked(std::move(program));
+  // A Program submit has no source text; the next text submit must take the
+  // full diff path.
+  if (out.ok) hasSourceHash_ = false;
+  return out;
+}
+
+SessionResult AnalysisSession::fileSkipLocked() {
+  obs::Span span("session", "session.file_skip");
+  ++fileSkips_;
+
+  SessionResult out;
+  SessionStats stats;
+  stats.epoch = epoch_;
+  stats.procedures = program_.procedures.size();
+  stats.unchanged = stats.procedures;
+  stats.summariesReused = stats.procedures;
+  stats.fileSkips = fileSkips_;
+  for (const Procedure* proc : sema_.bottomUpOrder) {
+    const Unit& u = units_.at(proc->name);
+    for (const CachedLoop& cl : u.loops) {
+      SessionLoopResult r;
+      r.procName = cl.procName;
+      r.line = cl.line;
+      r.classification = cl.classification;
+      r.report = cl.report;
+      r.provenance = cl.provenance;
+      out.loops.push_back(std::move(r));
+      ++stats.loopsReused;
+    }
+  }
+  out.ok = true;
+  out.stats = stats;
+  lastStats_ = stats;
+  publishSessionMetrics(stats);
+  if (span.active()) {
+    span.arg("epoch", std::to_string(stats.epoch));
+    span.arg("skips", std::to_string(fileSkips_));
+  }
+  return out;
+}
+
+SessionResult AnalysisSession::submitLocked(Program incoming) {
   obs::Span span("session", "session.reanalyze");
   SessionResult out;
 
@@ -274,7 +350,14 @@ SessionResult AnalysisSession::submit(Program incoming) {
     for (const std::string& name : clean)
       if (const Procedure* prev = program_.findProcedure(name))
         snapshots.emplace(name, analyzer_->snapshotProcedure(*prev));
+  } else {
+    // A restored session has no analyzer yet; its snapshots were carried
+    // from disk and wait in pendingSnapshots_ for exactly this seed step.
+    for (const std::string& name : clean)
+      if (auto it = pendingSnapshots_.find(name); it != pendingSnapshots_.end())
+        snapshots.emplace(name, std::move(it->second));
   }
+  pendingSnapshots_.clear();
   analyzer_.reset();
 
   // 6. Splice. Order follows the incoming source; unchanged procedures
@@ -450,6 +533,7 @@ SessionResult AnalysisSession::submit(Program incoming) {
     }
   }
   stats.loopsRecomputed = items.size();
+  stats.fileSkips = fileSkips_;
 
   out.ok = true;
   out.stats = stats;
@@ -477,6 +561,7 @@ void publishSessionMetrics(const SessionStats& stats) {
   reg.counter("session.summaries_recomputed").set(stats.summariesRecomputed);
   reg.counter("session.loops_reused").set(stats.loopsReused);
   reg.counter("session.loops_recomputed").set(stats.loopsRecomputed);
+  reg.counter("session.file_skips").set(stats.fileSkips);
   reg.counter("session.full_invalidation").set(stats.fullInvalidation ? 1 : 0);
 }
 
@@ -509,6 +594,8 @@ std::string formatSessionStats(const SessionStats& stats) {
      << "dirty cone: " << stats.dirty << " procedure(s); summaries " << stats.summariesReused
      << " reused / " << stats.summariesRecomputed << " recomputed; loop analyses "
      << stats.loopsReused << " reused / " << stats.loopsRecomputed << " recomputed\n";
+  if (stats.fileSkips > 0)
+    os << "file skips: " << stats.fileSkips << " byte-identical resubmit(s) served without diffing\n";
   return os.str();
 }
 

@@ -1,0 +1,215 @@
+#include "panorama/store/daemon.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+
+#include "panorama/obs/metrics.h"
+#include "panorama/obs/trace.h"
+#include "panorama/store/protocol.h"
+#include "panorama/support/json.h"
+
+namespace panorama::store {
+
+namespace {
+
+using support::JsonValue;
+
+/// Requests carry integer ids in practice; render integral doubles without
+/// an exponent so the echoed id matches what the client sent.
+std::string renderId(const JsonValue* id) {
+  const double v = (id && id->isNumber()) ? id->asNumber() : 0.0;
+  const long long n = static_cast<long long>(v);
+  if (static_cast<double>(n) == v) return std::to_string(n);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string errorResponse(const std::string& id, const std::string& message) {
+  std::string out = "{\"id\":" + id + ",\"ok\":false,\"error\":\"";
+  support::appendJsonEscaped(out, message);
+  out += "\"}";
+  return out;
+}
+
+bool boolField(const JsonValue& req, std::string_view key) {
+  const JsonValue* v = req.find(key);
+  return v != nullptr && v->isBool() && v->asBool();
+}
+
+}  // namespace
+
+Daemon::Daemon(std::string socketPath, AnalysisOptions options)
+    : socketPath_(std::move(socketPath)), options_(options), pool_(options_.numThreads) {}
+
+Daemon::~Daemon() {
+  stop();
+  wait();
+}
+
+bool Daemon::start(std::string& error) {
+  listenFd_ = listenUnixSocket(socketPath_, &error);
+  if (listenFd_ < 0) return false;
+  acceptThread_ = std::thread(&Daemon::acceptLoop, this);
+  return true;
+}
+
+void Daemon::acceptLoop() {
+  for (;;) {
+    int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // stop() shut the listening socket down (or a hard error)
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      break;
+    }
+    clientFds_.push_back(fd);
+    obs::MetricsRegistry::global().counter("daemon.clients").add(1);
+    handlers_.emplace_back(&Daemon::handleClient, this, fd);
+  }
+  ::close(listenFd_);
+  ::unlink(socketPath_.c_str());
+}
+
+void Daemon::handleClient(int fd) {
+  // One session per connection: client-local incremental state on top of
+  // the shared arenas/caches/pool.
+  AnalysisSession session(options_, &pool_);
+  std::string payload;
+  for (;;) {
+    FrameStatus st = readFrame(fd, payload);
+    // Eof is a clean disconnect; Error means the client died mid-frame.
+    // Either way this connection is done — the shared store is untouched
+    // (any in-flight submit completed or never started; session state is
+    // connection-local and dies with it).
+    if (st != FrameStatus::Ok) break;
+    bool shutdownRequested = false;
+    const std::string response = handleRequest(payload, session, shutdownRequested);
+    if (!writeFrame(fd, response)) break;
+    if (shutdownRequested) {
+      stop();
+      break;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  clientFds_.erase(std::remove(clientFds_.begin(), clientFds_.end(), fd), clientFds_.end());
+  ::close(fd);
+}
+
+std::string Daemon::handleRequest(const std::string& payload, AnalysisSession& session,
+                                  bool& shutdownRequested) {
+  obs::Span span("daemon", "daemon.request");
+  obs::MetricsRegistry::global().counter("daemon.requests").add(1);
+
+  std::string parseError;
+  std::optional<JsonValue> req = JsonValue::parse(payload, &parseError);
+  if (!req || !req->isObject())
+    return errorResponse("0", "malformed request: " +
+                                  (parseError.empty() ? "not a JSON object" : parseError));
+  const std::string id = renderId(req->find("id"));
+  const JsonValue* opField = req->find("op");
+  if (!opField || !opField->isString())
+    return errorResponse(id, "request has no \"op\" field");
+  const std::string& op = opField->asString();
+
+  if (op == "ping") return "{\"id\":" + id + ",\"ok\":true,\"op\":\"ping\"}";
+
+  if (op == "shutdown") {
+    shutdownRequested = true;
+    return "{\"id\":" + id + ",\"ok\":true,\"op\":\"shutdown\"}";
+  }
+
+  if (op == "submit") {
+    const JsonValue* source = req->find("source");
+    if (!source || !source->isString())
+      return errorResponse(id, "submit needs a string \"source\" field");
+    const JsonValue* nameField = req->find("name");
+    const std::string name =
+        (nameField && nameField->isString()) ? nameField->asString() : "<client>";
+    const bool explain = boolField(*req, "explain");
+    const bool wantStats = boolField(*req, "stats");
+    // "session": run against a named cross-connection session instead of
+    // the connection-local one.
+    const JsonValue* sessionKey = req->find("session");
+    AnalysisSession& target = (sessionKey && sessionKey->isString())
+                                  ? namedSession(sessionKey->asString())
+                                  : session;
+
+    obs::MetricsRegistry::global().counter("daemon.submits").add(1);
+    SessionResult result = target.submit(source->asString());
+    if (!result.ok) return errorResponse(id, result.error);
+
+    // Composed exactly like the batch driver's stdout so a client dump
+    // diffs clean against `panorama_driver FILE` — the smoke test's gate.
+    std::string report = name + ": " + std::to_string(result.loops.size()) + " loop(s)\n\n";
+    for (const SessionLoopResult& r : result.loops) {
+      report += r.report;
+      if (explain) report += r.provenance;
+      report += '\n';
+    }
+
+    std::string out = "{\"id\":" + id + ",\"ok\":true,\"op\":\"submit\",\"epoch\":" +
+                      std::to_string(result.stats.epoch) +
+                      ",\"loops\":" + std::to_string(result.loops.size()) +
+                      ",\"file_skips\":" + std::to_string(result.stats.fileSkips) +
+                      ",\"report\":\"";
+    support::appendJsonEscaped(out, report);
+    out += '"';
+    if (wantStats) {
+      out += ",\"stats\":\"";
+      support::appendJsonEscaped(out, formatSessionStats(result.stats));
+      out += '"';
+    }
+    out += '}';
+    return out;
+  }
+
+  return errorResponse(id, "unknown op \"" + op + "\"");
+}
+
+AnalysisSession& Daemon::namedSession(const std::string& key) {
+  std::lock_guard<std::mutex> lock(sessionsMutex_);
+  std::unique_ptr<AnalysisSession>& slot = namedSessions_[key];
+  if (!slot) slot = std::make_unique<AnalysisSession>(options_, &pool_);
+  return *slot;
+}
+
+void Daemon::stop() {
+  if (!stopping_.exchange(true)) {
+    // Unblock the accept loop (close() alone does not wake a blocked
+    // accept(2); shutdown() does) and every handler blocked in readFrame.
+    if (listenFd_ >= 0) ::shutdown(listenFd_, SHUT_RDWR);
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (int fd : clientFds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  // Taking stopMutex_ pairs with wait()'s predicate check, so a waiter
+  // that just saw stopping_ == false is guaranteed to be inside wait()
+  // before this notify fires.
+  { std::lock_guard<std::mutex> lock(stopMutex_); }
+  stopCv_.notify_all();
+}
+
+void Daemon::wait() {
+  {
+    std::unique_lock<std::mutex> lock(stopMutex_);
+    stopCv_.wait(lock, [&] { return stopping_.load(std::memory_order_relaxed); });
+  }
+  if (acceptThread_.joinable()) acceptThread_.join();
+  // The accept loop has exited, so handlers_ no longer grows.
+  std::vector<std::thread> handlers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    handlers.swap(handlers_);
+  }
+  for (std::thread& t : handlers)
+    if (t.joinable()) t.join();
+}
+
+}  // namespace panorama::store

@@ -1,0 +1,151 @@
+#include "panorama/store/protocol.h"
+
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace panorama::store {
+
+namespace {
+
+void setError(std::string* error, std::string what) {
+  if (error) *error = std::move(what);
+}
+
+std::string errnoString() { return std::strerror(errno); }
+
+/// write(2) until every byte is out (or a real error).
+bool writeAll(int fd, const char* data, std::size_t n, std::string* error) {
+  std::size_t off = 0;
+  while (off < n) {
+    ssize_t w = ::write(fd, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      setError(error, "write failed: " + errnoString());
+      return false;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+/// read(2) until `n` bytes arrive. Returns 1 on success, 0 on EOF before the
+/// first byte, -1 on error (including EOF mid-buffer).
+int readAll(int fd, char* data, std::size_t n, std::string* error) {
+  std::size_t off = 0;
+  while (off < n) {
+    ssize_t r = ::read(fd, data + off, n - off);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      setError(error, "read failed: " + errnoString());
+      return -1;
+    }
+    if (r == 0) {
+      if (off == 0) return 0;
+      setError(error, "connection closed mid-frame");
+      return -1;
+    }
+    off += static_cast<std::size_t>(r);
+  }
+  return 1;
+}
+
+/// AF_UNIX sun_path is a short fixed buffer; refuse paths that don't fit
+/// instead of silently truncating.
+bool fillAddress(const std::string& path, sockaddr_un& addr, std::string* error) {
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof(addr.sun_path)) {
+    setError(error, path + ": socket path too long for AF_UNIX (max " +
+                        std::to_string(sizeof(addr.sun_path) - 1) + " bytes)");
+    return false;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+bool writeFrame(int fd, std::string_view payload, std::string* error) {
+  if (payload.size() > kMaxFrameBytes) {
+    setError(error, "frame payload exceeds " + std::to_string(kMaxFrameBytes) + " bytes");
+    return false;
+  }
+  char len[4];
+  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  for (int k = 0; k < 4; ++k) len[k] = static_cast<char>((n >> (8 * k)) & 0xff);
+  return writeAll(fd, len, sizeof(len), error) && writeAll(fd, payload.data(), payload.size(), error);
+}
+
+FrameStatus readFrame(int fd, std::string& payload, std::string* error) {
+  char len[4];
+  int got = readAll(fd, len, sizeof(len), error);
+  if (got == 0) return FrameStatus::Eof;
+  if (got < 0) return FrameStatus::Error;
+  std::uint32_t n = 0;
+  for (int k = 0; k < 4; ++k)
+    n |= static_cast<std::uint32_t>(static_cast<unsigned char>(len[k])) << (8 * k);
+  if (n > kMaxFrameBytes) {
+    setError(error, "frame length " + std::to_string(n) + " exceeds the protocol maximum");
+    return FrameStatus::Error;
+  }
+  payload.assign(n, '\0');
+  if (n > 0 && readAll(fd, payload.data(), n, error) != 1) return FrameStatus::Error;
+  return FrameStatus::Ok;
+}
+
+int listenUnixSocket(const std::string& path, std::string* error) {
+  sockaddr_un addr;
+  if (!fillAddress(path, addr, error)) return -1;
+
+  // Replace a stale socket file from a previous daemon; refuse to unlink
+  // anything that is not a socket.
+  struct stat st;
+  if (::lstat(path.c_str(), &st) == 0) {
+    if (!S_ISSOCK(st.st_mode)) {
+      setError(error, path + ": exists and is not a socket");
+      return -1;
+    }
+    ::unlink(path.c_str());
+  }
+
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    setError(error, path + ": cannot create socket: " + errnoString());
+    return -1;
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    setError(error, path + ": cannot bind: " + errnoString());
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, 16) != 0) {
+    setError(error, path + ": cannot listen: " + errnoString());
+    ::close(fd);
+    ::unlink(path.c_str());
+    return -1;
+  }
+  return fd;
+}
+
+int connectUnixSocket(const std::string& path, std::string* error) {
+  sockaddr_un addr;
+  if (!fillAddress(path, addr, error)) return -1;
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    setError(error, path + ": cannot create socket: " + errnoString());
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    setError(error, path + ": cannot connect: " + errnoString());
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace panorama::store

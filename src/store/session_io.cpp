@@ -1,0 +1,1003 @@
+// AnalysisSession::save / restore — the versioned on-disk session store
+// (DESIGN.md §4.8). The payload is a flat little-endian section stream:
+//
+//   [options][session counters][symbol names]
+//   [expression pool][array table][predicate pool]
+//   [post-sema AST][unit table][procedure snapshots]
+//
+// Stable-id scheme: the process-global hash-cons arenas assign ids in
+// arrival order, which differs run to run, so ids are NOT serialized.
+// Instead every distinct expression/predicate reachable from the session is
+// assigned a dense *snapshot-local* index in first-use order; all references
+// in the file are those indices, and restore re-interns each value into the
+// live arenas (append-only, so re-interning is idempotent). Symbol and
+// array tables ARE dense and append-only, so their ids are serialized as-is
+// and restore rebuilds the tables by interning names in id order.
+//
+// Restore is all-or-nothing: the payload is parsed and validated into
+// locals (bounds-checked reader, canonical-form checks before anything is
+// interned, AST depth cap), then sema and HSG construction run on those
+// locals; only after every step has succeeded is the session's state
+// replaced by one block of moves. Any defect — truncation, bit rot, version
+// skew, out-of-range index, non-canonical pool entry — yields a structured
+// diagnostic and leaves the session exactly as it was.
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "panorama/analysis/driver.h"
+#include "panorama/predicate/arena.h"
+#include "panorama/predicate/fm_incremental.h"
+#include "panorama/session/session.h"
+#include "panorama/symbolic/arena.h"
+
+namespace panorama {
+
+namespace {
+
+using store::Reader;
+using store::StoreResult;
+using store::Writer;
+
+/// DO statements in the same pre-order walk session.cpp diffs loops in —
+/// the snapshot's loop keys are indices into this walk.
+std::vector<const Stmt*> walkLoops(const Procedure& proc) {
+  std::vector<const Stmt*> out;
+  std::function<void(const std::vector<StmtPtr>&)> walk = [&](const std::vector<StmtPtr>& body) {
+    for (const StmtPtr& s : body) {
+      if (s->kind == Stmt::Kind::Do) out.push_back(s.get());
+      walk(s->thenBody);
+      walk(s->elseBody);
+      walk(s->body);
+    }
+  };
+  walk(proc.body);
+  return out;
+}
+
+// ----- writer side ---------------------------------------------------------
+
+/// Dense snapshot-local indexing of the expressions/predicates the session
+/// reaches. Pool entries are appended at first use; expressions carry no
+/// internal references and predicates only reference expressions, so the
+/// two pool streams never interleave inconsistently.
+struct PoolWriter {
+  Writer exprs;
+  std::uint64_t exprCount = 0;
+  std::unordered_map<std::uint64_t, std::uint64_t> exprIndex;
+
+  Writer preds;
+  std::uint64_t predCount = 0;
+  std::unordered_map<std::uint64_t, std::uint64_t> predIndex;
+
+  std::uint64_t expr(const SymExpr& e) {
+    auto [it, inserted] = exprIndex.try_emplace(e.id(), exprCount);
+    if (!inserted) return it->second;
+    exprs.u8(e.isPoisoned() ? 1 : 0);
+    exprs.u64(e.terms().size());
+    for (const Term& t : e.terms()) {
+      exprs.i64(t.coef);
+      exprs.u64(t.vars.size());
+      for (VarId v : t.vars) exprs.u32(v.value);
+    }
+    return exprCount++;
+  }
+
+  std::uint64_t pred(const Pred& p) {
+    auto [it, inserted] = predIndex.try_emplace(p.id(), predCount);
+    if (!inserted) return it->second;
+    preds.u8(p.isUnknown() ? 1 : 0);
+    preds.u64(p.clauses().size());
+    for (const Disjunct& d : p.clauses()) {
+      preds.u64(d.atoms.size());
+      for (const Atom& a : d.atoms) atom(a);
+    }
+    return predCount++;
+  }
+
+  void atom(const Atom& a) {
+    preds.u8(static_cast<std::uint8_t>(a.kind()));
+    preds.u8(static_cast<std::uint8_t>(a.op()));
+    preds.u8(a.logicalValue() ? 1 : 0);
+    preds.u64(expr(a.expr()));
+    preds.u32(a.logical().value);
+    preds.u32(a.predArray().value);
+    preds.u32(a.boundVar().value);
+    preds.u64(expr(a.predRhs()));
+    preds.u64(expr(a.forallLo()));
+    preds.u64(expr(a.forallUp()));
+  }
+
+  void range(Writer& w, const SymRange& r) {
+    w.u64(expr(r.lo));
+    w.u64(expr(r.up));
+    w.u64(expr(r.step));
+  }
+
+  void garList(Writer& w, const GarList& list) {
+    w.u64(list.size());
+    for (const Gar& g : list) {
+      w.u64(pred(g.guard()));
+      w.u32(g.region().array.value);
+      w.u64(g.region().dims.size());
+      for (const SymRange& d : g.region().dims) range(w, d);
+    }
+  }
+
+  void vars(Writer& w, const std::vector<VarId>& vs) {
+    w.u64(vs.size());
+    for (VarId v : vs) w.u32(v.value);
+  }
+};
+
+void writeLoc(Writer& w, SourceLoc loc) {
+  w.u32(loc.line);
+  w.u32(loc.column);
+}
+
+void writeExpr(Writer& w, const Expr& e);
+
+void writeExprPtr(Writer& w, const ExprPtr& e) {
+  w.u8(e ? 1 : 0);
+  if (e) writeExpr(w, *e);
+}
+
+// All fields are written uniformly regardless of kind: the AST is small
+// relative to the pools, and a uniform record keeps reader and writer in
+// trivially checkable lockstep (RealLit doubles travel as raw bits — a text
+// round-trip would not be byte-exact).
+void writeExpr(Writer& w, const Expr& e) {
+  w.u8(static_cast<std::uint8_t>(e.kind));
+  writeLoc(w, e.loc);
+  w.i64(e.intValue);
+  w.f64(e.realValue);
+  w.u8(e.logicalValue ? 1 : 0);
+  w.str(e.name);
+  w.u8(static_cast<std::uint8_t>(e.binOp));
+  w.u8(static_cast<std::uint8_t>(e.unOp));
+  w.u64(e.args.size());
+  for (const ExprPtr& a : e.args) writeExprPtr(w, a);
+}
+
+void writeStmt(Writer& w, const Stmt& s);
+
+void writeBody(Writer& w, const std::vector<StmtPtr>& body) {
+  w.u64(body.size());
+  for (const StmtPtr& s : body) writeStmt(w, *s);
+}
+
+void writeStmt(Writer& w, const Stmt& s) {
+  w.u8(static_cast<std::uint8_t>(s.kind));
+  writeLoc(w, s.loc);
+  w.i64(s.label);
+  writeExprPtr(w, s.lhs);
+  writeExprPtr(w, s.rhs);
+  writeExprPtr(w, s.cond);
+  writeBody(w, s.thenBody);
+  writeBody(w, s.elseBody);
+  w.str(s.doVar);
+  writeExprPtr(w, s.lo);
+  writeExprPtr(w, s.hi);
+  writeExprPtr(w, s.step);
+  writeBody(w, s.body);
+  w.i64(s.gotoLabel);
+  w.str(s.callee);
+  w.u64(s.args.size());
+  for (const ExprPtr& a : s.args) writeExprPtr(w, a);
+}
+
+void writeProcedure(Writer& w, const Procedure& p) {
+  w.str(p.name);
+  w.u8(p.isMain ? 1 : 0);
+  w.u64(p.params.size());
+  for (const std::string& s : p.params) w.str(s);
+  w.u64(p.decls.size());
+  for (const VarDecl& d : p.decls) {
+    w.str(d.name);
+    w.u8(static_cast<std::uint8_t>(d.type));
+    w.u64(d.dims.size());
+    for (const VarDecl::DimBound& b : d.dims) {
+      writeExprPtr(w, b.lo);
+      writeExprPtr(w, b.up);
+    }
+    writeLoc(w, d.loc);
+  }
+  w.u64(p.commons.size());
+  for (const CommonBlock& c : p.commons) {
+    w.str(c.name);
+    w.u64(c.vars.size());
+    for (const std::string& v : c.vars) w.str(v);
+  }
+  w.u64(p.paramConsts.size());
+  for (const ParamConst& pc : p.paramConsts) {
+    w.str(pc.name);
+    writeExprPtr(w, pc.value);
+  }
+  writeBody(w, p.body);
+  writeLoc(w, p.loc);
+}
+
+void writeLoopSummary(Writer& w, PoolWriter& pools, const LoopSummary& ls) {
+  w.u32(ls.bounds.index.value);
+  w.u64(pools.expr(ls.bounds.lo));
+  w.u64(pools.expr(ls.bounds.up));
+  w.u64(pools.expr(ls.bounds.step));
+  w.u8(ls.boundsKnown ? 1 : 0);
+  w.u8(ls.prematureExit ? 1 : 0);
+  pools.garList(w, ls.modIter);
+  pools.garList(w, ls.ueIter);
+  pools.garList(w, ls.modBefore);
+  pools.garList(w, ls.modAfter);
+  pools.garList(w, ls.deIter);
+  pools.garList(w, ls.mod);
+  pools.garList(w, ls.ue);
+  pools.garList(w, ls.de);
+  pools.garList(w, ls.ueAfter);
+  pools.vars(w, ls.bodyAssignedScalars);
+}
+
+void writeProcSummary(Writer& w, PoolWriter& pools, const ProcSummary& s) {
+  pools.garList(w, s.mod);
+  pools.garList(w, s.ue);
+  pools.garList(w, s.de);
+  pools.garList(w, s.modAll);
+  pools.garList(w, s.ueAll);
+  pools.vars(w, s.modifiedScalars);
+}
+
+// ----- reader side ---------------------------------------------------------
+
+/// Snapshot-local pools plus the validation context (table sizes) every
+/// reference is checked against before anything reaches the live arenas.
+struct PoolReader {
+  explicit PoolReader(Reader& reader) : r(reader) {}
+
+  Reader& r;
+  std::size_t symCount = 0;
+  std::size_t arrayCount = 0;
+  std::vector<SymExpr> exprs;
+  std::vector<Pred> preds;
+
+  /// A VarId field; invalid (UINT32_MAX) is permitted where noted.
+  VarId var(bool allowInvalid) {
+    VarId v{r.u32()};
+    if (!r.ok()) return v;
+    if (!v.isValid()) {
+      if (!allowInvalid) r.fail("corrupted snapshot: invalid variable id");
+      return v;
+    }
+    if (v.value >= symCount) r.fail("corrupted snapshot: variable id out of range");
+    return v;
+  }
+
+  SymExpr exprAt(std::uint64_t idx) {
+    if (!r.ok()) return SymExpr();
+    if (idx >= exprs.size()) {
+      r.fail("corrupted snapshot: expression index out of range");
+      return SymExpr();
+    }
+    return exprs[static_cast<std::size_t>(idx)];
+  }
+
+  Pred predAt(std::uint64_t idx) {
+    if (!r.ok()) return Pred();
+    if (idx >= preds.size()) {
+      r.fail("corrupted snapshot: predicate index out of range");
+      return Pred();
+    }
+    return preds[static_cast<std::size_t>(idx)];
+  }
+
+  /// Reads the expression pool, enforcing the §3.1 canonical form *before*
+  /// interning — the arenas are process-global and must never hold a
+  /// non-canonical node, whatever the file claims.
+  bool readExprPool() {
+    const std::uint64_t n = r.count(9, "expression");
+    exprs.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+      const bool poisoned = r.u8() != 0;
+      const std::uint64_t tn = r.count(16, "term");
+      std::vector<Term> terms;
+      terms.reserve(static_cast<std::size_t>(tn));
+      for (std::uint64_t t = 0; t < tn && r.ok(); ++t) {
+        Term term;
+        term.coef = r.i64();
+        if (r.ok() && term.coef == 0) {
+          r.fail("corrupted snapshot: zero-coefficient term");
+          break;
+        }
+        const std::uint64_t vn = r.count(4, "term variable");
+        term.vars.reserve(static_cast<std::size_t>(vn));
+        for (std::uint64_t k = 0; k < vn && r.ok(); ++k) {
+          VarId v = var(/*allowInvalid=*/false);
+          if (!term.vars.empty() && r.ok() && v < term.vars.back())
+            r.fail("corrupted snapshot: term variables out of order");
+          term.vars.push_back(v);
+        }
+        if (!terms.empty() && r.ok() && !monomialLess(terms.back().vars, term.vars))
+          r.fail("corrupted snapshot: expression terms out of order");
+        terms.push_back(std::move(term));
+      }
+      if (r.ok() && poisoned && !terms.empty())
+        r.fail("corrupted snapshot: poisoned expression carries terms");
+      if (!r.ok()) return false;
+      exprs.push_back(ExprArena::global().intern(std::move(terms), poisoned));
+    }
+    return r.ok();
+  }
+
+  std::optional<Atom> readAtom() {
+    const std::uint8_t kind = r.u8();
+    const std::uint8_t op = r.u8();
+    const bool value = r.u8() != 0;
+    const SymExpr e = exprAt(r.u64());
+    const VarId lvar = var(/*allowInvalid=*/true);
+    const AtomArrayRef arr{r.u32()};
+    const VarId bound = var(/*allowInvalid=*/true);
+    const SymExpr rhs = exprAt(r.u64());
+    const SymExpr lo = exprAt(r.u64());
+    const SymExpr up = exprAt(r.u64());
+    if (!r.ok()) return std::nullopt;
+    if (kind > static_cast<std::uint8_t>(Atom::Kind::Forall)) {
+      r.fail("corrupted snapshot: unknown atom kind");
+      return std::nullopt;
+    }
+    auto requireArray = [&]() {
+      if (arr == AtomArrayRef{} || arr.value >= arrayCount)
+        r.fail("corrupted snapshot: atom array id out of range");
+    };
+    switch (static_cast<Atom::Kind>(kind)) {
+      case Atom::Kind::Rel:
+        if (op > static_cast<std::uint8_t>(RelOp::RNE)) {
+          r.fail("corrupted snapshot: unknown relational operator");
+          return std::nullopt;
+        }
+        // rel() re-canonicalizes (EQ/NE sign, LE tightening); idempotent on
+        // honestly saved atoms, and re-normalizing is exactly what keeps a
+        // tampered payload from planting a non-canonical atom.
+        return Atom::rel(e, static_cast<RelOp>(op));
+      case Atom::Kind::LogVar:
+        if (!lvar.isValid()) {
+          r.fail("corrupted snapshot: logical atom without a variable");
+          return std::nullopt;
+        }
+        return Atom::logicalVar(lvar, value);
+      case Atom::Kind::ArrayPred:
+        requireArray();
+        if (r.ok() && !lvar.isValid()) r.fail("corrupted snapshot: array predicate without a key");
+        if (!r.ok()) return std::nullopt;
+        return Atom::arrayPred(arr, lvar, e, rhs, value);
+      case Atom::Kind::Forall:
+        requireArray();
+        if (r.ok() && (!lvar.isValid() || !bound.isValid()))
+          r.fail("corrupted snapshot: malformed forall atom");
+        if (!r.ok()) return std::nullopt;
+        return Atom::forallPred(arr, lvar, bound, e, rhs, lo, up, value);
+    }
+    r.fail("corrupted snapshot: unknown atom kind");
+    return std::nullopt;
+  }
+
+  bool readPredPool() {
+    const std::uint64_t n = r.count(9, "predicate");
+    preds.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+      const bool unknown = r.u8() != 0;
+      const std::uint64_t cn = r.count(8, "clause");
+      std::vector<Disjunct> clauses;
+      clauses.reserve(static_cast<std::size_t>(cn));
+      for (std::uint64_t c = 0; c < cn && r.ok(); ++c) {
+        const std::uint64_t an = r.count(41, "atom");
+        Disjunct d;
+        d.atoms.reserve(static_cast<std::size_t>(an));
+        for (std::uint64_t a = 0; a < an && r.ok(); ++a) {
+          std::optional<Atom> atom = readAtom();
+          if (!atom) break;
+          if (!d.atoms.empty() && Atom::compare(d.atoms.back(), *atom) >= 0) {
+            r.fail("corrupted snapshot: clause atoms out of order");
+            break;
+          }
+          d.atoms.push_back(std::move(*atom));
+        }
+        if (!clauses.empty() && r.ok() && Disjunct::compare(clauses.back(), d) >= 0)
+          r.fail("corrupted snapshot: predicate clauses out of order");
+        clauses.push_back(std::move(d));
+      }
+      if (!r.ok()) return false;
+      preds.push_back(PredArena::global().intern(std::move(clauses), unknown));
+    }
+    return r.ok();
+  }
+
+  SymRange range() {
+    SymRange out;
+    out.lo = exprAt(r.u64());
+    out.up = exprAt(r.u64());
+    out.step = exprAt(r.u64());
+    return out;
+  }
+
+  GarList garList() {
+    GarList out;
+    const std::uint64_t n = r.count(20, "region piece");
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+      const Pred guard = predAt(r.u64());
+      Region region;
+      region.array = ArrayId{r.u32()};
+      if (r.ok() && (!region.array.isValid() || region.array.value >= arrayCount))
+        r.fail("corrupted snapshot: region array id out of range");
+      const std::uint64_t dn = r.count(24, "region dimension");
+      region.dims.reserve(static_cast<std::size_t>(dn));
+      for (std::uint64_t d = 0; d < dn && r.ok(); ++d) region.dims.push_back(range());
+      if (!r.ok()) break;
+      out.addRaw(Gar::fromParts(guard, std::move(region)));
+    }
+    return out;
+  }
+
+  std::vector<VarId> vars(bool allowInvalid) {
+    std::vector<VarId> out;
+    const std::uint64_t n = r.count(4, "variable list entry");
+    out.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) out.push_back(var(allowInvalid));
+    return out;
+  }
+};
+
+/// AST reconstruction with a structural depth cap so a hostile payload
+/// cannot drive unbounded recursion.
+struct AstReader {
+  Reader& r;
+  int depth = 0;
+  static constexpr int kMaxDepth = 4096;
+
+  bool descend() {
+    if (++depth > kMaxDepth) {
+      r.fail("corrupted snapshot: AST nesting too deep");
+      return false;
+    }
+    return true;
+  }
+
+  SourceLoc loc() {
+    SourceLoc out;
+    out.line = r.u32();
+    out.column = r.u32();
+    return out;
+  }
+
+  ExprPtr exprPtr() {
+    if (r.u8() == 0 || !r.ok()) return nullptr;
+    return expr();
+  }
+
+  ExprPtr expr() {
+    if (!descend()) return nullptr;
+    auto e = std::make_unique<Expr>();
+    const std::uint8_t kind = r.u8();
+    if (r.ok() && kind > static_cast<std::uint8_t>(Expr::Kind::Unary))
+      r.fail("corrupted snapshot: unknown expression kind");
+    e->kind = static_cast<Expr::Kind>(kind);
+    e->loc = loc();
+    e->intValue = r.i64();
+    e->realValue = r.f64();
+    e->logicalValue = r.u8() != 0;
+    e->name = r.str();
+    const std::uint8_t bin = r.u8();
+    if (r.ok() && bin > static_cast<std::uint8_t>(BinOp::Or))
+      r.fail("corrupted snapshot: unknown binary operator");
+    e->binOp = static_cast<BinOp>(bin);
+    const std::uint8_t un = r.u8();
+    if (r.ok() && un > static_cast<std::uint8_t>(UnOp::Not))
+      r.fail("corrupted snapshot: unknown unary operator");
+    e->unOp = static_cast<UnOp>(un);
+    const std::uint64_t n = r.count(1, "expression operand");
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+      ExprPtr a = exprPtr();
+      if (r.ok() && !a) r.fail("corrupted snapshot: missing expression operand");
+      e->args.push_back(std::move(a));
+    }
+    --depth;
+    if (!r.ok()) return nullptr;
+    return e;
+  }
+
+  std::vector<StmtPtr> body() {
+    std::vector<StmtPtr> out;
+    const std::uint64_t n = r.count(60, "statement");
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+      StmtPtr s = stmt();
+      if (!s) break;
+      out.push_back(std::move(s));
+    }
+    return out;
+  }
+
+  StmtPtr stmt() {
+    if (!descend()) return nullptr;
+    auto s = std::make_unique<Stmt>();
+    const std::uint8_t kind = r.u8();
+    if (r.ok() && kind > static_cast<std::uint8_t>(Stmt::Kind::Stop))
+      r.fail("corrupted snapshot: unknown statement kind");
+    s->kind = static_cast<Stmt::Kind>(kind);
+    s->loc = loc();
+    s->label = static_cast<int>(r.i64());
+    s->lhs = exprPtr();
+    s->rhs = exprPtr();
+    s->cond = exprPtr();
+    s->thenBody = body();
+    s->elseBody = body();
+    s->doVar = r.str();
+    s->lo = exprPtr();
+    s->hi = exprPtr();
+    s->step = exprPtr();
+    s->body = body();
+    s->gotoLabel = static_cast<int>(r.i64());
+    s->callee = r.str();
+    const std::uint64_t n = r.count(1, "call argument");
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+      ExprPtr a = exprPtr();
+      if (r.ok() && !a) r.fail("corrupted snapshot: missing call argument");
+      s->args.push_back(std::move(a));
+    }
+    --depth;
+    if (!r.ok()) return nullptr;
+    return s;
+  }
+
+  bool procedure(Procedure& p) {
+    p.name = r.str();
+    p.isMain = r.u8() != 0;
+    const std::uint64_t pn = r.count(8, "parameter");
+    for (std::uint64_t i = 0; i < pn && r.ok(); ++i) p.params.push_back(r.str());
+    const std::uint64_t dn = r.count(18, "declaration");
+    for (std::uint64_t i = 0; i < dn && r.ok(); ++i) {
+      VarDecl d;
+      d.name = r.str();
+      const std::uint8_t type = r.u8();
+      if (r.ok() && type > static_cast<std::uint8_t>(BaseType::Logical))
+        r.fail("corrupted snapshot: unknown declaration type");
+      d.type = static_cast<BaseType>(type);
+      const std::uint64_t bn = r.count(2, "dimension bound");
+      for (std::uint64_t b = 0; b < bn && r.ok(); ++b) {
+        VarDecl::DimBound bound;
+        bound.lo = exprPtr();
+        bound.up = exprPtr();
+        d.dims.push_back(std::move(bound));
+      }
+      d.loc = loc();
+      p.decls.push_back(std::move(d));
+    }
+    const std::uint64_t cn = r.count(16, "common block");
+    for (std::uint64_t i = 0; i < cn && r.ok(); ++i) {
+      CommonBlock c;
+      c.name = r.str();
+      const std::uint64_t vn = r.count(8, "common variable");
+      for (std::uint64_t v = 0; v < vn && r.ok(); ++v) c.vars.push_back(r.str());
+      p.commons.push_back(std::move(c));
+    }
+    const std::uint64_t kn = r.count(9, "parameter constant");
+    for (std::uint64_t i = 0; i < kn && r.ok(); ++i) {
+      ParamConst pc;
+      pc.name = r.str();
+      pc.value = exprPtr();
+      if (r.ok() && !pc.value) r.fail("corrupted snapshot: parameter constant without a value");
+      p.paramConsts.push_back(std::move(pc));
+    }
+    p.body = body();
+    p.loc = loc();
+    return r.ok();
+  }
+};
+
+LoopSummary readLoopSummary(PoolReader& pools) {
+  LoopSummary ls;
+  ls.bounds.index = pools.var(/*allowInvalid=*/true);
+  ls.bounds.lo = pools.exprAt(pools.r.u64());
+  ls.bounds.up = pools.exprAt(pools.r.u64());
+  ls.bounds.step = pools.exprAt(pools.r.u64());
+  ls.boundsKnown = pools.r.u8() != 0;
+  ls.prematureExit = pools.r.u8() != 0;
+  ls.modIter = pools.garList();
+  ls.ueIter = pools.garList();
+  ls.modBefore = pools.garList();
+  ls.modAfter = pools.garList();
+  ls.deIter = pools.garList();
+  ls.mod = pools.garList();
+  ls.ue = pools.garList();
+  ls.de = pools.garList();
+  ls.ueAfter = pools.garList();
+  ls.bodyAssignedScalars = pools.vars(/*allowInvalid=*/false);
+  return ls;
+}
+
+ProcSummary readProcSummary(PoolReader& pools) {
+  ProcSummary s;
+  s.mod = pools.garList();
+  s.ue = pools.garList();
+  s.de = pools.garList();
+  s.modAll = pools.garList();
+  s.ueAll = pools.garList();
+  s.modifiedScalars = pools.vars(/*allowInvalid=*/false);
+  return s;
+}
+
+}  // namespace
+
+// ----- AnalysisSession::save ----------------------------------------------
+
+store::StoreResult AnalysisSession::save(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return saveLocked(path);
+}
+
+store::StoreResult AnalysisSession::saveLocked(const std::string& path) const {
+  StoreResult out;
+  if (!live_) {
+    out.error = path + ": cannot save a session before its first successful submit";
+    return out;
+  }
+
+  PoolWriter pools;
+
+  Writer head;
+  head.u8(options_.symbolicAnalysis ? 1 : 0);
+  head.u8(options_.ifConditions ? 1 : 0);
+  head.u8(options_.interprocedural ? 1 : 0);
+  head.u8(options_.quantified ? 1 : 0);
+  head.u8(options_.computeDE ? 1 : 0);
+  head.u8(options_.garSimplifier ? 1 : 0);
+  head.u8(options_.prefilter ? 1 : 0);
+  head.u64(options_.simplify.maxClauses);
+  head.u64(options_.simplify.maxAtomsPerClause);
+  head.u8(options_.simplify.useFourierMotzkin ? 1 : 0);
+  head.u64(options_.simplify.fmBudget.maxConstraints);
+  head.u64(options_.simplify.fmBudget.maxVariables);
+
+  head.u64(epoch_);
+  head.u64(lastSourceHash_);
+  head.u8(hasSourceHash_ ? 1 : 0);
+  head.u64(fileSkips_);
+
+  head.u64(sema_.symbols.size());
+  for (std::size_t i = 0; i < sema_.symbols.size(); ++i)
+    head.str(sema_.symbols.name(VarId{static_cast<std::uint32_t>(i)}));
+
+  // Array table (registers declared-bound expressions into the pool).
+  Writer arraysW;
+  arraysW.u64(sema_.arrays.size());
+  for (std::size_t i = 0; i < sema_.arrays.size(); ++i) {
+    const ArrayShape& s = sema_.arrays.shape(ArrayId{static_cast<std::uint32_t>(i)});
+    arraysW.str(s.name);
+    arraysW.u64(s.declaredDims.size());
+    for (const SymRange& d : s.declaredDims) pools.range(arraysW, d);
+  }
+
+  Writer astW;
+  astW.u64(program_.procedures.size());
+  for (const Procedure& p : program_.procedures) writeProcedure(astW, p);
+
+  Writer unitsW;
+  unitsW.u64(units_.size());
+  for (const auto& [name, u] : units_) {
+    unitsW.str(name);
+    unitsW.u64(u.fp);
+    unitsW.u64(u.summaryEpoch);
+    unitsW.u64(u.deps.size());
+    for (const std::string& d : u.deps) unitsW.str(d);
+    unitsW.u64(u.calleeEpochs.size());
+    for (const auto& [dep, epoch] : u.calleeEpochs) {
+      unitsW.str(dep);
+      unitsW.u64(epoch);
+    }
+    unitsW.u64(u.loops.size());
+    for (const CachedLoop& cl : u.loops) {
+      unitsW.i64(cl.line);
+      unitsW.u8(static_cast<std::uint8_t>(cl.classification));
+      unitsW.str(cl.procName);
+      unitsW.str(cl.report);
+      unitsW.str(cl.provenance);
+    }
+  }
+
+  // Procedure snapshots: from the live analyzer when there is one, or from
+  // the pending set a restore left behind.
+  std::map<std::string, SummaryAnalyzer::ProcSnapshot> local;
+  const std::map<std::string, SummaryAnalyzer::ProcSnapshot>* snaps = &pendingSnapshots_;
+  if (analyzer_) {
+    for (const Procedure& p : program_.procedures)
+      local.emplace(p.name, analyzer_->snapshotProcedure(p));
+    snaps = &local;
+  }
+
+  Writer snapW;
+  snapW.u64(snaps->size());
+  for (const auto& [name, snap] : *snaps) {
+    const Procedure* proc = program_.findProcedure(name);
+    if (!proc) {
+      out.error = path + ": internal error: snapshot of unknown procedure '" + name + "'";
+      return out;
+    }
+    std::map<const Stmt*, std::uint64_t> walkIndex;
+    {
+      std::uint64_t k = 0;
+      for (const Stmt* s : walkLoops(*proc)) walkIndex.emplace(s, k++);
+    }
+    snapW.str(name);
+    snapW.u8(snap.hasSummary ? 1 : 0);
+    snapW.u8(snap.hasScalars ? 1 : 0);
+    writeProcSummary(snapW, pools, snap.summary);
+    pools.vars(snapW, snap.modifiedScalars);
+    snapW.u64(snap.loops.size());
+    for (const auto& [stmt, ls] : snap.loops) {
+      auto it = walkIndex.find(stmt);
+      if (it == walkIndex.end()) {
+        out.error = path + ": internal error: loop summary outside the procedure walk";
+        return out;
+      }
+      snapW.u64(it->second);
+      writeLoopSummary(snapW, pools, ls);
+    }
+  }
+
+  // Assemble in the reader's order; the pools are complete only now, but
+  // they sit *before* every section that references them.
+  std::string payload;
+  payload += head.bytes();
+  {
+    Writer c;
+    c.u64(pools.exprCount);
+    payload += c.bytes();
+  }
+  payload += pools.exprs.bytes();
+  payload += arraysW.bytes();
+  {
+    Writer c;
+    c.u64(pools.predCount);
+    payload += c.bytes();
+  }
+  payload += pools.preds.bytes();
+  payload += astW.bytes();
+  payload += unitsW.bytes();
+  payload += snapW.bytes();
+
+  return store::writeSnapshotFile(path, payload);
+}
+
+// ----- AnalysisSession::restore -------------------------------------------
+
+store::StoreResult AnalysisSession::restore(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return restoreLocked(path);
+}
+
+store::StoreResult AnalysisSession::restoreLocked(const std::string& path) {
+  StoreResult out;
+  std::string payload;
+  {
+    StoreResult file = store::readSnapshotFile(path, payload);
+    if (!file.ok) return file;
+  }
+
+  Reader r(payload);
+  auto failed = [&](const std::string& why) {
+    StoreResult res;
+    res.error = path + ": " + why;
+    return res;
+  };
+
+  AnalysisOptions opts;
+  opts.symbolicAnalysis = r.u8() != 0;
+  opts.ifConditions = r.u8() != 0;
+  opts.interprocedural = r.u8() != 0;
+  opts.quantified = r.u8() != 0;
+  opts.computeDE = r.u8() != 0;
+  opts.garSimplifier = r.u8() != 0;
+  opts.prefilter = r.u8() != 0;
+  opts.simplify.maxClauses = static_cast<std::size_t>(r.u64());
+  opts.simplify.maxAtomsPerClause = static_cast<std::size_t>(r.u64());
+  opts.simplify.useFourierMotzkin = r.u8() != 0;
+  opts.simplify.fmBudget.maxConstraints = static_cast<std::size_t>(r.u64());
+  opts.simplify.fmBudget.maxVariables = static_cast<std::size_t>(r.u64());
+  // Execution knobs are not part of the snapshot; the restoring session
+  // keeps its own.
+  opts.numThreads = options_.numThreads;
+  opts.cacheCapacity = options_.cacheCapacity;
+
+  const std::uint64_t epoch = r.u64();
+  const std::uint64_t lastSourceHash = r.u64();
+  const bool hasSourceHash = r.u8() != 0;
+  const std::uint64_t fileSkips = r.u64();
+
+  SymbolTable symbols;
+  {
+    const std::uint64_t n = r.count(8, "symbol");
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+      const std::string name = r.str();
+      if (!r.ok()) break;
+      VarId id = symbols.intern(name);
+      if (id.value != i) return failed("corrupted snapshot: symbol table is not dense");
+    }
+    if (!r.ok()) return failed(r.error());
+  }
+
+  PoolReader pools(r);
+  pools.symCount = symbols.size();
+  if (!pools.readExprPool()) return failed(r.error());
+
+  ArrayTable arrays;
+  {
+    const std::uint64_t n = r.count(16, "array");
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+      const std::string name = r.str();
+      const std::uint64_t rank = r.count(24, "declared dimension");
+      std::vector<SymRange> dims;
+      dims.reserve(static_cast<std::size_t>(rank));
+      for (std::uint64_t d = 0; d < rank && r.ok(); ++d) dims.push_back(pools.range());
+      if (!r.ok()) break;
+      ArrayId id = arrays.intern(name, std::move(dims));
+      if (id.value != i) return failed("corrupted snapshot: array table is not dense");
+    }
+    if (!r.ok()) return failed(r.error());
+  }
+  pools.arrayCount = arrays.size();
+
+  if (!pools.readPredPool()) return failed(r.error());
+
+  Program program;
+  {
+    AstReader ast{r};
+    const std::uint64_t n = r.count(50, "procedure");
+    program.procedures.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+      Procedure p;
+      if (!ast.procedure(p)) break;
+      program.procedures.push_back(std::move(p));
+    }
+    if (!r.ok()) return failed(r.error());
+  }
+
+  std::map<std::string, Unit> units;
+  {
+    const std::uint64_t n = r.count(40, "unit");
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+      const std::string name = r.str();
+      Unit u;
+      u.fp = r.u64();
+      u.summaryEpoch = r.u64();
+      const std::uint64_t dn = r.count(8, "dependency");
+      for (std::uint64_t d = 0; d < dn && r.ok(); ++d) u.deps.insert(r.str());
+      const std::uint64_t en = r.count(16, "callee epoch");
+      for (std::uint64_t e = 0; e < en && r.ok(); ++e) {
+        const std::string dep = r.str();
+        const std::uint64_t de = r.u64();
+        u.calleeEpochs.emplace(dep, de);
+      }
+      const std::uint64_t ln = r.count(33, "cached loop");
+      for (std::uint64_t l = 0; l < ln && r.ok(); ++l) {
+        CachedLoop cl;
+        cl.line = static_cast<int>(r.i64());
+        const std::uint8_t cls = r.u8();
+        if (r.ok() && cls > static_cast<std::uint8_t>(LoopClass::Serial))
+          return failed("corrupted snapshot: unknown loop classification");
+        cl.classification = static_cast<LoopClass>(cls);
+        cl.procName = r.str();
+        cl.report = r.str();
+        cl.provenance = r.str();
+        u.loops.push_back(std::move(cl));
+      }
+      if (!r.ok()) break;
+      units.emplace(name, std::move(u));
+    }
+    if (!r.ok()) return failed(r.error());
+  }
+
+  struct PendingLoop {
+    std::uint64_t walkIndex = 0;
+    LoopSummary summary;
+  };
+  std::map<std::string, SummaryAnalyzer::ProcSnapshot> snaps;
+  std::map<std::string, std::vector<PendingLoop>> snapLoops;
+  {
+    const std::uint64_t n = r.count(20, "procedure snapshot");
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+      const std::string name = r.str();
+      SummaryAnalyzer::ProcSnapshot snap;
+      snap.hasSummary = r.u8() != 0;
+      snap.hasScalars = r.u8() != 0;
+      snap.summary = readProcSummary(pools);
+      snap.modifiedScalars = pools.vars(/*allowInvalid=*/false);
+      std::vector<PendingLoop> loops;
+      const std::uint64_t ln = r.count(60, "loop summary");
+      for (std::uint64_t l = 0; l < ln && r.ok(); ++l) {
+        PendingLoop pl;
+        pl.walkIndex = r.u64();
+        pl.summary = readLoopSummary(pools);
+        loops.push_back(std::move(pl));
+      }
+      if (!r.ok()) break;
+      snaps.emplace(name, std::move(snap));
+      snapLoops.emplace(name, std::move(loops));
+    }
+    if (!r.ok()) return failed(r.error());
+  }
+
+  if (!r.atEnd()) return failed("corrupted snapshot (trailing payload content)");
+
+  // Cross-section consistency: units and procedures must be in bijection,
+  // and snapshots must name known procedures.
+  for (const Procedure& p : program.procedures)
+    if (!units.count(p.name))
+      return failed("corrupted snapshot: procedure '" + p.name + "' has no unit");
+  if (units.size() != program.procedures.size())
+    return failed("corrupted snapshot: unit table names an unknown procedure");
+  for (const auto& [name, snap] : snaps) {
+    (void)snap;
+    if (!program.findProcedure(name))
+      return failed("corrupted snapshot: snapshot of unknown procedure '" + name + "'");
+  }
+
+  // Semantic re-analysis against the rebuilt tables: sema is idempotent over
+  // post-sema ASTs, so ids keep their saved values. A failure means the
+  // payload content was never a valid session — reject it whole.
+  DiagnosticEngine diags;
+  std::optional<SemaResult> sr = analyze(program, diags, std::move(symbols), std::move(arrays));
+  if (!sr) return failed("invalid snapshot (semantic re-analysis rejected it):\n" + diags.str());
+
+  DiagnosticEngine hdiags;
+  Hsg hsg;
+  for (Procedure& p : program.procedures) {
+    ProcedureHsg ph = buildProcedureHsg(p, hdiags);
+    ph.proc = &p;
+    hsg.procs.emplace(p.name, std::move(ph));
+  }
+  if (hdiags.hasErrors())
+    return failed("invalid snapshot (flow-graph construction rejected it):\n" + hdiags.str());
+
+  // Rebind snapshot loop summaries to the restored statement objects.
+  for (auto& [name, loops] : snapLoops) {
+    const Procedure* proc = program.findProcedure(name);
+    const std::vector<const Stmt*> walk = walkLoops(*proc);
+    SummaryAnalyzer::ProcSnapshot& snap = snaps.at(name);
+    for (PendingLoop& pl : loops) {
+      if (pl.walkIndex >= walk.size())
+        return failed("corrupted snapshot: loop summary index out of range");
+      const Stmt* stmt = walk[static_cast<std::size_t>(pl.walkIndex)];
+      pl.summary.stmt = stmt;
+      snap.loops.emplace_back(stmt, std::move(pl.summary));
+    }
+  }
+
+  // Everything validated — commit in one block of moves. From here on no
+  // step can fail, so the atomicity contract holds.
+  analyzer_.reset();
+  program_ = std::move(program);
+  sema_ = std::move(*sr);
+  hsg_ = std::move(hsg);
+  units_ = std::move(units);
+  pendingSnapshots_ = std::move(snaps);
+  options_ = opts;
+  optionsKey_ = optionsKey(options_);
+  unitsOptionsKey_ = optionsKey_;
+  epoch_ = epoch;
+  lastSourceHash_ = lastSourceHash;
+  hasSourceHash_ = hasSourceHash;
+  fileSkips_ = fileSkips;
+  live_ = true;
+  lastStats_ = SessionStats{};
+  lastStats_.epoch = epoch_;
+  lastStats_.procedures = program_.procedures.size();
+  lastStats_.fileSkips = fileSkips_;
+  setQueryTierEnabled(options_.prefilter);
+
+  out.ok = true;
+  return out;
+}
+
+}  // namespace panorama

@@ -1,0 +1,272 @@
+// The analysis daemon (store/daemon.h): framed JSON protocol over a Unix
+// socket, connection-local and named cross-connection sessions on one
+// shared pool and hash-cons store.
+//   * two concurrent clients produce exactly what two serial in-process
+//     sessions produce;
+//   * a client that dies mid-frame does not poison the shared store —
+//     the next client analyzes normally;
+//   * malformed requests get structured error responses, not a dropped
+//     connection;
+//   * a named session persists across connections (the second connection's
+//     byte-identical resubmit rides the whole-file fast path).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "panorama/session/session.h"
+#include "panorama/store/daemon.h"
+#include "panorama/store/protocol.h"
+#include "panorama/support/json.h"
+#include "panorama/support/memo_cache.h"
+
+namespace panorama {
+namespace {
+
+struct CacheGuard {
+  ~CacheGuard() { QueryCache::global().configure(QueryCache::kDefaultCapacity); }
+};
+
+const char* kProgA = R"(
+      subroutine alpha(a, n)
+      integer n
+      real a(n)
+      real t(100)
+      do i = 1, n
+        t(i) = a(i) * 2.0
+        a(i) = t(i) + 1.0
+      enddo
+      end
+)";
+
+const char* kProgAEdited = R"(
+      subroutine alpha(a, n)
+      integer n
+      real a(n)
+      real t(100)
+      do i = 1, n
+        t(i) = a(i) * 3.0
+        a(i) = t(i) + 1.0
+      enddo
+      end
+)";
+
+const char* kProgB = R"(
+      subroutine beta(b, s, n)
+      integer n
+      real b(n)
+      real s
+      do i = 1, n
+        s = s + b(i)
+      enddo
+      end
+)";
+
+/// AF_UNIX paths are short; keep them in /tmp and unique per test.
+std::string socketPath(const std::string& name) {
+  return "/tmp/panodt_" + std::to_string(::getpid()) + "_" + name + ".sock";
+}
+
+/// RAII client connection.
+struct Client {
+  int fd = -1;
+  explicit Client(const std::string& path) {
+    std::string error;
+    fd = store::connectUnixSocket(path, &error);
+    EXPECT_GE(fd, 0) << error;
+  }
+  ~Client() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+/// One request/response exchange; fails the test on any transport error.
+support::JsonValue rpc(int fd, const std::string& request) {
+  std::string error;
+  EXPECT_TRUE(store::writeFrame(fd, request, &error)) << error;
+  std::string payload;
+  EXPECT_EQ(store::readFrame(fd, payload, &error), store::FrameStatus::Ok) << error;
+  std::optional<support::JsonValue> v = support::JsonValue::parse(payload, &error);
+  EXPECT_TRUE(v.has_value()) << error;
+  return v ? *v : support::JsonValue::makeNull();
+}
+
+std::string submitRequest(const std::string& source, const std::string& name,
+                          const std::string& sessionKey = "") {
+  std::string req = "{\"id\":7,\"op\":\"submit\",\"name\":\"";
+  support::appendJsonEscaped(req, name);
+  if (!sessionKey.empty()) {
+    req += "\",\"session\":\"";
+    support::appendJsonEscaped(req, sessionKey);
+  }
+  req += "\",\"source\":\"";
+  support::appendJsonEscaped(req, source);
+  req += "\"}";
+  return req;
+}
+
+std::string reportOf(const support::JsonValue& response) {
+  const support::JsonValue* ok = response.find("ok");
+  EXPECT_TRUE(ok && ok->isBool() && ok->asBool());
+  const support::JsonValue* report = response.find("report");
+  EXPECT_TRUE(report && report->isString());
+  return report && report->isString() ? report->asString() : std::string();
+}
+
+/// What the daemon composes for a submit — same shape the batch driver
+/// prints (daemon.cpp keeps the two in lockstep).
+std::string composeReport(const std::string& name, const SessionResult& r) {
+  std::string out = name + ": " + std::to_string(r.loops.size()) + " loop(s)\n\n";
+  for (const SessionLoopResult& loop : r.loops) {
+    out += loop.report;
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(DaemonTest, PingShutdownLifecycle) {
+  const std::string path = socketPath("lifecycle");
+  store::Daemon daemon(path, AnalysisOptions{});
+  std::string error;
+  ASSERT_TRUE(daemon.start(error)) << error;
+  {
+    Client c(path);
+    support::JsonValue pong = rpc(c.fd, "{\"id\":42,\"op\":\"ping\"}");
+    const support::JsonValue* ok = pong.find("ok");
+    EXPECT_TRUE(ok && ok->isBool() && ok->asBool());
+    const support::JsonValue* id = pong.find("id");
+    ASSERT_TRUE(id && id->isNumber());
+    EXPECT_EQ(id->asNumber(), 42.0);
+    rpc(c.fd, "{\"id\":43,\"op\":\"shutdown\"}");
+  }
+  daemon.wait();  // returns because the client asked for shutdown
+  EXPECT_LT(::access(path.c_str(), F_OK), 0) << "socket file not unlinked";
+}
+
+TEST(DaemonTest, TwoConcurrentClientsMatchSerialSessions) {
+  CacheGuard guard;
+  AnalysisOptions options;
+  options.numThreads = 2;
+  const std::string path = socketPath("concurrent");
+  store::Daemon daemon(path, options);
+  std::string error;
+  ASSERT_TRUE(daemon.start(error)) << error;
+
+  // Each client keeps one connection and submits a cold + warm sequence;
+  // the two run concurrently against the shared pool and arenas.
+  std::vector<std::string> reportsA, reportsB;
+  std::thread clientA([&] {
+    Client c(path);
+    reportsA.push_back(reportOf(rpc(c.fd, submitRequest(kProgA, "a.f"))));
+    reportsA.push_back(reportOf(rpc(c.fd, submitRequest(kProgAEdited, "a.f"))));
+  });
+  std::thread clientB([&] {
+    Client c(path);
+    reportsB.push_back(reportOf(rpc(c.fd, submitRequest(kProgB, "b.f"))));
+    reportsB.push_back(reportOf(rpc(c.fd, submitRequest(kProgB, "b.f"))));
+  });
+  clientA.join();
+  clientB.join();
+  daemon.stop();
+  daemon.wait();
+
+  // Serial references: one in-process session per client, same sequences.
+  AnalysisSession serialA(options);
+  SessionResult a1 = serialA.submit(kProgA);
+  SessionResult a2 = serialA.submit(kProgAEdited);
+  ASSERT_TRUE(a1.ok && a2.ok);
+  AnalysisSession serialB(options);
+  SessionResult b1 = serialB.submit(kProgB);
+  SessionResult b2 = serialB.submit(kProgB);
+  ASSERT_TRUE(b1.ok && b2.ok);
+
+  ASSERT_EQ(reportsA.size(), 2u);
+  ASSERT_EQ(reportsB.size(), 2u);
+  EXPECT_EQ(reportsA[0], composeReport("a.f", a1));
+  EXPECT_EQ(reportsA[1], composeReport("a.f", a2));
+  EXPECT_EQ(reportsB[0], composeReport("b.f", b1));
+  EXPECT_EQ(reportsB[1], composeReport("b.f", b2));
+}
+
+TEST(DaemonTest, ClientDeathMidFrameDoesNotPoisonTheStore) {
+  CacheGuard guard;
+  const std::string path = socketPath("midframe");
+  store::Daemon daemon(path, AnalysisOptions{});
+  std::string error;
+  ASSERT_TRUE(daemon.start(error)) << error;
+
+  {
+    // A length prefix promising 100 bytes, then 4 — and the client dies.
+    Client dying(path);
+    const char partial[] = {100, 0, 0, 0, 'j', 'u', 'n', 'k'};
+    ASSERT_EQ(::write(dying.fd, partial, sizeof(partial)),
+              static_cast<ssize_t>(sizeof(partial)));
+  }
+
+  // The next client gets a fully functional service.
+  Client c(path);
+  const std::string report = reportOf(rpc(c.fd, submitRequest(kProgA, "a.f")));
+  AnalysisSession serial;
+  SessionResult ref = serial.submit(kProgA);
+  ASSERT_TRUE(ref.ok);
+  EXPECT_EQ(report, composeReport("a.f", ref));
+}
+
+TEST(DaemonTest, MalformedRequestsGetStructuredErrors) {
+  CacheGuard guard;
+  const std::string path = socketPath("malformed");
+  store::Daemon daemon(path, AnalysisOptions{});
+  std::string error;
+  ASSERT_TRUE(daemon.start(error)) << error;
+
+  Client c(path);
+  auto expectError = [&](const std::string& request, const std::string& needle) {
+    support::JsonValue response = rpc(c.fd, request);
+    const support::JsonValue* ok = response.find("ok");
+    ASSERT_TRUE(ok && ok->isBool());
+    EXPECT_FALSE(ok->asBool());
+    const support::JsonValue* msg = response.find("error");
+    ASSERT_TRUE(msg && msg->isString());
+    EXPECT_NE(msg->asString().find(needle), std::string::npos) << msg->asString();
+  };
+  expectError("this is not json", "malformed request");
+  expectError("{\"id\":1}", "no \"op\" field");
+  expectError("{\"id\":1,\"op\":\"frobnicate\"}", "unknown op");
+  expectError("{\"id\":1,\"op\":\"submit\"}", "\"source\" field");
+  expectError(submitRequest("      garbage that does not parse\n", "bad.f"), "");
+
+  // The connection survives every rejected request.
+  const std::string report = reportOf(rpc(c.fd, submitRequest(kProgA, "a.f")));
+  EXPECT_FALSE(report.empty());
+}
+
+TEST(DaemonTest, NamedSessionPersistsAcrossConnections) {
+  CacheGuard guard;
+  const std::string path = socketPath("named");
+  store::Daemon daemon(path, AnalysisOptions{});
+  std::string error;
+  ASSERT_TRUE(daemon.start(error)) << error;
+
+  std::string first, second;
+  {
+    Client c(path);
+    first = reportOf(rpc(c.fd, submitRequest(kProgA, "a.f", "shared")));
+  }
+  {
+    // New connection, same named session: the byte-identical resubmit is
+    // served by the whole-file fast path.
+    Client c(path);
+    support::JsonValue response = rpc(c.fd, submitRequest(kProgA, "a.f", "shared"));
+    second = reportOf(response);
+    const support::JsonValue* skips = response.find("file_skips");
+    ASSERT_TRUE(skips && skips->isNumber());
+    EXPECT_EQ(skips->asNumber(), 1.0);
+  }
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace panorama

@@ -1,0 +1,323 @@
+// The on-disk session store (store/, DESIGN.md §4.8):
+//   * save() then restore() into a fresh process-state session reproduces
+//     the in-process warm re-analysis byte-for-byte, at 1/4/8 threads;
+//   * a restored session serves a byte-identical resubmit through the
+//     whole-file fast path (the snapshot carries the source hash);
+//   * truncated / corrupted / version-mismatched snapshots are rejected
+//     with a structured diagnostic and leave the session untouched;
+//   * save() under concurrent submits always snapshots one consistent
+//     epoch — every file written while another thread edits restores.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "panorama/session/session.h"
+#include "panorama/store/format.h"
+#include "panorama/support/memo_cache.h"
+
+namespace panorama {
+namespace {
+
+struct CacheGuard {
+  ~CacheGuard() { QueryCache::global().configure(QueryCache::kDefaultCapacity); }
+};
+
+// The session_test call chain: main -> top -> mid -> leaf, plus a sibling.
+// `leaf` is textually last so the edit cannot shift other procedures' lines.
+const char* kBase = R"(
+      program main
+      real a(100)
+      real b(100)
+      do i = 1, 100
+        a(i) = 0.0
+      enddo
+      call sib(b)
+      call top(a)
+      end
+      subroutine sib(s)
+      real s(100)
+      do i = 1, 100
+        s(i) = 1.0
+      enddo
+      end
+      subroutine top(t)
+      real t(100)
+      call mid(t)
+      end
+      subroutine mid(m)
+      real m(100)
+      call leaf(m)
+      end
+      subroutine leaf(x)
+      real x(100)
+      do i = 1, 100
+        x(i) = 2.0
+      enddo
+      end
+)";
+
+const char* kLeafEdited = R"(
+      program main
+      real a(100)
+      real b(100)
+      do i = 1, 100
+        a(i) = 0.0
+      enddo
+      call sib(b)
+      call top(a)
+      end
+      subroutine sib(s)
+      real s(100)
+      do i = 1, 100
+        s(i) = 1.0
+      enddo
+      end
+      subroutine top(t)
+      real t(100)
+      call mid(t)
+      end
+      subroutine mid(m)
+      real m(100)
+      call leaf(m)
+      end
+      subroutine leaf(x)
+      real x(100)
+      do i = 1, 100
+        x(i) = 3.0
+      enddo
+      end
+)";
+
+std::string render(const SessionResult& r) {
+  std::ostringstream os;
+  for (const SessionLoopResult& loop : r.loops) {
+    os << loop.procName << " | line " << loop.line << " | " << toString(loop.classification)
+       << '\n'
+       << loop.report << loop.provenance << '\n';
+  }
+  return os.str();
+}
+
+std::string tempPath(const std::string& name) { return testing::TempDir() + name; }
+
+/// RAII snapshot file cleanup.
+struct FileGuard {
+  std::string path;
+  ~FileGuard() { std::remove(path.c_str()); }
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(StoreTest, RestoredWarmRunByteIdenticalAcrossThreadCounts) {
+  CacheGuard guard;
+  for (std::size_t threads : {1u, 4u, 8u}) {
+    AnalysisOptions options;
+    options.numThreads = threads;
+    FileGuard snap{tempPath("store_roundtrip_" + std::to_string(threads) + ".pano")};
+
+    // In-process reference: cold submit, snapshot, warm submit.
+    AnalysisSession reference(options);
+    ASSERT_TRUE(reference.submit(kBase).ok) << threads << " threads";
+    store::StoreResult saved = reference.save(snap.path);
+    ASSERT_TRUE(saved.ok) << saved.error;
+    SessionResult inProcess = reference.submit(kLeafEdited);
+    ASSERT_TRUE(inProcess.ok) << threads << " threads";
+
+    // Restored run: fresh session, same snapshot, same edit.
+    AnalysisSession restored(options);
+    store::StoreResult r = restored.restore(snap.path);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(restored.epoch(), 1u);
+    SessionResult warm = restored.submit(kLeafEdited);
+    ASSERT_TRUE(warm.ok) << threads << " threads";
+
+    EXPECT_EQ(render(inProcess), render(warm)) << threads << " threads";
+    EXPECT_EQ(inProcess.stats.summariesReused, warm.stats.summariesReused);
+    EXPECT_EQ(inProcess.stats.loopsReused, warm.stats.loopsReused);
+    EXPECT_EQ(inProcess.stats.dirty, warm.stats.dirty);
+    EXPECT_GT(warm.stats.summariesReused, 0u) << "restore lost the snapshots";
+  }
+}
+
+TEST(StoreTest, RestoredSessionServesByteIdenticalResubmitViaFastPath) {
+  CacheGuard guard;
+  FileGuard snap{tempPath("store_fastpath.pano")};
+  AnalysisOptions options;
+  options.numThreads = 1;
+
+  AnalysisSession saver(options);
+  SessionResult cold = saver.submit(kBase);
+  ASSERT_TRUE(cold.ok);
+  ASSERT_TRUE(saver.save(snap.path).ok);
+
+  AnalysisSession restored(options);
+  ASSERT_TRUE(restored.restore(snap.path).ok);
+  SessionResult skip = restored.submit(kBase);
+  ASSERT_TRUE(skip.ok);
+  // The snapshot carries the source hash, so the identical resubmit never
+  // parses or diffs — and still serves the full cached report set.
+  EXPECT_EQ(skip.stats.fileSkips, 1u);
+  EXPECT_EQ(render(cold), render(skip));
+}
+
+TEST(StoreTest, SaveRequiresALiveSession) {
+  FileGuard snap{tempPath("store_dead.pano")};
+  AnalysisSession session;
+  store::StoreResult r = session.save(snap.path);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("before its first successful submit"), std::string::npos) << r.error;
+}
+
+TEST(StoreTest, SaveFailsOnUnwritablePathWithDiagnostic) {
+  CacheGuard guard;
+  AnalysisSession session;
+  ASSERT_TRUE(session.submit(kBase).ok);
+  store::StoreResult r = session.save("/nonexistent-dir/snapshot.pano");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("/nonexistent-dir/snapshot.pano"), std::string::npos) << r.error;
+}
+
+/// A failed restore must leave the session exactly as it was: same epoch,
+/// and the next byte-identical resubmit still rides the fast path (proof
+/// that units, hashes, and cached reports all survived).
+void expectSessionUntouched(AnalysisSession& session, const std::string& coldRender) {
+  EXPECT_EQ(session.epoch(), 1u);
+  SessionResult again = session.submit(kBase);
+  ASSERT_TRUE(again.ok);
+  EXPECT_GE(again.stats.fileSkips, 1u);
+  EXPECT_EQ(coldRender, render(again));
+}
+
+TEST(StoreTest, RestoreRejectsTruncatedSnapshotAndKeepsSession) {
+  CacheGuard guard;
+  FileGuard snap{tempPath("store_truncated.pano")};
+  AnalysisSession session;
+  SessionResult cold = session.submit(kBase);
+  ASSERT_TRUE(cold.ok);
+  ASSERT_TRUE(session.save(snap.path).ok);
+  const std::string bytes = slurp(snap.path);
+  ASSERT_GT(bytes.size(), 32u);
+
+  // Shorter than the 24-byte header.
+  spit(snap.path, bytes.substr(0, 10));
+  store::StoreResult r = session.restore(snap.path);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("truncated snapshot"), std::string::npos) << r.error;
+
+  // Header intact, payload cut short.
+  spit(snap.path, bytes.substr(0, bytes.size() - 5));
+  r = session.restore(snap.path);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("truncated snapshot"), std::string::npos) << r.error;
+
+  expectSessionUntouched(session, render(cold));
+}
+
+TEST(StoreTest, RestoreRejectsCorruptedPayloadAndKeepsSession) {
+  CacheGuard guard;
+  FileGuard snap{tempPath("store_corrupt.pano")};
+  AnalysisSession session;
+  SessionResult cold = session.submit(kBase);
+  ASSERT_TRUE(cold.ok);
+  ASSERT_TRUE(session.save(snap.path).ok);
+  std::string bytes = slurp(snap.path);
+  ASSERT_GT(bytes.size(), store::kHeaderBytes + 8);
+
+  bytes[store::kHeaderBytes + 7] ^= 0x40;  // one payload bit
+  spit(snap.path, bytes);
+  store::StoreResult r = session.restore(snap.path);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("integrity hash mismatch"), std::string::npos) << r.error;
+
+  expectSessionUntouched(session, render(cold));
+}
+
+TEST(StoreTest, RestoreRejectsVersionMismatchAndBadMagic) {
+  CacheGuard guard;
+  FileGuard snap{tempPath("store_version.pano")};
+  AnalysisSession session;
+  SessionResult cold = session.submit(kBase);
+  ASSERT_TRUE(cold.ok);
+  ASSERT_TRUE(session.save(snap.path).ok);
+  const std::string bytes = slurp(snap.path);
+
+  // Bump the schema version field (offset 4, little-endian u32).
+  std::string versioned = bytes;
+  versioned[4] = 99;
+  spit(snap.path, versioned);
+  store::StoreResult r = session.restore(snap.path);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("unsupported schema version 99"), std::string::npos) << r.error;
+
+  // Clobber the magic.
+  std::string unmagiced = bytes;
+  unmagiced[0] = 'X';
+  spit(snap.path, unmagiced);
+  r = session.restore(snap.path);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("bad magic"), std::string::npos) << r.error;
+
+  expectSessionUntouched(session, render(cold));
+}
+
+TEST(StoreTest, RestoreRejectsMissingFile) {
+  AnalysisSession session;
+  store::StoreResult r = session.restore(tempPath("store_never_written.pano"));
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.error.empty());
+  // A dead session stays usable after the failed restore.
+  EXPECT_TRUE(session.submit(kBase).ok);
+}
+
+TEST(StoreTest, SaveUnderConcurrentSubmitsSnapshotsOneConsistentEpoch) {
+  CacheGuard guard;
+  AnalysisOptions options;
+  options.numThreads = 2;
+  AnalysisSession session(options);
+  ASSERT_TRUE(session.submit(kBase).ok);
+
+  constexpr int kIterations = 8;
+  std::thread editor([&] {
+    for (int k = 0; k < kIterations; ++k) {
+      SessionResult r = session.submit(k % 2 == 0 ? kLeafEdited : kBase);
+      ASSERT_TRUE(r.ok);
+    }
+  });
+
+  std::vector<std::string> snaps;
+  for (int k = 0; k < kIterations; ++k) {
+    snaps.push_back(tempPath("store_concurrent_" + std::to_string(k) + ".pano"));
+    store::StoreResult saved = session.save(snaps.back());
+    ASSERT_TRUE(saved.ok) << saved.error;
+  }
+  editor.join();
+
+  // Every snapshot — whichever epoch it caught — restores and re-analyzes.
+  for (const std::string& snap : snaps) {
+    AnalysisSession restored(options);
+    store::StoreResult r = restored.restore(snap);
+    ASSERT_TRUE(r.ok) << snap << ": " << r.error;
+    SessionResult warm = restored.submit(kLeafEdited);
+    ASSERT_TRUE(warm.ok);
+    EXPECT_FALSE(warm.loops.empty());
+  }
+  for (const std::string& snap : snaps) std::remove(snap.c_str());
+}
+
+}  // namespace
+}  // namespace panorama

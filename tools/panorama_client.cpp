@@ -1,0 +1,145 @@
+// Thin client for the analysis daemon (DESIGN.md §4.8).
+//
+//   panorama_client SOCKET ping
+//   panorama_client SOCKET submit FILE [--name=NAME] [--session=KEY]
+//                                      [--explain] [--stats]
+//   panorama_client SOCKET shutdown
+//
+// `submit` sends FILE's bytes over the framed JSON protocol and prints the
+// daemon's composed report to stdout — byte-identical to what
+// `panorama_driver FILE` prints, which is exactly what the daemon smoke
+// test diffs. `--name` overrides the report heading (default: FILE);
+// `--session` targets a named daemon-side session that persists across
+// invocations (resubmits hit the incremental cache / file-skip fast path).
+// Exit codes: 0 success, 1 daemon-side error, 2 usage/transport error.
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "panorama/store/protocol.h"
+#include "panorama/support/json.h"
+
+using namespace panorama;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: panorama_client SOCKET ping\n"
+               "       panorama_client SOCKET submit FILE [--name=NAME] [--session=KEY]\n"
+               "                                          [--explain] [--stats]\n"
+               "       panorama_client SOCKET shutdown\n");
+  return 2;
+}
+
+/// One request/response exchange. Returns the daemon's JSON response, or
+/// nullopt after printing a transport diagnostic.
+std::optional<support::JsonValue> roundTrip(int fd, const std::string& request) {
+  std::string error;
+  if (!store::writeFrame(fd, request, &error)) {
+    std::fprintf(stderr, "panorama_client: %s\n", error.c_str());
+    return std::nullopt;
+  }
+  std::string payload;
+  store::FrameStatus st = store::readFrame(fd, payload, &error);
+  if (st != store::FrameStatus::Ok) {
+    std::fprintf(stderr, "panorama_client: %s\n",
+                 st == store::FrameStatus::Eof ? "daemon closed the connection" : error.c_str());
+    return std::nullopt;
+  }
+  std::optional<support::JsonValue> response = support::JsonValue::parse(payload, &error);
+  if (!response) {
+    std::fprintf(stderr, "panorama_client: malformed response: %s\n", error.c_str());
+    return std::nullopt;
+  }
+  return response;
+}
+
+/// True when the response says ok; otherwise prints the daemon's error.
+bool checkOk(const support::JsonValue& response) {
+  const support::JsonValue* ok = response.find("ok");
+  if (ok && ok->isBool() && ok->asBool()) return true;
+  const support::JsonValue* error = response.find("error");
+  std::fprintf(stderr, "panorama_client: daemon error: %s\n",
+               error && error->isString() ? error->asString().c_str() : "(no error field)");
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string socketPath = argv[1];
+  const std::string op = argv[2];
+
+  std::string request;
+  if (op == "ping") {
+    request = "{\"id\":1,\"op\":\"ping\"}";
+  } else if (op == "shutdown") {
+    request = "{\"id\":1,\"op\":\"shutdown\"}";
+  } else if (op == "submit") {
+    if (argc < 4) return usage();
+    const std::string file = argv[3];
+    std::string name = file;
+    std::string sessionKey;
+    bool explain = false;
+    bool stats = false;
+    for (int k = 4; k < argc; ++k) {
+      std::string_view arg = argv[k];
+      if (arg == "--explain") explain = true;
+      else if (arg == "--stats") stats = true;
+      else if (arg.rfind("--name=", 0) == 0) name = std::string(arg.substr(7));
+      else if (arg.rfind("--session=", 0) == 0) sessionKey = std::string(arg.substr(10));
+      else return usage();
+    }
+    std::ifstream in{file};
+    if (!in) {
+      std::fprintf(stderr, "panorama_client: cannot open '%s'\n", file.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    request = "{\"id\":1,\"op\":\"submit\",\"name\":\"";
+    support::appendJsonEscaped(request, name);
+    if (!sessionKey.empty()) {
+      request += "\",\"session\":\"";
+      support::appendJsonEscaped(request, sessionKey);
+    }
+    request += "\",\"explain\":";
+    request += explain ? "true" : "false";
+    request += ",\"stats\":";
+    request += stats ? "true" : "false";
+    request += ",\"source\":\"";
+    support::appendJsonEscaped(request, buf.str());
+    request += "\"}";
+  } else {
+    return usage();
+  }
+
+  std::string error;
+  int fd = store::connectUnixSocket(socketPath, &error);
+  if (fd < 0) {
+    std::fprintf(stderr, "panorama_client: %s\n", error.c_str());
+    return 2;
+  }
+  std::optional<support::JsonValue> response = roundTrip(fd, request);
+  ::close(fd);
+  if (!response) return 2;
+  if (!checkOk(*response)) return 1;
+
+  if (op == "ping") {
+    std::printf("pong\n");
+  } else if (op == "shutdown") {
+    std::printf("daemon shutting down\n");
+  } else {
+    const support::JsonValue* report = response->find("report");
+    if (report && report->isString()) std::fputs(report->asString().c_str(), stdout);
+    const support::JsonValue* stats = response->find("stats");
+    if (stats && stats->isString()) std::fputs(stats->asString().c_str(), stdout);
+  }
+  return 0;
+}
