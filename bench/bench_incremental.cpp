@@ -107,6 +107,129 @@ RunResult runOnce(const std::vector<std::string>& baseSources,
   return rr;
 }
 
+// ----- single-loop-edit scenario (loop-granular reuse, DESIGN.md §4.9) -----
+//
+// One procedure with kNests independent top-level loop nests; the edit
+// changes a constant inside the FIRST nest. Item-granular invalidation
+// keeps every *later* nest reusable (an edit to item k dirties the items
+// before k — their statement suffix contains k — and none after it), so
+// editing the first nest is the best case the tentpole is gated on: one
+// nest recomputed, kNests-1 served from cache. The baseline it is measured
+// against is the same session with loopGranularReuse=false — the
+// procedure-granular reuse of the previous design, which recomputes every
+// nest in the dirty procedure.
+
+constexpr int kNests = 24;
+
+std::string manyLoopSource(bool edited) {
+  std::string src;
+  src += "      subroutine kern(a, b, n)\n";
+  src += "      integer n\n";
+  src += "      real a(1000," + std::to_string(kNests) + ")\n";
+  src += "      real b(1000," + std::to_string(kNests) + ")\n";
+  src += "      real t\n";
+  src += "      integer i, j, m\n";
+  for (int k = 1; k <= kNests; ++k) {
+    const int lbl = 100 * k;
+    const std::string col = std::to_string(k);
+    // The first nest carries the edit: a different constant in its body.
+    const std::string c = (edited && k == 1) ? "3.0" : "1.0";
+    src += "      do " + std::to_string(lbl) + " i = 1, n\n";
+    src += "      do " + std::to_string(lbl + 1) + " j = 1, n\n";
+    src += "      do " + std::to_string(lbl + 2) + " m = 1, n\n";
+    src += "      t = a(m," + col + ") + " + c + "\n";
+    src += "      b(m," + col + ") = t * 2.0\n";
+    src += std::to_string(lbl + 2) + "   continue\n";
+    src += std::to_string(lbl + 1) + "   continue\n";
+    src += std::to_string(lbl) + "   continue\n";
+  }
+  src += "      end\n";
+  return src;
+}
+
+std::string reportsOf(const SessionResult& r) {
+  std::string out;
+  for (const SessionLoopResult& loop : r.loops) {
+    out += loop.report;
+    out += loop.provenance;
+  }
+  return out;
+}
+
+struct LoopEditRun {
+  bool ok = true;
+  std::string error;
+  double warmMs = 0;
+  std::size_t loopSkips = 0;
+  std::string reports;
+};
+
+LoopEditRun runLoopEdit(bool loopGranular, int threads) {
+  LoopEditRun out;
+  AnalysisOptions options;
+  options.loopGranularReuse = loopGranular;
+  options.numThreads = threads;
+  AnalysisSession session(options);
+  SessionResult cold = session.submit(manyLoopSource(/*edited=*/false));
+  if (!cold.ok) {
+    out.ok = false;
+    out.error = "loop-edit cold submit failed:\n" + cold.error;
+    return out;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  SessionResult warm = session.submit(manyLoopSource(/*edited=*/true));
+  out.warmMs =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+  if (!warm.ok) {
+    out.ok = false;
+    out.error = "loop-edit warm submit failed:\n" + warm.error;
+    return out;
+  }
+  out.loopSkips = warm.stats.loopSkips;
+  out.reports = reportsOf(warm);
+  return out;
+}
+
+/// Comment-only edit: a comment line inserted above the first nest shifts
+/// every loop's text down one line without changing any fingerprint. The
+/// contract (gated Exact): dirty cone 0, and the cached reports cite the
+/// post-edit lines.
+bool runCommentEdit(std::size_t* dirty, std::string* error) {
+  AnalysisSession session;
+  SessionResult cold = session.submit(manyLoopSource(/*edited=*/false));
+  if (!cold.ok) {
+    *error = "comment-edit cold submit failed:\n" + cold.error;
+    return false;
+  }
+  std::string shifted = manyLoopSource(/*edited=*/false);
+  const std::string anchor = "      do 100 i";
+  const std::size_t pos = shifted.find(anchor);
+  if (pos == std::string::npos) {
+    *error = "comment-edit anchor not found";
+    return false;
+  }
+  shifted.insert(pos, "c shifted by one line\n");
+  SessionResult warm = session.submit(shifted);
+  if (!warm.ok) {
+    *error = "comment-edit warm submit failed:\n" + warm.error;
+    return false;
+  }
+  *dirty = warm.stats.dirty;
+  // Every cached citation must point one line below its cold position.
+  if (warm.loops.size() != cold.loops.size()) {
+    *error = "comment-edit changed the loop count";
+    return false;
+  }
+  for (std::size_t k = 0; k < warm.loops.size(); ++k)
+    if (warm.loops[k].line != cold.loops[k].line + 1) {
+      *error = "comment-edit line citation not remapped (loop " + std::to_string(k) + ": " +
+               std::to_string(warm.loops[k].line) + " vs cold " +
+               std::to_string(cold.loops[k].line) + ")";
+      return false;
+    }
+  return true;
+}
+
 bench::BenchResult run() {
   constexpr int kRepeats = 5;
   bench::BenchResult result;
@@ -187,6 +310,78 @@ bench::BenchResult run() {
   result.add("warm_dirty_cone", static_cast<double>(best.warmDirty), bench::Direction::Exact);
   if (!identical) result.fail("warm reports diverge from a cold analysis of the edited sources");
   if (best.warmMs > best.coldMs) result.fail("warm re-analysis slower than cold analysis");
+
+  // ---- single-loop-edit scenario ----
+  // Reference: a cold analysis of the edited source; warm runs at every
+  // granularity and thread count must reproduce it byte for byte.
+  std::string loopEditReference;
+  {
+    AnalysisSession session;
+    SessionResult ref = session.submit(manyLoopSource(/*edited=*/true));
+    if (!ref.ok) {
+      result.fail("loop-edit reference submit failed:\n" + ref.error);
+      return result;
+    }
+    loopEditReference = reportsOf(ref);
+  }
+  double bestLoopMs = 1e18;
+  double bestUnitMs = 1e18;
+  std::size_t loopSkips = 0;
+  bool loopIdentical = true;
+  for (int r = 0; r < kRepeats; ++r) {
+    LoopEditRun granular = runLoopEdit(/*loopGranular=*/true, /*threads=*/1);
+    if (!granular.ok) {
+      result.fail(granular.error);
+      return result;
+    }
+    LoopEditRun unitOnly = runLoopEdit(/*loopGranular=*/false, /*threads=*/1);
+    if (!unitOnly.ok) {
+      result.fail(unitOnly.error);
+      return result;
+    }
+    bestLoopMs = std::min(bestLoopMs, granular.warmMs);
+    bestUnitMs = std::min(bestUnitMs, unitOnly.warmMs);
+    loopSkips = granular.loopSkips;
+    loopIdentical = loopIdentical && granular.reports == loopEditReference &&
+                    unitOnly.reports == loopEditReference;
+  }
+  // Determinism across execution options: the loop-granular warm run is
+  // byte-identical at 4 and 8 threads too.
+  for (int threads : {4, 8}) {
+    LoopEditRun t = runLoopEdit(/*loopGranular=*/true, threads);
+    if (!t.ok) {
+      result.fail(t.error);
+      return result;
+    }
+    loopIdentical = loopIdentical && t.reports == loopEditReference;
+  }
+  std::size_t commentDirty = static_cast<std::size_t>(-1);
+  std::string commentError;
+  if (!runCommentEdit(&commentDirty, &commentError)) {
+    result.fail(commentError);
+    return result;
+  }
+
+  std::printf("single-loop edit — %d-nest procedure, first nest edited\n", kNests);
+  std::printf("warm wall:   %.3f ms loop-granular vs %.3f ms unit-granular (%.2fx)\n", bestLoopMs,
+              bestUnitMs, bestUnitMs / bestLoopMs);
+  std::printf("loop skips:  %zu reused inside the dirty procedure\n", loopSkips);
+  std::printf("comment-only edit dirty cone: %zu\n", commentDirty);
+
+  result.addConfig("loop_edit", "constant changed inside the first of " + std::to_string(kNests) +
+                                    " independent nests");
+  result.add("single_loop_edit_warm_ms", bestLoopMs, bench::Direction::LowerIsBetter, 3.0, "ms");
+  result
+      .add("single_loop_edit_speedup_vs_unit", bestUnitMs / bestLoopMs,
+           bench::Direction::HigherIsBetter, 0.5, "x")
+      .minValue = 3.0;  // the §4.9 gate: >=3x over procedure-granular reuse
+  result.add("single_loop_edit_loop_skips", static_cast<double>(loopSkips),
+             bench::Direction::Exact);
+  result.add("single_loop_edit_reports_identical", loopIdentical ? 1.0 : 0.0,
+             bench::Direction::Exact);
+  result.add("comment_edit_dirty", static_cast<double>(commentDirty), bench::Direction::Exact);
+  if (!loopIdentical)
+    result.fail("loop-granular warm reports diverge from a cold analysis of the edited source");
   return result;
 }
 

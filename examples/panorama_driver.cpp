@@ -427,6 +427,13 @@ int main(int argc, char** argv) {
       if (explain) std::printf("%s", r.provenance.c_str());
       std::printf("\n");
     }
+    if (explain && !showStats) {
+      // --stats prints these inside the full stats block; under --explain
+      // alone, still surface why each cached loop verdict was reusable.
+      for (const LoopReuse& lr : result.stats.loopReuse)
+        std::printf("session.loop_reuse_cause: %s (line %d): %s -- %s\n", lr.unit.c_str(),
+                    lr.line, lr.cause.c_str(), lr.detail.c_str());
+    }
     if (showStats) {
       std::printf("%s", formatSessionStats(result.stats).c_str());
       printArenaStats();

@@ -8,9 +8,26 @@
 // nodes into Intrinsic nodes in place); AnalysisSession always hashes the
 // freshly parsed program, so the same source text maps to the same
 // fingerprint on every submit.
+//
+// Beyond the whole-procedure hash, fingerprintProcedureDetail() breaks a
+// procedure into per-top-level-statement *items* — the granularity the
+// session reuses loop verdicts at. A loop verdict depends on exactly:
+//   * the procedure frame (params/decls/commons/paramConsts — they shape
+//     ProcSymbols and hence every lowering), plus the set of DO index names
+//     (the T1-off ablation keys on it);
+//   * its own item subtree (loop summary + scalar classification);
+//   * the statements *after* the item (the suffix feeds the backward walk's
+//     ueAfter — the copy-out/live-out probe);
+//   * under options.quantified only, the immediately preceding item (the
+//     §5.2 counter idiom inspects `body[k-1]`);
+//   * the summaries of called procedures (keyed separately, by epoch).
+// Each item therefore carries (hash, suffixHash, precedingHash) plus the
+// callee names its verdict may read (subtree ∪ suffix).
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "panorama/ast/ast.h"
 
@@ -22,5 +39,37 @@ namespace panorama {
 using Fingerprint = std::uint64_t;
 
 Fingerprint fingerprintProcedure(const Procedure& proc);
+
+/// One top-level body statement of a procedure, as the session's loop-reuse
+/// matcher sees it.
+struct ItemFingerprint {
+  Fingerprint hash = 0;           ///< structural hash of the statement subtree
+  Fingerprint suffixHash = 0;     ///< hash over the following items' hashes
+  Fingerprint precedingHash = 0;  ///< previous item's hash (0 for the first)
+  bool hasLoop = false;           ///< subtree contains a DO statement
+  /// CALL targets appearing in the subtree or any following item — the
+  /// procedures whose summaries this item's loop verdicts may read.
+  std::vector<std::string> callees;
+};
+
+struct ProcFingerprintDetail {
+  Fingerprint whole = 0;  ///< == fingerprintProcedure(proc)
+  /// Declaration frame: name, isMain, params, decls, commons, paramConsts,
+  /// plus the sorted set of DO index names of the whole body.
+  Fingerprint frame = 0;
+  std::vector<ItemFingerprint> items;  ///< one per top-level body statement
+};
+
+ProcFingerprintDetail fingerprintProcedureDetail(const Procedure& proc);
+
+/// Copies every SourceLoc of `from` onto the lockstep-corresponding node of
+/// `to` (statements, expressions, declarations, the procedure itself).
+/// Intended for fingerprint-equal procedures whose text merely shifted: the
+/// session keeps `to` (the previous epoch's AST, so Stmt-keyed caches stay
+/// valid) but reports must cite `from`'s post-edit positions. Returns false
+/// if the shapes diverge (possible only on a fingerprint collision); the
+/// partially patched positions are still internally consistent, and callers
+/// treat the unit as dirty in that case.
+bool remapSourceLocs(Procedure& to, const Procedure& from);
 
 }  // namespace panorama

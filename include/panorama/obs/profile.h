@@ -103,6 +103,16 @@ struct InvalidationCause {
   std::string detail;
 };
 
+/// Why one loop inside a dirty unit was served from cache anyway
+/// ("item-match"), or why a clean unit's cached citation moved
+/// ("line-remap") — the loop-granular counterpart of InvalidationCause.
+struct LoopReuseCause {
+  std::string unit;
+  std::int64_t line = 0;  ///< post-edit line of the reused loop
+  std::string cause;      ///< "item-match" | "line-remap"
+  std::string detail;
+};
+
 /// One submit's reuse accounting, converted from SessionStats by the
 /// session layer (sessionReuseFor) so obs stays below it.
 struct SessionReuse {
@@ -119,7 +129,14 @@ struct SessionReuse {
   std::uint64_t summariesRecomputed = 0;
   std::uint64_t loopsReused = 0;
   std::uint64_t loopsRecomputed = 0;
-  std::vector<InvalidationCause> causes;  ///< one per dirty unit
+  /// Loop-granular reuse inside the dirty cone (DESIGN.md §4.9).
+  std::uint64_t loopSkips = 0;        ///< loops reused inside dirty units
+  std::uint64_t partialUnits = 0;     ///< dirty units with >=1 reused loop
+  std::uint64_t unitsCleanLoops = 0;  ///< units with zero recomputed loops
+  std::uint64_t unitsDirtyLoops = 0;  ///< units with >=1 recomputed loop
+  std::uint64_t lineRemaps = 0;       ///< cached citations moved to post-edit lines
+  std::vector<InvalidationCause> causes;     ///< one per dirty unit
+  std::vector<LoopReuseCause> loopCauses;    ///< one per reused/remapped loop
 };
 
 struct CostProfile {

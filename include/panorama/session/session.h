@@ -26,12 +26,19 @@
 // statements they point to do not move), so Stmt-keyed loop summaries and
 // HSG nodes stay valid too.
 //
-// Known limitation (documented in DESIGN.md): reports embed source line
-// numbers. A clean procedure keeps its pre-edit AST, so if an edit shifts a
-// later procedure's lines without changing its content, that procedure's
-// cached reports cite pre-edit line numbers. Edits that keep sibling
-// procedures' positions (trailing-procedure edits, same-line-count edits)
-// reproduce a cold run byte-for-byte.
+// Inside the dirty cone, reuse is *loop-granular* (DESIGN.md §4.9): a
+// modified procedure's body is diffed per top-level statement ("item"), and
+// an item's cached loop verdicts are served — and its loop summaries seeded
+// into the fresh analyzer — when the item subtree, the statement suffix
+// after it (the backward walk's ueAfter input), the declaration frame, and
+// every callee summary epoch its verdicts read are all unchanged. A one-loop
+// edit in an N-loop procedure therefore recomputes one loop, not N.
+//
+// Reports cite post-edit line numbers without forfeiting reuse: when a
+// fingerprint-unchanged procedure's text merely shifted, the session patches
+// the kept AST's SourceLocs from the incoming parse in lockstep
+// (remapSourceLocs) and rewrites the cached line citations — report strings
+// are cached headerless (reportTail) and the header is composed at emission.
 #pragma once
 
 #include <cstdint>
@@ -60,6 +67,15 @@ struct UnitInvalidation {
   std::string detail;
 };
 
+/// Why one loop inside a *dirty* unit was served from cache anyway — the
+/// `session.loop_reuse_cause` provenance rendered by --stats/--explain.
+struct LoopReuse {
+  std::string unit;
+  int line = 0;       ///< post-edit line of the reused loop
+  std::string cause;  ///< "item-match" | "line-remap"
+  std::string detail;
+};
+
 /// Per-submit recomputation accounting — the `session.*` metrics source and
 /// the hook the lifecycle tests assert dirty-cone sizes through.
 struct SessionStats {
@@ -74,6 +90,14 @@ struct SessionStats {
   std::size_t summariesRecomputed = 0;
   std::size_t loopsReused = 0;      ///< loop analyses served from cache
   std::size_t loopsRecomputed = 0;
+  /// Loop-granular reuse inside the dirty cone (tentpole of DESIGN.md §4.9).
+  std::size_t loopSkips = 0;        ///< loops reused inside *dirty* units
+  std::size_t partialUnits = 0;     ///< dirty units with >=1 reused loop
+  std::size_t unitsCleanLoops = 0;  ///< units with zero recomputed loops
+  std::size_t unitsDirtyLoops = 0;  ///< units with >=1 recomputed loop
+  std::size_t lineRemaps = 0;       ///< cached loop citations moved to post-edit lines
+  /// One record per loop reused inside a dirty unit (and per remapped line).
+  std::vector<LoopReuse> loopReuse;
   /// Cumulative byte-identical resubmits served by the whole-file fast path
   /// (per-procedure diffing skipped entirely) — the `session.file_skips`
   /// metric.
@@ -154,7 +178,11 @@ class AnalysisSession {
   /// reports, and every memoized procedure snapshot — into a versioned,
   /// integrity-hashed snapshot at `path` (temp-file + rename, so a crash
   /// never leaves a torn file). Fails on a dead session or unwritable path.
-  store::StoreResult save(const std::string& path) const;
+  /// `schemaVersion` selects the container schema (kSchemaVersion, the
+  /// default, or the legacy v1 layout — kept writable so the v1 read path
+  /// stays honestly testable).
+  store::StoreResult save(const std::string& path,
+                          std::uint32_t schemaVersion = store::kSchemaVersion) const;
 
   /// Replaces this session's state with a snapshot previously produced by
   /// save(). The next submit behaves exactly like a warm submit against the
@@ -167,19 +195,40 @@ class AnalysisSession {
 
  private:
   /// One fingerprinted procedure unit and its cached analysis state.
+  /// Reports are cached headerless: the `procName: DO var (line N): ` prefix
+  /// is composed at emission from (procName, doVar, line), so a line-number
+  /// remap is a field update, not a string rewrite.
   struct CachedLoop {
     int line = 0;
     LoopClass classification = LoopClass::Serial;
     std::string procName;
-    std::string report;
+    std::string doVar;
+    std::string reportTail;  ///< formatLoopAnalysis output minus the header prefix
     std::string provenance;
+  };
+  /// Per-top-level-statement reuse record (the loop-granular invalidation
+  /// key, DESIGN.md §4.9). Items mirror fingerprintProcedureDetail().
+  struct ItemRecord {
+    Fingerprint hash = 0;
+    Fingerprint suffixHash = 0;
+    Fingerprint precedingHash = 0;
+    bool hasLoop = false;
+    std::uint32_t loopBegin = 0;  ///< index range into Unit::loops
+    std::uint32_t loopCount = 0;
+    /// Epochs of every *resolved* callee the item's verdicts may have read
+    /// (CALLs in the subtree or the suffix) at the time they were computed.
+    std::map<std::string, std::uint64_t> calleeEpochs;
   };
   struct Unit {
     Fingerprint fp = 0;
+    Fingerprint frameFp = 0;         ///< declaration-frame hash (detail.frame)
     std::uint64_t summaryEpoch = 0;  ///< submit that last recomputed it
     std::set<std::string> deps;      ///< callees folded in at SUM_call
     std::map<std::string, std::uint64_t> calleeEpochs;  ///< deps' epochs then
     std::vector<CachedLoop> loops;   ///< walk-order loop reports
+    /// One per top-level body statement; empty disables item-granular reuse
+    /// for this unit (v1 snapshot restores).
+    std::vector<ItemRecord> items;
   };
 
   /// Hash of the ablation-relevant options (everything that changes
@@ -195,9 +244,20 @@ class AnalysisSession {
   /// checked eligibility (live, same bytes, same options key).
   SessionResult fileSkipLocked();
 
+  /// `procName: DO var (line N): ` + reportTail — the inverse of the header
+  /// split cacheLoopAnalysis performs. An empty doVar (unsplittable v1
+  /// report) returns the tail verbatim.
+  static std::string composeLoopReport(const CachedLoop& cl);
+  /// Caches a fresh loop analysis headerless.
+  static CachedLoop cacheLoopAnalysis(const LoopAnalysis& la);
+  /// v1-snapshot restore: recovers (doVar, reportTail) from a composed
+  /// report string; `cl.procName` must already be set. Returns false (and
+  /// leaves cl's report fields untouched) when the header does not parse.
+  static bool splitLoopReport(const std::string& report, CachedLoop& cl);
+
   /// save()/restore() live in src/store/session_io.cpp (the serialization
   /// layer needs the privates; the session logic stays here).
-  store::StoreResult saveLocked(const std::string& path) const;
+  store::StoreResult saveLocked(const std::string& path, std::uint32_t schemaVersion) const;
   store::StoreResult restoreLocked(const std::string& path);
 
   /// One session-wide lock: submits, option changes, and save/restore

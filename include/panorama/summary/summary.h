@@ -40,6 +40,13 @@ struct AnalysisOptions {
   /// Analysis workers, calling thread included. 0 = hardware_concurrency().
   /// 1 selects the serial path, bit-identical to the pre-driver analyzer.
   std::size_t numThreads = 0;
+  /// Incremental sessions: reuse cached per-loop verdicts inside *modified*
+  /// procedures when the loop's statement subtree, downstream suffix,
+  /// declaration frame, and callee summary epochs are all unchanged.
+  /// Execution-only (reports are byte-identical either way — the session
+  /// excludes it from the options key); false restores procedure-granular
+  /// reuse, kept as the bench_incremental comparison baseline.
+  bool loopGranularReuse = true;
   /// Entry capacity of the global FM/implication memo cache; 0 disables
   /// memoization (every query is answered cold).
   std::size_t cacheCapacity = QueryCache::kDefaultCapacity;
@@ -123,6 +130,16 @@ class SummaryAnalyzer {
   /// procedure object; subsequent procSummary/loopSummary calls hit the memo
   /// instead of recomputing.
   void seedProcedure(const Procedure& proc, ProcSnapshot snapshot);
+
+  /// Loop-granular seeding (the session's reuse path for *modified*
+  /// procedures whose edit left some loop-bearing statements structurally
+  /// intact): installs previous-epoch loop summaries under the current
+  /// epoch's DO statements. sumLoop returns a seeded entry's whole-loop
+  /// sets without re-expanding the body; the enclosing segment walk still
+  /// overwrites ueAfter with this epoch's downstream exposure, exactly as
+  /// for a computed summary. Every nested DO of a reused statement subtree
+  /// must be seeded alongside it, or later snapshots would be incomplete.
+  void seedLoopSummaries(std::vector<std::pair<const Stmt*, LoopSummary>> loops);
 
   /// Caller-name → callee-names edges observed at SUM_call while this
   /// analyzer summarized procedures — the summary dependency graph the

@@ -1,5 +1,8 @@
 #include "panorama/ast/fingerprint.h"
 
+#include <algorithm>
+#include <set>
+
 namespace panorama {
 
 namespace {
@@ -86,10 +89,7 @@ void hashStmt(Hasher& h, const Stmt& s) {
   for (const StmtPtr& c : s.body) hashStmt(h, *c);
 }
 
-}  // namespace
-
-Fingerprint fingerprintProcedure(const Procedure& proc) {
-  Hasher h;
+void hashFrame(Hasher& h, const Procedure& proc) {
   h.str(proc.name);
   h.byte(proc.isMain ? 1 : 0);
   h.u64(proc.params.size());
@@ -115,9 +115,127 @@ Fingerprint fingerprintProcedure(const Procedure& proc) {
     h.str(pc.name);
     hashExpr(h, pc.value.get());
   }
+}
+
+void scanStmt(const Stmt& s, std::set<std::string>& doVars, std::set<std::string>& callees,
+              bool& hasLoop) {
+  if (s.kind == Stmt::Kind::Do) {
+    doVars.insert(s.doVar);
+    hasLoop = true;
+  }
+  if (s.kind == Stmt::Kind::Call) callees.insert(s.callee);
+  for (const StmtPtr& c : s.thenBody) scanStmt(*c, doVars, callees, hasLoop);
+  for (const StmtPtr& c : s.elseBody) scanStmt(*c, doVars, callees, hasLoop);
+  for (const StmtPtr& c : s.body) scanStmt(*c, doVars, callees, hasLoop);
+}
+
+bool remapExpr(Expr* to, const Expr* from) {
+  if (!to || !from) return to == from;
+  // `to` is the previous epoch's post-sema AST (ArrayRef nodes may have been
+  // reclassified to Intrinsic in place); `from` is freshly parsed. The two
+  // kinds are the same syntactic shape, so the lockstep walk equates them.
+  auto canon = [](Expr::Kind k) {
+    return k == Expr::Kind::Intrinsic ? Expr::Kind::ArrayRef : k;
+  };
+  if (canon(to->kind) != canon(from->kind) || to->args.size() != from->args.size()) return false;
+  to->loc = from->loc;
+  for (std::size_t k = 0; k < to->args.size(); ++k)
+    if (!remapExpr(to->args[k].get(), from->args[k].get())) return false;
+  return true;
+}
+
+bool remapStmt(Stmt& to, const Stmt& from) {
+  if (to.kind != from.kind || to.thenBody.size() != from.thenBody.size() ||
+      to.elseBody.size() != from.elseBody.size() || to.body.size() != from.body.size() ||
+      to.args.size() != from.args.size())
+    return false;
+  to.loc = from.loc;
+  bool ok = remapExpr(to.lhs.get(), from.lhs.get()) && remapExpr(to.rhs.get(), from.rhs.get()) &&
+            remapExpr(to.cond.get(), from.cond.get()) && remapExpr(to.lo.get(), from.lo.get()) &&
+            remapExpr(to.hi.get(), from.hi.get()) && remapExpr(to.step.get(), from.step.get());
+  for (std::size_t k = 0; ok && k < to.args.size(); ++k)
+    ok = remapExpr(to.args[k].get(), from.args[k].get());
+  for (std::size_t k = 0; ok && k < to.thenBody.size(); ++k)
+    ok = remapStmt(*to.thenBody[k], *from.thenBody[k]);
+  for (std::size_t k = 0; ok && k < to.elseBody.size(); ++k)
+    ok = remapStmt(*to.elseBody[k], *from.elseBody[k]);
+  for (std::size_t k = 0; ok && k < to.body.size(); ++k)
+    ok = remapStmt(*to.body[k], *from.body[k]);
+  return ok;
+}
+
+}  // namespace
+
+Fingerprint fingerprintProcedure(const Procedure& proc) {
+  Hasher h;
+  hashFrame(h, proc);
   h.u64(proc.body.size());
   for (const StmtPtr& s : proc.body) hashStmt(h, *s);
   return h.value();
+}
+
+ProcFingerprintDetail fingerprintProcedureDetail(const Procedure& proc) {
+  ProcFingerprintDetail out;
+  out.whole = fingerprintProcedure(proc);
+
+  // Per-item structural hashes plus the scan products (DO index names for
+  // the frame, callee names for the epoch keys).
+  const std::size_t n = proc.body.size();
+  std::vector<Fingerprint> itemHash(n);
+  std::vector<std::set<std::string>> itemCallees(n);
+  std::set<std::string> doVars;
+  out.items.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Hasher h;
+    hashStmt(h, *proc.body[k]);
+    itemHash[k] = h.value();
+    out.items[k].hash = itemHash[k];
+    std::set<std::string> itemDoVars;
+    scanStmt(*proc.body[k], itemDoVars, itemCallees[k], out.items[k].hasLoop);
+    doVars.insert(itemDoVars.begin(), itemDoVars.end());
+  }
+
+  // The frame covers everything a lowering can read besides statements: the
+  // declaration context plus the procedure's DO index set (the T1-off
+  // ablation treats index variables specially, so the set is verdict input).
+  {
+    Hasher h;
+    hashFrame(h, proc);
+    h.u64(doVars.size());
+    for (const std::string& v : doVars) h.str(v);
+    out.frame = h.value();
+  }
+
+  // Suffix hashes and callee unions, built back-to-front: item k's verdicts
+  // read its own subtree plus everything after it (ueAfter), so its callee
+  // set is the suffix union including itself.
+  Fingerprint suffix;
+  {
+    Hasher h;
+    h.u64(0);
+    suffix = h.value();
+  }
+  std::set<std::string> suffixCallees;
+  for (std::size_t k = n; k-- > 0;) {
+    out.items[k].suffixHash = suffix;
+    suffixCallees.insert(itemCallees[k].begin(), itemCallees[k].end());
+    out.items[k].callees.assign(suffixCallees.begin(), suffixCallees.end());
+    Hasher h;
+    h.u64(itemHash[k]);
+    h.u64(suffix);
+    suffix = h.value();
+  }
+  for (std::size_t k = 1; k < n; ++k) out.items[k].precedingHash = itemHash[k - 1];
+  return out;
+}
+
+bool remapSourceLocs(Procedure& to, const Procedure& from) {
+  if (to.body.size() != from.body.size() || to.decls.size() != from.decls.size()) return false;
+  to.loc = from.loc;
+  for (std::size_t k = 0; k < to.decls.size(); ++k) to.decls[k].loc = from.decls[k].loc;
+  for (std::size_t k = 0; k < to.body.size(); ++k)
+    if (!remapStmt(*to.body[k], *from.body[k])) return false;
+  return true;
 }
 
 }  // namespace panorama

@@ -366,8 +366,20 @@ std::string renderCostProfileText(const CostProfile& profile) {
            std::to_string(s.summariesRecomputed) + " recomputed; loops " +
            std::to_string(s.loopsReused) + " reused / " + std::to_string(s.loopsRecomputed) +
            " recomputed\n";
+    out += "  units: " + std::to_string(s.unitsCleanLoops) + " all-cached / " +
+           std::to_string(s.unitsDirtyLoops) + " recomputed";
+    if (s.loopSkips > 0 || s.partialUnits > 0)
+      out += "; loop skips " + std::to_string(s.loopSkips) + " inside " +
+             std::to_string(s.partialUnits) + " partial unit(s)";
+    if (s.lineRemaps > 0) out += "; line remaps " + std::to_string(s.lineRemaps);
+    out += '\n';
     for (const InvalidationCause& c : s.causes) {
       out += "  invalidated " + c.unit + " [" + c.cause + "]";
+      if (!c.detail.empty()) out += ": " + c.detail;
+      out += '\n';
+    }
+    for (const LoopReuseCause& c : s.loopCauses) {
+      out += "  loop reuse " + c.unit + " line " + std::to_string(c.line) + " [" + c.cause + "]";
       if (!c.detail.empty()) out += ": " + c.detail;
       out += '\n';
     }
@@ -472,6 +484,11 @@ std::string renderCostProfileJson(const CostProfile& profile) {
     out += ", \"summaries_recomputed\": " + std::to_string(s.summariesRecomputed);
     out += ", \"loops_reused\": " + std::to_string(s.loopsReused);
     out += ", \"loops_recomputed\": " + std::to_string(s.loopsRecomputed);
+    out += ", \"loop_skips\": " + std::to_string(s.loopSkips);
+    out += ", \"units_partial\": " + std::to_string(s.partialUnits);
+    out += ", \"units_clean_loops\": " + std::to_string(s.unitsCleanLoops);
+    out += ", \"units_dirty_loops\": " + std::to_string(s.unitsDirtyLoops);
+    out += ", \"line_remaps\": " + std::to_string(s.lineRemaps);
     out += ", \"invalidations\": [";
     for (std::size_t c = 0; c < s.causes.size(); ++c) {
       if (c) out += ", ";
@@ -481,6 +498,18 @@ std::string renderCostProfileJson(const CostProfile& profile) {
       appendQuoted(out, s.causes[c].cause);
       out += ", \"detail\": ";
       appendQuoted(out, s.causes[c].detail);
+      out += "}";
+    }
+    out += "], \"loop_reuse\": [";
+    for (std::size_t c = 0; c < s.loopCauses.size(); ++c) {
+      if (c) out += ", ";
+      out += "{\"unit\": ";
+      appendQuoted(out, s.loopCauses[c].unit);
+      out += ", \"line\": " + std::to_string(s.loopCauses[c].line);
+      out += ", \"cause\": ";
+      appendQuoted(out, s.loopCauses[c].cause);
+      out += ", \"detail\": ";
+      appendQuoted(out, s.loopCauses[c].detail);
       out += "}";
     }
     out += "]}";

@@ -5,23 +5,28 @@
 // any session state is touched; once the splice starts, the remaining
 // steps operate on content that already validated and cannot fail.
 //
-//   1. parse + fingerprint (pre-sema AST, SourceLoc-blind)
+//   1. parse + fingerprint (pre-sema AST, SourceLoc-blind; per-item detail)
 //   2. validation sema over copies of the persistent tables; validation
 //      HSG builds for every procedure whose fingerprint changed
 //   3. diff into {unchanged, modified, added, removed}
 //   4. reuse decision: prune the optimistic clean set to a fixpoint over
-//      the summary dependency graph (callee dirty ⇒ caller dirty)
-//   5. snapshot clean units out of the previous analyzer, drop it
+//      the summary dependency graph (callee dirty ⇒ caller dirty); then
+//      patch SourceLocs of fingerprint-unchanged procedures from the
+//      incoming parse and move their cached line citations, and match the
+//      dirty procedures' items for loop-granular reuse (DESIGN.md §4.9)
+//   5. snapshot clean units — and the matched items' loop summaries —
+//      out of the previous analyzer, drop it
 //   6. splice: unchanged procedures carry their previous AST objects into
 //      the next Program (heap statements stay put), dirty ones take the
 //      incoming AST
 //   7. real sema against the persistent tables (append-only ⇒ stable ids)
 //   8. HSG: move + proc-pointer fixup for clean graphs, adopt the
 //      freshly built graphs for dirty procedures
-//   9. fresh analyzer seeded with the clean snapshots; call-graph waves
-//      (seeded procedures return from the memo instantly)
-//  10. loop fan-out over dirty procedures only; clean procedures' loop
-//      reports come from the unit cache
+//   9. fresh analyzer seeded with the clean snapshots and the matched
+//      items' loop summaries; call-graph waves (seeded procedures return
+//      from the memo instantly, seeded loops skip re-expansion)
+//  10. loop fan-out over dirty procedures' *unmatched* loops only; every
+//      other loop report comes from the unit cache
 //  11. unit table update + stats/metrics
 #include "panorama/session/session.h"
 
@@ -54,6 +59,21 @@ std::vector<const Stmt*> collectLoops(const Procedure& proc) {
     }
   };
   walk(proc.body);
+  return out;
+}
+
+/// DO statements of one top-level body statement, same pre-order. The flat
+/// collectLoops order is exactly the per-item lists concatenated in body
+/// order, which is what lets Unit::loops partition into item ranges.
+std::vector<const Stmt*> collectItemLoops(const Stmt& item) {
+  std::vector<const Stmt*> out;
+  std::function<void(const Stmt&)> walk = [&](const Stmt& s) {
+    if (s.kind == Stmt::Kind::Do) out.push_back(&s);
+    for (const StmtPtr& c : s.thenBody) walk(*c);
+    for (const StmtPtr& c : s.elseBody) walk(*c);
+    for (const StmtPtr& c : s.body) walk(*c);
+  };
+  walk(item);
   return out;
 }
 
@@ -95,6 +115,8 @@ std::uint64_t AnalysisSession::optionsKey(const AnalysisOptions& options) {
   mix(options.simplify.useFourierMotzkin);
   mix(options.simplify.fmBudget.maxConstraints);
   mix(options.simplify.fmBudget.maxVariables);
+  // numThreads, cacheCapacity, and loopGranularReuse are execution options:
+  // the driver guarantees identical results across all of them.
   return h;
 }
 
@@ -137,6 +159,48 @@ void AnalysisSession::resetState() {
 std::uint64_t AnalysisSession::summaryEpochOf(const std::string& name) const {
   auto it = units_.find(name);
   return it == units_.end() ? 0 : it->second.summaryEpoch;
+}
+
+std::string AnalysisSession::composeLoopReport(const CachedLoop& cl) {
+  // An empty doVar marks an unsplittable cached report (v1 snapshot whose
+  // header did not parse); the tail then carries the full original string.
+  if (cl.doVar.empty()) return cl.reportTail;
+  return cl.procName + ": DO " + cl.doVar + " (line " + std::to_string(cl.line) +
+         "): " + cl.reportTail;
+}
+
+AnalysisSession::CachedLoop AnalysisSession::cacheLoopAnalysis(const LoopAnalysis& la) {
+  CachedLoop cl;
+  cl.line = la.line;
+  cl.classification = la.classification;
+  cl.procName = la.procName;
+  cl.doVar = la.loop ? la.loop->doVar : "?";
+  std::string report = formatLoopAnalysis(la);
+  const std::string prefix =
+      cl.procName + ": DO " + cl.doVar + " (line " + std::to_string(cl.line) + "): ";
+  if (report.starts_with(prefix)) {
+    cl.reportTail = report.substr(prefix.size());
+  } else {  // unreachable with the current report layer; keep the full text
+    cl.doVar.clear();
+    cl.reportTail = std::move(report);
+  }
+  cl.provenance = formatProvenance(la);
+  return cl;
+}
+
+bool AnalysisSession::splitLoopReport(const std::string& report, CachedLoop& cl) {
+  // v1 snapshots cached the composed string; recover (doVar, tail) from the
+  // fixed header layout `proc: DO var (line N): tail`.
+  const std::string doPrefix = cl.procName + ": DO ";
+  if (!report.starts_with(doPrefix)) return false;
+  const std::size_t varBegin = doPrefix.size();
+  const std::size_t lineMark = report.find(" (line ", varBegin);
+  if (lineMark == std::string::npos) return false;
+  const std::size_t tailMark = report.find("): ", lineMark);
+  if (tailMark == std::string::npos) return false;
+  cl.doVar = report.substr(varBegin, lineMark - varBegin);
+  cl.reportTail = report.substr(tailMark + 3);
+  return !cl.doVar.empty();
 }
 
 SessionResult AnalysisSession::submit(const std::string& source) {
@@ -186,6 +250,7 @@ SessionResult AnalysisSession::fileSkipLocked() {
   stats.procedures = program_.procedures.size();
   stats.unchanged = stats.procedures;
   stats.summariesReused = stats.procedures;
+  stats.unitsCleanLoops = stats.procedures;
   stats.fileSkips = fileSkips_;
   for (const Procedure* proc : sema_.bottomUpOrder) {
     const Unit& u = units_.at(proc->name);
@@ -194,7 +259,7 @@ SessionResult AnalysisSession::fileSkipLocked() {
       r.procName = cl.procName;
       r.line = cl.line;
       r.classification = cl.classification;
-      r.report = cl.report;
+      r.report = composeLoopReport(cl);
       r.provenance = cl.provenance;
       out.loops.push_back(std::move(r));
       ++stats.loopsReused;
@@ -215,10 +280,11 @@ SessionResult AnalysisSession::submitLocked(Program incoming) {
   obs::Span span("session", "session.reanalyze");
   SessionResult out;
 
-  // Fingerprint before sema touches the AST (sema reclassifies intrinsic
-  // refs in place; fingerprints must be comparable across submits).
-  std::map<std::string, Fingerprint> fps;
-  for (const Procedure& p : incoming.procedures) fps[p.name] = fingerprintProcedure(p);
+  // 1. Fingerprint before sema touches the AST (sema reclassifies intrinsic
+  // refs in place; fingerprints must be comparable across submits). The
+  // detail carries the per-item hashes loop-granular reuse matches on.
+  std::map<std::string, ProcFingerprintDetail> fps;
+  for (const Procedure& p : incoming.procedures) fps[p.name] = fingerprintProcedureDetail(p);
 
   // 2. Validation sema on the incoming program against *copies* of the
   // persistent tables. A failure here (or below) leaves the session state
@@ -248,7 +314,7 @@ SessionResult AnalysisSession::submitLocked(Program incoming) {
     auto it = units_.find(p.name);
     if (it == units_.end()) {
       ++stats.added;
-    } else if (it->second.fp != fps.at(p.name)) {
+    } else if (it->second.fp != fps.at(p.name).whole) {
       ++stats.modified;
     } else {
       ++stats.unchanged;
@@ -317,6 +383,87 @@ SessionResult AnalysisSession::submitLocked(Program incoming) {
   stats.summariesReused = clean.size();
   stats.summariesRecomputed = stats.dirty;
 
+  // 4a. Line remap (DESIGN.md §4.9): a fingerprint-unchanged procedure keeps
+  // its previous AST, but an edit elsewhere in the file may have shifted its
+  // text. Patch the kept AST's SourceLocs from the incoming parse in
+  // lockstep and move the cached loop citations with them, so clean units
+  // report post-edit positions without forfeiting any Stmt-keyed reuse.
+  // (A lockstep mismatch is only possible on a fingerprint collision; the
+  // unit then simply keeps its previous positions.)
+  if (!fullInvalidation) {
+    for (const Procedure& p : incoming.procedures) {
+      if (!unchangedSet.count(p.name)) continue;
+      Procedure* prev = const_cast<Procedure*>(program_.findProcedure(p.name));
+      if (!prev || !remapSourceLocs(*prev, p)) continue;
+      Unit& u = units_.at(p.name);
+      std::vector<const Stmt*> loops = collectLoops(*prev);
+      if (loops.size() != u.loops.size()) continue;  // defensive; never with our own caches
+      for (std::size_t k = 0; k < loops.size(); ++k) {
+        const int line = static_cast<int>(loops[k]->loc.line);
+        if (line == u.loops[k].line) continue;
+        stats.loopReuse.push_back({p.name, line, "line-remap",
+                                   "clean unit text shifted; line " +
+                                       std::to_string(u.loops[k].line) + " -> " +
+                                       std::to_string(line)});
+        u.loops[k].line = line;
+        ++stats.lineRemaps;
+      }
+    }
+  }
+
+  // 4b. Loop-granular reuse (the §4.9 tentpole): match each dirty unit's
+  // top-level statements against its previous epoch's item records. An item
+  // is served from cache when (a) the declaration frame is unchanged, (b)
+  // its subtree hash and suffix hash match (the suffix feeds ueAfter, the
+  // copy-out/live-out probe), (c) under options.quantified the immediately
+  // preceding item matches too (the §5.2 counter idiom reads it), and (d)
+  // every callee summary epoch its verdicts read is unchanged. Matching is
+  // greedy in-order; the callee epochs an item may read are validated
+  // against the epochs callees will hold *after* this submit.
+  struct ItemMatch {
+    std::size_t oldIdx;
+    std::size_t newIdx;
+  };
+  std::map<std::string, std::vector<ItemMatch>> matchedByProc;
+  std::set<std::string> incomingNames;
+  for (const Procedure& p : incoming.procedures) incomingNames.insert(p.name);
+  auto postEpochOf = [&](const std::string& name) -> std::uint64_t {
+    if (clean.count(name)) return units_.at(name).summaryEpoch;
+    return incomingNames.count(name) ? newEpoch : 0;
+  };
+  if (!fullInvalidation && options_.loopGranularReuse) {
+    for (const Procedure& p : incoming.procedures) {
+      if (clean.count(p.name)) continue;
+      auto uit = units_.find(p.name);
+      if (uit == units_.end()) continue;  // added: nothing to reuse
+      const Unit& old = uit->second;
+      const ProcFingerprintDetail& nd = fps.at(p.name);
+      if (old.items.empty() || old.frameFp != nd.frame) continue;
+      std::vector<ItemMatch> matches;
+      std::size_t cursor = 0;
+      for (std::size_t j = 0; j < nd.items.size(); ++j) {
+        const ItemFingerprint& ni = nd.items[j];
+        if (!ni.hasLoop) continue;  // only loop-bearing items carry cached verdicts
+        for (std::size_t k = cursor; k < old.items.size(); ++k) {
+          const ItemRecord& oi = old.items[k];
+          if (oi.hash != ni.hash || oi.suffixHash != ni.suffixHash || !oi.hasLoop) continue;
+          if (options_.quantified && oi.precedingHash != ni.precedingHash) continue;
+          bool epochsValid = true;
+          for (const auto& [callee, epoch] : oi.calleeEpochs)
+            if (postEpochOf(callee) != epoch) {
+              epochsValid = false;
+              break;
+            }
+          if (!epochsValid) break;  // same callees for any later copy too
+          matches.push_back({k, j});
+          cursor = k + 1;
+          break;
+        }
+      }
+      if (!matches.empty()) matchedByProc.emplace(p.name, std::move(matches));
+    }
+  }
+
   // Attribute every dirty unit to its invalidation cause — the record the
   // cost profiler surfaces for warm runs.
   if (fullInvalidation) {
@@ -331,7 +478,7 @@ SessionResult AnalysisSession::submitLocked(Program incoming) {
       auto it = units_.find(p.name);
       if (it == units_.end()) {
         stats.invalidations.push_back({p.name, "added", "no unit on record"});
-      } else if (it->second.fp != fps.at(p.name)) {
+      } else if (it->second.fp != fps.at(p.name).whole) {
         stats.invalidations.push_back({p.name, "fingerprint", "content fingerprint changed"});
       } else {
         auto pd = pruneDetail.find(p.name);
@@ -341,24 +488,74 @@ SessionResult AnalysisSession::submitLocked(Program incoming) {
     }
   }
 
-  // 5. Snapshot the clean units' memoized state out of the previous
-  // analyzer while its Procedure keys are still the previous epoch's
-  // objects; the analyzer references program_/sema_/hsg_ and must be gone
-  // before they are replaced.
+  // 5. Snapshot the clean units' memoized state — and the matched units'
+  // loop summaries — out of the previous analyzer while its keys are still
+  // the previous epoch's objects; the analyzer references
+  // program_/sema_/hsg_ and must be gone before they are replaced.
   std::map<std::string, SummaryAnalyzer::ProcSnapshot> snapshots;
+  std::map<std::string, SummaryAnalyzer::ProcSnapshot> partialSnaps;
   if (analyzer_) {
     for (const std::string& name : clean)
       if (const Procedure* prev = program_.findProcedure(name))
         snapshots.emplace(name, analyzer_->snapshotProcedure(*prev));
+    for (const auto& [name, matches] : matchedByProc) {
+      (void)matches;
+      if (const Procedure* prev = program_.findProcedure(name))
+        partialSnaps.emplace(name, analyzer_->snapshotProcedure(*prev));
+    }
   } else {
     // A restored session has no analyzer yet; its snapshots were carried
     // from disk and wait in pendingSnapshots_ for exactly this seed step.
     for (const std::string& name : clean)
       if (auto it = pendingSnapshots_.find(name); it != pendingSnapshots_.end())
         snapshots.emplace(name, std::move(it->second));
+    for (const auto& [name, matches] : matchedByProc) {
+      (void)matches;
+      if (auto it = pendingSnapshots_.find(name); it != pendingSnapshots_.end())
+        partialSnaps.emplace(name, std::move(it->second));
+    }
   }
   pendingSnapshots_.clear();
   analyzer_.reset();
+
+  // 5a. Resolve the matched items against both epochs' ASTs while the
+  // previous AST is still owned by program_: pair each matched item's DO
+  // statements (pre-order) between the old and new subtree, carrying the
+  // old loop summaries to seed and the cached reports to serve. A unit
+  // whose fingerprint is unchanged (dirtied only through a callee epoch)
+  // keeps its previous AST through the splice, so old and new statements
+  // coincide there — and already carry remapped positions from step 4a.
+  std::vector<std::pair<const Stmt*, LoopSummary>> loopSeeds;
+  std::map<std::string, std::map<const Stmt*, CachedLoop>> reusedLoops;
+  for (const auto& [name, matches] : matchedByProc) {
+    const Procedure* oldProc = program_.findProcedure(name);
+    const Procedure* newProc = incoming.findProcedure(name);
+    if (!oldProc || !newProc) continue;
+    const Unit& old = units_.at(name);
+    const bool keepsOldAst = unchangedSet.count(name) != 0;
+    std::map<const Stmt*, const LoopSummary*> oldSummaries;
+    if (auto snap = partialSnaps.find(name); snap != partialSnaps.end())
+      for (const auto& [stmt, ls] : snap->second.loops) oldSummaries.emplace(stmt, &ls);
+    for (const ItemMatch& m : matches) {
+      if (m.oldIdx >= oldProc->body.size()) continue;
+      const ItemRecord& oi = old.items[m.oldIdx];
+      std::vector<const Stmt*> oldDos = collectItemLoops(*oldProc->body[m.oldIdx]);
+      std::vector<const Stmt*> newDos =
+          keepsOldAst ? oldDos : collectItemLoops(*newProc->body[m.newIdx]);
+      // Consistency guards (violable only via a fingerprint collision or a
+      // foreign snapshot): the cached range and both subtrees must agree.
+      if (oldDos.size() != newDos.size() || oi.loopCount != oldDos.size()) continue;
+      if (oi.loopBegin + oi.loopCount > old.loops.size()) continue;
+      for (std::size_t t = 0; t < oldDos.size(); ++t) {
+        if (auto ls = oldSummaries.find(oldDos[t]); ls != oldSummaries.end())
+          loopSeeds.emplace_back(newDos[t], *ls->second);
+        CachedLoop cl = old.loops[oi.loopBegin + t];
+        cl.line = static_cast<int>(newDos[t]->loc.line);
+        reusedLoops[name].emplace(newDos[t], std::move(cl));
+      }
+    }
+  }
+  partialSnaps.clear();
 
   // 6. Splice. Order follows the incoming source; unchanged procedures
   // carry their previous AST (keeping Stmt-keyed caches valid), everything
@@ -413,11 +610,14 @@ SessionResult AnalysisSession::submitLocked(Program incoming) {
   }
 
   // 9. Fresh analyzer for this epoch, seeded with every clean snapshot
-  // under the current epoch's procedure objects.
+  // under the current epoch's procedure objects, plus the matched items'
+  // loop summaries under the current epoch's DO statements (sumLoop serves
+  // those from the memo instead of re-expanding the bodies).
   analyzer_ = std::make_unique<SummaryAnalyzer>(program_, sema_, hsg_, options_);
   for (auto& [name, snap] : snapshots)
     if (const Procedure* p = program_.findProcedure(name))
       analyzer_->seedProcedure(*p, std::move(snap));
+  if (!loopSeeds.empty()) analyzer_->seedLoopSummaries(std::move(loopSeeds));
 
   // Call-graph waves: clean procedures return from the memo instantly, so
   // only the dirty cone does summary work — with every callee summary
@@ -441,15 +641,20 @@ SessionResult AnalysisSession::submitLocked(Program incoming) {
     }
   }
 
-  // 10. Loop fan-out over dirty procedures only.
-  struct Item {
+  // 10. Loop fan-out over dirty procedures' unmatched loops only.
+  struct WorkItem {
     const Stmt* loop = nullptr;
     const Procedure* proc = nullptr;
   };
-  std::vector<Item> items;
-  for (const Procedure* proc : sema_.bottomUpOrder)
-    if (!clean.count(proc->name))
-      for (const Stmt* s : collectLoops(*proc)) items.push_back({s, proc});
+  std::vector<WorkItem> items;
+  for (const Procedure* proc : sema_.bottomUpOrder) {
+    if (clean.count(proc->name)) continue;
+    const auto reused = reusedLoops.find(proc->name);
+    for (const Stmt* s : collectLoops(*proc)) {
+      if (reused != reusedLoops.end() && reused->second.count(s)) continue;
+      items.push_back({s, proc});
+    }
+  }
 
   LoopParallelizer parallelizer(*analyzer_);
   std::vector<LoopAnalysis> dirtyLoops(items.size());
@@ -467,26 +672,26 @@ SessionResult AnalysisSession::submitLocked(Program incoming) {
   }
 
   // 11. Rebuild the unit table: dirty units take this epoch, fresh deps
-  // (recorded during SUM_call), and freshly rendered loop reports; clean
-  // units keep everything.
-  std::map<std::string, std::vector<CachedLoop>> dirtyCaches;
-  for (std::size_t k = 0; k < items.size(); ++k) {
-    const LoopAnalysis& la = dirtyLoops[k];
-    CachedLoop cl;
-    cl.line = la.line;
-    cl.classification = la.classification;
-    cl.procName = la.procName;
-    cl.report = formatLoopAnalysis(la);
-    cl.provenance = formatProvenance(la);
-    dirtyCaches[items[k].proc->name].push_back(std::move(cl));
-  }
+  // (SUM_call edges ∪ the items' resolved syntactic callees — seeded loops
+  // skip SUM_call, so the syntactic set keeps clean-item dependencies on
+  // record), and loop caches interleaving reused and fresh verdicts in walk
+  // order; clean units keep everything. Item records are refreshed for
+  // every unit from this submit's detail (incoming content ≡ kept content
+  // for clean units), which also upgrades v1-restored units in place.
+  std::map<const Stmt*, const LoopAnalysis*> freshByStmt;
+  for (std::size_t k = 0; k < items.size(); ++k) freshByStmt.emplace(items[k].loop, &dirtyLoops[k]);
   std::map<std::string, std::set<std::string>> deps = analyzer_->callDependencies();
 
   std::map<std::string, Unit> nextUnits;
   for (const Procedure& p : program_.procedures) {
+    const ProcFingerprintDetail& nd = fps.at(p.name);
+    const bool isClean = clean.count(p.name) != 0;
     Unit u;
-    u.fp = fps.at(p.name);
-    if (clean.count(p.name)) {
+    u.fp = nd.whole;
+    u.frameFp = nd.frame;
+    std::size_t reusedHere = 0;
+    std::size_t freshHere = 0;
+    if (isClean) {
       Unit& prevUnit = units_.at(p.name);
       u.summaryEpoch = prevUnit.summaryEpoch;
       u.deps = std::move(prevUnit.deps);
@@ -495,18 +700,78 @@ SessionResult AnalysisSession::submitLocked(Program incoming) {
     } else {
       u.summaryEpoch = newEpoch;
       if (auto d = deps.find(p.name); d != deps.end()) u.deps = std::move(d->second);
-      u.loops = std::move(dirtyCaches[p.name]);
+      const auto reused = reusedLoops.find(p.name);
+      for (const StmtPtr& item : p.body) {
+        for (const Stmt* s : collectItemLoops(*item)) {
+          if (reused != reusedLoops.end()) {
+            if (auto rl = reused->second.find(s); rl != reused->second.end()) {
+              stats.loopReuse.push_back(
+                  {p.name, rl->second.line, "item-match",
+                   "statement, suffix, frame, and callee epochs unchanged"});
+              u.loops.push_back(std::move(rl->second));
+              ++reusedHere;
+              continue;
+            }
+          }
+          auto fresh = freshByStmt.find(s);
+          if (fresh != freshByStmt.end()) {
+            u.loops.push_back(cacheLoopAnalysis(*fresh->second));
+            ++freshHere;
+          }
+        }
+      }
     }
+    // Item records for the next submit's matcher. Loop ranges partition the
+    // flat walk-order cache; a mismatched total (possible only for a
+    // truncated foreign snapshot) disables item reuse rather than misfile.
+    u.items.resize(nd.items.size());
+    std::size_t loopCursor = 0;
+    bool ranges = true;
+    for (std::size_t j = 0; j < nd.items.size(); ++j) {
+      ItemRecord& rec = u.items[j];
+      rec.hash = nd.items[j].hash;
+      rec.suffixHash = nd.items[j].suffixHash;
+      rec.precedingHash = nd.items[j].precedingHash;
+      rec.hasLoop = nd.items[j].hasLoop;
+      rec.loopBegin = static_cast<std::uint32_t>(loopCursor);
+      rec.loopCount = static_cast<std::uint32_t>(collectItemLoops(*p.body[j]).size());
+      loopCursor += rec.loopCount;
+      for (const std::string& callee : nd.items[j].callees)
+        if (incomingNames.count(callee)) rec.calleeEpochs[callee] = 0;  // filled below
+    }
+    if (loopCursor != u.loops.size()) ranges = false;
+    if (!ranges) u.items.clear();
+    if (!isClean) {
+      // Syntactic resolved callees keep the unit-level dependency edges
+      // complete even where seeded loops skipped SUM_call.
+      if (!nd.items.empty())
+        for (const std::string& callee : nd.items.front().callees)
+          if (incomingNames.count(callee) && callee != p.name) u.deps.insert(callee);
+    }
+    if (reusedHere > 0) {
+      ++stats.partialUnits;
+      stats.loopSkips += reusedHere;
+    }
+    if (!isClean && freshHere > 0)
+      ++stats.unitsDirtyLoops;
+    else
+      ++stats.unitsCleanLoops;
     nextUnits.emplace(p.name, std::move(u));
   }
   // Recomputed units record their callees' post-submit epochs — the validity
-  // key future submits check transitively.
+  // key future submits check transitively — and every unit's item records
+  // adopt the same epochs (a reused item's callees are provably unchanged,
+  // so old and new values coincide there).
   for (auto& [name, u] : nextUnits) {
     (void)name;
-    if (u.summaryEpoch != newEpoch) continue;
-    for (const std::string& dep : u.deps)
-      if (auto du = nextUnits.find(dep); du != nextUnits.end())
-        u.calleeEpochs[dep] = du->second.summaryEpoch;
+    if (u.summaryEpoch == newEpoch)
+      for (const std::string& dep : u.deps)
+        if (auto du = nextUnits.find(dep); du != nextUnits.end())
+          u.calleeEpochs[dep] = du->second.summaryEpoch;
+    for (ItemRecord& rec : u.items)
+      for (auto& [callee, epoch] : rec.calleeEpochs)
+        if (auto du = nextUnits.find(callee); du != nextUnits.end())
+          epoch = du->second.summaryEpoch;
   }
   units_ = std::move(nextUnits);
   epoch_ = newEpoch;
@@ -526,12 +791,13 @@ SessionResult AnalysisSession::submitLocked(Program incoming) {
       r.procName = cl.procName;
       r.line = cl.line;
       r.classification = cl.classification;
-      r.report = cl.report;
+      r.report = composeLoopReport(cl);
       r.provenance = cl.provenance;
       out.loops.push_back(std::move(r));
       if (reused) ++stats.loopsReused;
     }
   }
+  stats.loopsReused += stats.loopSkips;
   stats.loopsRecomputed = items.size();
   stats.fileSkips = fileSkips_;
 
@@ -543,6 +809,7 @@ SessionResult AnalysisSession::submitLocked(Program incoming) {
     span.arg("epoch", std::to_string(stats.epoch));
     span.arg("dirty", std::to_string(stats.dirty));
     span.arg("reused", std::to_string(stats.summariesReused));
+    span.arg("loop_skips", std::to_string(stats.loopSkips));
     span.arg("full", stats.fullInvalidation ? "1" : "0");
   }
   return out;
@@ -561,6 +828,11 @@ void publishSessionMetrics(const SessionStats& stats) {
   reg.counter("session.summaries_recomputed").set(stats.summariesRecomputed);
   reg.counter("session.loops_reused").set(stats.loopsReused);
   reg.counter("session.loops_recomputed").set(stats.loopsRecomputed);
+  reg.counter("session.loop_skips").set(stats.loopSkips);
+  reg.counter("session.units_partial").set(stats.partialUnits);
+  reg.counter("session.units_clean_loops").set(stats.unitsCleanLoops);
+  reg.counter("session.units_dirty_loops").set(stats.unitsDirtyLoops);
+  reg.counter("session.line_remaps").set(stats.lineRemaps);
   reg.counter("session.file_skips").set(stats.fileSkips);
   reg.counter("session.full_invalidation").set(stats.fullInvalidation ? 1 : 0);
 }
@@ -580,8 +852,15 @@ obs::SessionReuse sessionReuseFor(const SessionStats& stats) {
   out.summariesRecomputed = stats.summariesRecomputed;
   out.loopsReused = stats.loopsReused;
   out.loopsRecomputed = stats.loopsRecomputed;
+  out.loopSkips = stats.loopSkips;
+  out.partialUnits = stats.partialUnits;
+  out.unitsCleanLoops = stats.unitsCleanLoops;
+  out.unitsDirtyLoops = stats.unitsDirtyLoops;
+  out.lineRemaps = stats.lineRemaps;
   for (const UnitInvalidation& inv : stats.invalidations)
     out.causes.push_back({inv.unit, inv.cause, inv.detail});
+  for (const LoopReuse& lr : stats.loopReuse)
+    out.loopCauses.push_back({lr.unit, lr.line, lr.cause, lr.detail});
   return out;
 }
 
@@ -593,7 +872,18 @@ std::string formatSessionStats(const SessionStats& stats) {
      << " removed\n"
      << "dirty cone: " << stats.dirty << " procedure(s); summaries " << stats.summariesReused
      << " reused / " << stats.summariesRecomputed << " recomputed; loop analyses "
-     << stats.loopsReused << " reused / " << stats.loopsRecomputed << " recomputed\n";
+     << stats.loopsReused << " reused / " << stats.loopsRecomputed << " recomputed\n"
+     << "session.units_clean/dirty_loops: " << stats.unitsCleanLoops << " unit(s) all-cached / "
+     << stats.unitsDirtyLoops << " unit(s) recomputed\n";
+  if (stats.loopSkips > 0 || stats.partialUnits > 0)
+    os << "session.loop_skips: " << stats.loopSkips << " loop(s) reused inside " << stats.partialUnits
+       << " dirty unit(s)\n";
+  if (stats.lineRemaps > 0)
+    os << "line remaps: " << stats.lineRemaps
+       << " cached loop citation(s) moved to post-edit lines\n";
+  for (const LoopReuse& lr : stats.loopReuse)
+    os << "session.loop_reuse_cause: " << lr.unit << " (line " << lr.line << "): " << lr.cause
+       << " -- " << lr.detail << '\n';
   if (stats.fileSkips > 0)
     os << "file skips: " << stats.fileSkips << " byte-identical resubmit(s) served without diffing\n";
   return os.str();

@@ -159,6 +159,9 @@ std::string Daemon::handleRequest(const std::string& payload, AnalysisSession& s
                       std::to_string(result.stats.epoch) +
                       ",\"loops\":" + std::to_string(result.loops.size()) +
                       ",\"file_skips\":" + std::to_string(result.stats.fileSkips) +
+                      ",\"loop_skips\":" + std::to_string(result.stats.loopSkips) +
+                      ",\"units_clean_loops\":" + std::to_string(result.stats.unitsCleanLoops) +
+                      ",\"units_dirty_loops\":" + std::to_string(result.stats.unitsDirtyLoops) +
                       ",\"report\":\"";
     support::appendJsonEscaped(out, report);
     out += '"';

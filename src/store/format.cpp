@@ -100,10 +100,10 @@ std::uint64_t Reader::count(std::size_t elemBytes, std::string_view what) {
 
 namespace {
 
-void packHeader(std::string& out, const std::string& payload) {
+void packHeader(std::string& out, const std::string& payload, std::uint32_t schemaVersion) {
   Writer w;
   w.u32(kMagic);
-  w.u32(kSchemaVersion);
+  w.u32(schemaVersion);
   w.u64(payload.size());
   w.u64(fnv1a(payload));
   out = w.bytes();
@@ -111,10 +111,11 @@ void packHeader(std::string& out, const std::string& payload) {
 
 }  // namespace
 
-StoreResult writeSnapshotFile(const std::string& path, const std::string& payload) {
+StoreResult writeSnapshotFile(const std::string& path, const std::string& payload,
+                              std::uint32_t schemaVersion) {
   StoreResult out;
   std::string header;
-  packHeader(header, payload);
+  packHeader(header, payload, schemaVersion);
 
   // Temp-then-rename in the destination directory: a crash mid-write leaves
   // either the old snapshot or none, never a torn one.
@@ -142,7 +143,8 @@ StoreResult writeSnapshotFile(const std::string& path, const std::string& payloa
   return out;
 }
 
-StoreResult readSnapshotFile(const std::string& path, std::string& payload) {
+StoreResult readSnapshotFile(const std::string& path, std::string& payload,
+                             std::uint32_t& version) {
   StoreResult out;
   FILE* f = std::fopen(path.c_str(), "rb");
   if (!f) {
@@ -166,16 +168,17 @@ StoreResult readSnapshotFile(const std::string& path, std::string& payload) {
   }
   Reader header(std::string_view(bytes).substr(0, kHeaderBytes));
   const std::uint32_t magic = header.u32();
-  const std::uint32_t version = header.u32();
+  version = header.u32();
   const std::uint64_t payloadSize = header.u64();
   const std::uint64_t payloadHash = header.u64();
   if (magic != kMagic) {
     out.error = path + ": not a panorama session snapshot (bad magic)";
     return out;
   }
-  if (version != kSchemaVersion) {
+  if (version < kMinSchemaVersion || version > kSchemaVersion) {
     out.error = path + ": unsupported schema version " + std::to_string(version) +
-                " (this build reads version " + std::to_string(kSchemaVersion) + ")";
+                " (this build reads versions " + std::to_string(kMinSchemaVersion) + ".." +
+                std::to_string(kSchemaVersion) + ")";
     return out;
   }
   const std::uint64_t actual = bytes.size() - kHeaderBytes;

@@ -632,13 +632,21 @@ ProcSummary readProcSummary(PoolReader& pools) {
 
 // ----- AnalysisSession::save ----------------------------------------------
 
-store::StoreResult AnalysisSession::save(const std::string& path) const {
+store::StoreResult AnalysisSession::save(const std::string& path,
+                                         std::uint32_t schemaVersion) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return saveLocked(path);
+  return saveLocked(path, schemaVersion);
 }
 
-store::StoreResult AnalysisSession::saveLocked(const std::string& path) const {
+store::StoreResult AnalysisSession::saveLocked(const std::string& path,
+                                               std::uint32_t schemaVersion) const {
   StoreResult out;
+  if (schemaVersion < store::kMinSchemaVersion || schemaVersion > store::kSchemaVersion) {
+    out.error = path + ": cannot write schema version " + std::to_string(schemaVersion) +
+                " (this build writes versions " + std::to_string(store::kMinSchemaVersion) +
+                ".." + std::to_string(store::kSchemaVersion) + ")";
+    return out;
+  }
   if (!live_) {
     out.error = path + ": cannot save a session before its first successful submit";
     return out;
@@ -683,11 +691,16 @@ store::StoreResult AnalysisSession::saveLocked(const std::string& path) const {
   astW.u64(program_.procedures.size());
   for (const Procedure& p : program_.procedures) writeProcedure(astW, p);
 
+  // Unit table. v2 carries the declaration-frame hash, headerless reports
+  // (doVar + reportTail), and the per-item reuse records; v1 stays writable
+  // (composed report strings, no items) so the v1 read path is honestly
+  // testable against files this build produced.
   Writer unitsW;
   unitsW.u64(units_.size());
   for (const auto& [name, u] : units_) {
     unitsW.str(name);
     unitsW.u64(u.fp);
+    if (schemaVersion >= 2) unitsW.u64(u.frameFp);
     unitsW.u64(u.summaryEpoch);
     unitsW.u64(u.deps.size());
     for (const std::string& d : u.deps) unitsW.str(d);
@@ -701,8 +714,29 @@ store::StoreResult AnalysisSession::saveLocked(const std::string& path) const {
       unitsW.i64(cl.line);
       unitsW.u8(static_cast<std::uint8_t>(cl.classification));
       unitsW.str(cl.procName);
-      unitsW.str(cl.report);
+      if (schemaVersion >= 2) {
+        unitsW.str(cl.doVar);
+        unitsW.str(cl.reportTail);
+      } else {
+        unitsW.str(composeLoopReport(cl));
+      }
       unitsW.str(cl.provenance);
+    }
+    if (schemaVersion >= 2) {
+      unitsW.u64(u.items.size());
+      for (const ItemRecord& rec : u.items) {
+        unitsW.u64(rec.hash);
+        unitsW.u64(rec.suffixHash);
+        unitsW.u64(rec.precedingHash);
+        unitsW.u8(rec.hasLoop ? 1 : 0);
+        unitsW.u32(rec.loopBegin);
+        unitsW.u32(rec.loopCount);
+        unitsW.u64(rec.calleeEpochs.size());
+        for (const auto& [callee, epoch] : rec.calleeEpochs) {
+          unitsW.str(callee);
+          unitsW.u64(epoch);
+        }
+      }
     }
   }
 
@@ -767,7 +801,7 @@ store::StoreResult AnalysisSession::saveLocked(const std::string& path) const {
   payload += unitsW.bytes();
   payload += snapW.bytes();
 
-  return store::writeSnapshotFile(path, payload);
+  return store::writeSnapshotFile(path, payload, schemaVersion);
 }
 
 // ----- AnalysisSession::restore -------------------------------------------
@@ -780,8 +814,9 @@ store::StoreResult AnalysisSession::restore(const std::string& path) {
 store::StoreResult AnalysisSession::restoreLocked(const std::string& path) {
   StoreResult out;
   std::string payload;
+  std::uint32_t version = 0;
   {
-    StoreResult file = store::readSnapshotFile(path, payload);
+    StoreResult file = store::readSnapshotFile(path, payload, version);
     if (!file.ok) return file;
   }
 
@@ -870,6 +905,7 @@ store::StoreResult AnalysisSession::restoreLocked(const std::string& path) {
       const std::string name = r.str();
       Unit u;
       u.fp = r.u64();
+      if (version >= 2) u.frameFp = r.u64();
       u.summaryEpoch = r.u64();
       const std::uint64_t dn = r.count(8, "dependency");
       for (std::uint64_t d = 0; d < dn && r.ok(); ++d) u.deps.insert(r.str());
@@ -888,9 +924,43 @@ store::StoreResult AnalysisSession::restoreLocked(const std::string& path) {
           return failed("corrupted snapshot: unknown loop classification");
         cl.classification = static_cast<LoopClass>(cls);
         cl.procName = r.str();
-        cl.report = r.str();
+        if (version >= 2) {
+          cl.doVar = r.str();
+          cl.reportTail = r.str();
+        } else {
+          // v1 cached the composed string; split the fixed header back out.
+          // An unsplittable report is served verbatim (empty doVar), it just
+          // cannot have its line citation remapped.
+          const std::string report = r.str();
+          if (r.ok() && !splitLoopReport(report, cl)) {
+            cl.doVar.clear();
+            cl.reportTail = report;
+          }
+        }
         cl.provenance = r.str();
         u.loops.push_back(std::move(cl));
+      }
+      if (version >= 2) {
+        const std::uint64_t in = r.count(41, "item record");
+        for (std::uint64_t k = 0; k < in && r.ok(); ++k) {
+          ItemRecord rec;
+          rec.hash = r.u64();
+          rec.suffixHash = r.u64();
+          rec.precedingHash = r.u64();
+          rec.hasLoop = r.u8() != 0;
+          rec.loopBegin = r.u32();
+          rec.loopCount = r.u32();
+          const std::uint64_t cn = r.count(16, "item callee epoch");
+          for (std::uint64_t c = 0; c < cn && r.ok(); ++c) {
+            const std::string callee = r.str();
+            const std::uint64_t ce = r.u64();
+            rec.calleeEpochs.emplace(callee, ce);
+          }
+          if (r.ok() &&
+              std::uint64_t{rec.loopBegin} + std::uint64_t{rec.loopCount} > u.loops.size())
+            return failed("corrupted snapshot: item loop range exceeds the unit's loop cache");
+          u.items.push_back(std::move(rec));
+        }
       }
       if (!r.ok()) break;
       units.emplace(name, std::move(u));

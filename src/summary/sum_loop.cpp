@@ -94,6 +94,24 @@ std::map<VarId, SymExpr> SummaryAnalyzer::recognizeInductionVars(const Stmt& loo
 
 SummaryAnalyzer::NodeSets SummaryAnalyzer::sumLoop(const HsgNode& n, const ProcSymbols& sym) {
   const Stmt& s = *n.loopStmt;
+
+  // Seeded fast path (seedLoopSummaries): a previous epoch already expanded
+  // this statement and the session proved the expansion still valid, so the
+  // stored whole-loop sets *are* this call's result. The invariant making
+  // this exact: every path below stores ls.mod/ue/de equal to the NodeSets
+  // it returns. ueAfter is downstream context, not subtree content — the
+  // enclosing sumSegment overwrites it after this returns either way.
+  {
+    std::shared_lock<std::shared_mutex> lock(loopMutex_);
+    if (auto it = loopSummaries_.find(&s); it != loopSummaries_.end()) {
+      NodeSets out;
+      out.mod = it->second.mod;
+      out.ue = it->second.ue;
+      out.de = it->second.de;
+      return out;
+    }
+  }
+
   ++stats_.loopExpansions;
   obs::Span span("summary.loop_expansion", "DO " + s.doVar);
   if (span.active()) span.arg("line", std::to_string(s.loc.line));
@@ -164,6 +182,12 @@ SummaryAnalyzer::NodeSets SummaryAnalyzer::sumLoop(const HsgNode& n, const ProcS
     for (const Gar& g : ueI.gars())
       out.ue.add(Gar::omega(g.array(), g.region().rank()));
     out.de = out.ue;
+    // Keep the stored sets equal to the returned ones so the seeded fast
+    // path above reproduces this result exactly. (analyzeLoop never reads
+    // mod/ue/de of an unanalyzable-header loop — it bails on boundsKnown.)
+    ls.mod = out.mod;
+    ls.ue = out.ue;
+    ls.de = out.de;
     {
       std::unique_lock<std::shared_mutex> lock(loopMutex_);
       loopSummaries_[&s] = std::move(ls);

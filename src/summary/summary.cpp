@@ -458,6 +458,14 @@ void SummaryAnalyzer::seedProcedure(const Procedure& proc, ProcSnapshot snapshot
   for (auto& [stmt, ls] : snapshot.loops) loopSummaries_.insert_or_assign(stmt, std::move(ls));
 }
 
+void SummaryAnalyzer::seedLoopSummaries(std::vector<std::pair<const Stmt*, LoopSummary>> loops) {
+  std::unique_lock<std::shared_mutex> lock(loopMutex_);
+  for (auto& [stmt, ls] : loops) {
+    ls.stmt = stmt;  // rebind to this epoch's statement object
+    loopSummaries_.insert_or_assign(stmt, std::move(ls));
+  }
+}
+
 std::map<std::string, std::set<std::string>> SummaryAnalyzer::callDependencies() const {
   std::shared_lock<std::shared_mutex> lock(depsMutex_);
   return callDeps_;

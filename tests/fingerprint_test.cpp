@@ -1,0 +1,167 @@
+// Per-item fingerprints and the lockstep SourceLoc remap (ast/fingerprint,
+// DESIGN.md §4.9): the invariants the session's loop-granular matcher rests
+// on. An item's (hash, suffixHash) must ignore line positions, an edit to
+// item k must change the suffix of every item at or before k and nothing
+// after it, and remapSourceLocs must move a fingerprint-equal procedure's
+// citations to the post-edit lines without touching structure.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <string>
+
+#include "panorama/ast/fingerprint.h"
+#include "panorama/frontend/parser.h"
+
+namespace panorama {
+namespace {
+
+/// Three independent top-level nests plus a trailing assignment; `edited`
+/// changes a constant inside nest `editedNest` (1-based, 0 = none) and
+/// `comment` prepends a comment line that shifts every statement down one.
+std::string kernSource(int editedNest, bool comment = false) {
+  std::string src = "      subroutine kern(a, b, n)\n";
+  src += "      integer n\n";
+  src += "      real a(100,4)\n";
+  src += "      real b(100,4)\n";
+  src += "      real t\n";
+  if (comment) src += "c shifted down by one line\n";
+  for (int k = 1; k <= 3; ++k) {
+    const int lbl = 10 * k;
+    const std::string col = std::to_string(k);
+    const std::string c = (k == editedNest) ? "3.0" : "1.0";
+    src += "      do " + std::to_string(lbl) + " i = 1, n\n";
+    src += "      t = a(i," + col + ") + " + c + "\n";
+    src += "      b(i," + col + ") = t * 2.0\n";
+    src += std::to_string(lbl) + "    continue\n";
+  }
+  src += "      b(1,1) = 0.0\n";
+  src += "      end\n";
+  return src;
+}
+
+const Procedure& parseKern(const std::string& src, std::optional<Program>& keepAlive) {
+  DiagnosticEngine diags;
+  keepAlive = parseProgram(src, diags);
+  EXPECT_TRUE(keepAlive.has_value()) << diags.str();
+  return keepAlive->procedures.front();
+}
+
+TEST(FingerprintDetailTest, ItemsIgnoreLineShifts) {
+  std::optional<Program> a, b;
+  const ProcFingerprintDetail plain = fingerprintProcedureDetail(parseKern(kernSource(0), a));
+  const ProcFingerprintDetail shifted =
+      fingerprintProcedureDetail(parseKern(kernSource(0, /*comment=*/true), b));
+
+  EXPECT_EQ(plain.whole, shifted.whole);
+  EXPECT_EQ(plain.frame, shifted.frame);
+  ASSERT_EQ(plain.items.size(), shifted.items.size());
+  ASSERT_EQ(plain.items.size(), 4u);  // three nests + trailing assignment
+  for (std::size_t k = 0; k < plain.items.size(); ++k) {
+    EXPECT_EQ(plain.items[k].hash, shifted.items[k].hash) << "item " << k;
+    EXPECT_EQ(plain.items[k].suffixHash, shifted.items[k].suffixHash) << "item " << k;
+    EXPECT_EQ(plain.items[k].precedingHash, shifted.items[k].precedingHash) << "item " << k;
+  }
+  EXPECT_TRUE(plain.items[0].hasLoop);
+  EXPECT_FALSE(plain.items[3].hasLoop);
+}
+
+TEST(FingerprintDetailTest, EditDirtiesTheSuffixOfEarlierItemsOnly) {
+  std::optional<Program> a, b;
+  const ProcFingerprintDetail base = fingerprintProcedureDetail(parseKern(kernSource(0), a));
+  const ProcFingerprintDetail edited = fingerprintProcedureDetail(parseKern(kernSource(2), b));
+
+  ASSERT_EQ(base.items.size(), edited.items.size());
+  EXPECT_NE(base.whole, edited.whole);
+  EXPECT_EQ(base.frame, edited.frame);  // declarations untouched
+
+  // Item 1 (the second nest) carries the edit: its own hash changes.
+  EXPECT_EQ(base.items[0].hash, edited.items[0].hash);
+  EXPECT_NE(base.items[1].hash, edited.items[1].hash);
+  EXPECT_EQ(base.items[2].hash, edited.items[2].hash);
+  EXPECT_EQ(base.items[3].hash, edited.items[3].hash);
+
+  // Every item strictly before the edit sees a changed suffix (the backward
+  // walk's ueAfter reads it); the edited item's own suffix covers only what
+  // FOLLOWS it, so it and everything after are unchanged.
+  EXPECT_NE(base.items[0].suffixHash, edited.items[0].suffixHash);
+  EXPECT_EQ(base.items[1].suffixHash, edited.items[1].suffixHash);
+  EXPECT_EQ(base.items[2].suffixHash, edited.items[2].suffixHash);
+  EXPECT_EQ(base.items[3].suffixHash, edited.items[3].suffixHash);
+}
+
+TEST(FingerprintDetailTest, FrameHashCoversDeclarations) {
+  std::optional<Program> a, b;
+  std::string widened = kernSource(0);
+  const std::string decl = "      real a(100,4)\n";
+  widened.replace(widened.find(decl), decl.size(), "      real a(200,4)\n");
+  const ProcFingerprintDetail base = fingerprintProcedureDetail(parseKern(kernSource(0), a));
+  const ProcFingerprintDetail wide = fingerprintProcedureDetail(parseKern(widened, b));
+  EXPECT_NE(base.frame, wide.frame);
+  EXPECT_NE(base.whole, wide.whole);
+}
+
+TEST(FingerprintDetailTest, CalleesCoverSubtreeAndSuffix) {
+  const char* src = R"(
+      subroutine kern(a, n)
+      integer n
+      real a(100)
+      do 10 i = 1, n
+      call first(a, i)
+10    continue
+      do 20 i = 1, n
+      call second(a, i)
+20    continue
+      end
+)";
+  std::optional<Program> keep;
+  const ProcFingerprintDetail detail = fingerprintProcedureDetail(parseKern(src, keep));
+  ASSERT_EQ(detail.items.size(), 2u);
+  // Item 0's verdict may read both summaries (its suffix contains item 1);
+  // item 1's only its own callee.
+  auto has = [](const std::vector<std::string>& v, const char* name) {
+    return std::find(v.begin(), v.end(), name) != v.end();
+  };
+  EXPECT_TRUE(has(detail.items[0].callees, "first"));
+  EXPECT_TRUE(has(detail.items[0].callees, "second"));
+  EXPECT_FALSE(has(detail.items[1].callees, "first"));
+  EXPECT_TRUE(has(detail.items[1].callees, "second"));
+}
+
+TEST(FingerprintRemapTest, RemapMovesLoopCitationsToPostEditLines) {
+  DiagnosticEngine diags;
+  std::optional<Program> oldProg = parseProgram(kernSource(0), diags);
+  std::optional<Program> newProg = parseProgram(kernSource(0, /*comment=*/true), diags);
+  ASSERT_TRUE(oldProg.has_value() && newProg.has_value()) << diags.str();
+  Procedure& to = oldProg->procedures.front();
+  const Procedure& from = newProg->procedures.front();
+  ASSERT_EQ(fingerprintProcedure(to), fingerprintProcedure(from));
+
+  ASSERT_TRUE(remapSourceLocs(to, from));
+
+  // Every statement in the kept AST now cites the shifted position.
+  ASSERT_EQ(to.body.size(), from.body.size());
+  for (std::size_t k = 0; k < to.body.size(); ++k)
+    EXPECT_EQ(to.body[k]->loc.line, from.body[k]->loc.line) << "item " << k;
+  // And the fingerprint is loc-blind, so the remap changed none of them.
+  EXPECT_EQ(fingerprintProcedure(to), fingerprintProcedure(from));
+}
+
+TEST(FingerprintRemapTest, RemapRefusesShapeDivergence) {
+  DiagnosticEngine diags;
+  std::optional<Program> oldProg = parseProgram(kernSource(0), diags);
+  std::optional<Program> newProg = parseProgram(
+      "      subroutine kern(a, b, n)\n"
+      "      integer n\n"
+      "      real a(100,4)\n"
+      "      real b(100,4)\n"
+      "      real t\n"
+      "      b(1,1) = 0.0\n"
+      "      end\n",
+      diags);
+  ASSERT_TRUE(oldProg.has_value() && newProg.has_value()) << diags.str();
+  EXPECT_FALSE(remapSourceLocs(oldProg->procedures.front(), newProg->procedures.front()));
+}
+
+}  // namespace
+}  // namespace panorama

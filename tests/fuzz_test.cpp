@@ -27,6 +27,7 @@
 #include "panorama/builder/builder.h"
 #include "panorama/frontend/parser.h"
 #include "panorama/interp/interpreter.h"
+#include "panorama/session/session.h"
 #include "panorama/support/thread_pool.h"
 
 namespace panorama {
@@ -444,6 +445,74 @@ TEST_P(FuzzTest, RandomBuilderProgramsRunTheFullPipeline) {
       EXPECT_FALSE(formatLoopAnalysis(la).empty());
       EXPECT_NE(toString(la.classification), nullptr);
     }
+  }
+}
+
+// ----- comment/blank-line-only resubmits (DESIGN.md §4.9 line remap) -------
+//
+// For a random kernel, insert a comment or blank line at EVERY line
+// boundary in turn and resubmit to a persistent session. No fingerprint
+// changes, so the contract is absolute: dirty cone 0 at every position,
+// and every cached loop report re-cited at its post-edit line —
+// byte-identical to a cold analysis of the shifted source.
+std::string renderSession(const SessionResult& r) {
+  std::ostringstream os;
+  for (const SessionLoopResult& loop : r.loops)
+    os << loop.procName << " | line " << loop.line << " | " << toString(loop.classification)
+       << '\n'
+       << loop.report << loop.provenance << '\n';
+  return os.str();
+}
+
+TEST_P(FuzzTest, CommentOnlyResubmitsBetweenEveryStatementStayClean) {
+  ProgramGen gen(GetParam() * 40503u + 23u);
+  const std::string src = gen.generate();
+  SCOPED_TRACE(src);
+
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < src.size()) {
+    std::size_t end = src.find('\n', start);
+    if (end == std::string::npos) end = src.size();
+    lines.push_back(src.substr(start, end - start));
+    start = end + 1;
+  }
+  ASSERT_GT(lines.size(), 3u);
+
+  AnalysisSession session;
+  SessionResult cold = session.submit(src);
+  ASSERT_TRUE(cold.ok) << cold.error;
+  ASSERT_FALSE(cold.loops.empty());
+
+  const char* fillers[] = {"c fuzz comment shift", "", "! trailing-style comment"};
+  for (std::size_t at = 0; at <= lines.size(); ++at) {
+    const std::string filler = fillers[at % 3];
+    std::string shifted;
+    for (std::size_t k = 0; k < lines.size(); ++k) {
+      if (k == at) shifted += filler + "\n";
+      shifted += lines[k] + "\n";
+    }
+    if (at == lines.size()) shifted += filler + "\n";
+
+    SessionResult warm = session.submit(shifted);
+    ASSERT_TRUE(warm.ok) << "insert at line " << at << ":\n" << warm.error;
+    EXPECT_EQ(warm.stats.dirty, 0u) << "insert at line " << at;
+    EXPECT_EQ(warm.stats.modified, 0u) << "insert at line " << at;
+
+    // Every loop strictly below the insertion point cites one line lower;
+    // loops above it keep their cold line.
+    ASSERT_EQ(cold.loops.size(), warm.loops.size()) << "insert at line " << at;
+    for (std::size_t k = 0; k < cold.loops.size(); ++k) {
+      const int expected =
+          cold.loops[k].line + (static_cast<std::size_t>(cold.loops[k].line) > at ? 1 : 0);
+      EXPECT_EQ(expected, warm.loops[k].line) << "insert at line " << at << ", loop " << k;
+    }
+
+    // Byte-identity against a cold analysis of the shifted source.
+    AnalysisSession coldSession;
+    SessionResult reference = coldSession.submit(shifted);
+    ASSERT_TRUE(reference.ok) << reference.error;
+    EXPECT_EQ(renderSession(reference), renderSession(warm)) << "insert at line " << at;
   }
 }
 

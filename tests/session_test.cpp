@@ -302,6 +302,183 @@ TEST(SessionTest, ThreadCountChangeDoesNotInvalidate) {
   EXPECT_EQ(warm.stats.dirty, 0u);
 }
 
+// ----- loop-granular reuse inside the dirty cone (DESIGN.md §4.9) ----------
+
+/// Four independent doubly-nested loop nests plus a trailing assignment.
+/// `editedNest` (1-based, 0 = none) changes a constant inside that nest;
+/// `comment` prepends a comment line shifting every statement down one.
+std::string nestSource(int editedNest, bool comment = false) {
+  std::string src = "      subroutine kern(a, b, n)\n";
+  src += "      integer n\n";
+  src += "      real a(100,4)\n";
+  src += "      real b(100,4)\n";
+  src += "      real t\n";
+  if (comment) src += "c shifted down by one line\n";
+  for (int k = 1; k <= 4; ++k) {
+    const int lbl = 10 * k;
+    const std::string col = std::to_string(k);
+    const std::string c = (k == editedNest) ? "3.0" : "1.0";
+    src += "      do " + std::to_string(lbl) + " i = 1, n\n";
+    src += "      do " + std::to_string(lbl + 1) + " j = 1, n\n";
+    src += "      t = a(j," + col + ") + " + c + "\n";
+    src += "      b(j," + col + ") = t * 2.0\n";
+    src += std::to_string(lbl + 1) + "    continue\n";
+    src += std::to_string(lbl) + "    continue\n";
+  }
+  src += "      b(1,1) = 0.0\n";
+  src += "      end\n";
+  return src;
+}
+
+std::size_t causeCount(const SessionResult& r, const std::string& cause) {
+  std::size_t n = 0;
+  for (const LoopReuse& c : r.stats.loopReuse)
+    if (c.cause == cause) ++n;
+  return n;
+}
+
+TEST(SessionTest, SingleLoopEditReusesEveryLaterNestAcrossThreadCounts) {
+  CacheGuard guard;
+  for (std::size_t threads : {1u, 4u, 8u}) {
+    AnalysisOptions options;
+    options.numThreads = threads;
+
+    AnalysisSession session(options);
+    ASSERT_TRUE(session.submit(nestSource(0)).ok) << threads << " threads";
+    SessionResult warm = session.submit(nestSource(1));
+    ASSERT_TRUE(warm.ok) << threads << " threads";
+
+    // Editing the FIRST nest leaves every later nest's (hash, suffix)
+    // intact: 3 nests x 2 loops served from cache, one nest recomputed.
+    EXPECT_EQ(warm.stats.dirty, 1u) << threads << " threads";
+    EXPECT_EQ(warm.stats.loopSkips, 6u) << threads << " threads";
+    EXPECT_EQ(warm.stats.partialUnits, 1u) << threads << " threads";
+    EXPECT_EQ(warm.stats.unitsDirtyLoops, 1u) << threads << " threads";
+    EXPECT_EQ(causeCount(warm, "item-match"), 6u) << threads << " threads";
+
+    AnalysisSession coldSession(options);
+    SessionResult cold = coldSession.submit(nestSource(1));
+    ASSERT_TRUE(cold.ok) << threads << " threads";
+    EXPECT_EQ(render(cold), render(warm)) << threads << " threads";
+  }
+}
+
+TEST(SessionTest, EditToTheLastNestIsSuffixConservative) {
+  CacheGuard guard;
+  AnalysisSession session;
+  ASSERT_TRUE(session.submit(nestSource(0)).ok);
+  SessionResult warm = session.submit(nestSource(4));
+  ASSERT_TRUE(warm.ok);
+
+  // Every earlier item's suffix contains the edited nest (the backward
+  // walk's ueAfter reads it), so nothing inside the dirty unit is reusable.
+  EXPECT_EQ(warm.stats.loopSkips, 0u);
+  EXPECT_EQ(warm.stats.partialUnits, 0u);
+
+  AnalysisSession coldSession;
+  SessionResult cold = coldSession.submit(nestSource(4));
+  ASSERT_TRUE(cold.ok);
+  EXPECT_EQ(render(cold), render(warm));
+}
+
+TEST(SessionTest, CommentOnlyEditDirtiesNothingAndCitesPostEditLines) {
+  CacheGuard guard;
+  AnalysisSession session;
+  SessionResult cold = session.submit(nestSource(0));
+  ASSERT_TRUE(cold.ok);
+  SessionResult shifted = session.submit(nestSource(0, /*comment=*/true));
+  ASSERT_TRUE(shifted.ok);
+
+  EXPECT_EQ(shifted.stats.dirty, 0u);
+  EXPECT_EQ(shifted.stats.modified, 0u);
+  EXPECT_GE(shifted.stats.lineRemaps, 1u);
+  EXPECT_GE(causeCount(shifted, "line-remap"), 1u);
+
+  // Same verdicts, every citation one line lower (the comment precedes all
+  // loops) — and byte-identical to a cold run of the shifted source.
+  ASSERT_EQ(cold.loops.size(), shifted.loops.size());
+  for (std::size_t k = 0; k < cold.loops.size(); ++k)
+    EXPECT_EQ(cold.loops[k].line + 1, shifted.loops[k].line) << "loop " << k;
+  AnalysisSession coldSession;
+  SessionResult coldShifted = coldSession.submit(nestSource(0, /*comment=*/true));
+  ASSERT_TRUE(coldShifted.ok);
+  EXPECT_EQ(render(coldShifted), render(shifted));
+}
+
+TEST(SessionTest, CalleeEditRecomputesOnlyLoopsThatReadItsSummary) {
+  CacheGuard guard;
+  auto source = [](const char* inc) {
+    return std::string("      subroutine kern(a, b, n)\n"
+                       "      integer n\n"
+                       "      real a(100)\n"
+                       "      real b(100)\n"
+                       "      do 10 i = 1, n\n"
+                       "      call bump(a, i)\n"
+                       "10    continue\n"
+                       "      do 20 i = 1, n\n"
+                       "      b(i) = 1.0\n"
+                       "20    continue\n"
+                       "      end\n"
+                       "      subroutine bump(x, k)\n"
+                       "      integer k\n"
+                       "      real x(100)\n"
+                       "      x(k) = x(k) + ") +
+           inc + "\n      end\n";
+  };
+  AnalysisSession session;
+  ASSERT_TRUE(session.submit(source("2.0")).ok);
+  SessionResult warm = session.submit(source("3.0"));
+  ASSERT_TRUE(warm.ok);
+
+  // kern's text is unchanged but bump's summary epoch moved. The first nest
+  // calls bump, so its recorded callee epoch mismatches and it recomputes;
+  // the second nest's subtree AND suffix are call-free, so its verdict
+  // never read bump and is served from cache. (The call nest must precede
+  // the pure one: an item's callee set spans its suffix too.)
+  EXPECT_EQ(warm.stats.loopSkips, 1u);
+  EXPECT_EQ(warm.stats.partialUnits, 1u);
+
+  AnalysisSession coldSession;
+  SessionResult cold = coldSession.submit(source("3.0"));
+  ASSERT_TRUE(cold.ok);
+  EXPECT_EQ(render(cold), render(warm));
+}
+
+TEST(SessionTest, LoopGranularReuseOffIsByteIdenticalWithZeroSkips) {
+  CacheGuard guard;
+  AnalysisOptions granular;
+  AnalysisOptions procedural;
+  procedural.loopGranularReuse = false;
+
+  AnalysisSession on(granular);
+  ASSERT_TRUE(on.submit(nestSource(0)).ok);
+  SessionResult warmOn = on.submit(nestSource(1));
+  ASSERT_TRUE(warmOn.ok);
+  EXPECT_GT(warmOn.stats.loopSkips, 0u);
+
+  AnalysisSession off(procedural);
+  ASSERT_TRUE(off.submit(nestSource(0)).ok);
+  SessionResult warmOff = off.submit(nestSource(1));
+  ASSERT_TRUE(warmOff.ok);
+  EXPECT_EQ(warmOff.stats.loopSkips, 0u);
+  EXPECT_EQ(warmOff.stats.partialUnits, 0u);
+
+  EXPECT_EQ(render(warmOn), render(warmOff));
+}
+
+TEST(SessionTest, StatsFormatCarriesLoopGranularCounters) {
+  CacheGuard guard;
+  AnalysisSession session;
+  ASSERT_TRUE(session.submit(nestSource(0)).ok);
+  SessionResult warm = session.submit(nestSource(1));
+  ASSERT_TRUE(warm.ok);
+  const std::string stats = formatSessionStats(warm.stats);
+  EXPECT_NE(stats.find("session.units_clean/dirty_loops:"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("session.loop_skips:"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("session.loop_reuse_cause:"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("item-match"), std::string::npos) << stats;
+}
+
 TEST(SessionTest, FailedSubmitLeavesSessionIntact) {
   CacheGuard guard;
   AnalysisSession session;

@@ -284,6 +284,164 @@ TEST(StoreTest, RestoreRejectsMissingFile) {
   EXPECT_TRUE(session.submit(kBase).ok);
 }
 
+// ----- schema v2: loop-granular reuse across save/restore (§4.9) -----------
+
+/// Four independent doubly-nested loop nests; `editedNest` (1-based, 0 =
+/// none) changes a constant inside that nest, `comment` shifts every
+/// statement down one line without touching any fingerprint.
+std::string nestSource(int editedNest, bool comment = false) {
+  std::string src = "      subroutine kern(a, b, n)\n";
+  src += "      integer n\n";
+  src += "      real a(100,4)\n";
+  src += "      real b(100,4)\n";
+  src += "      real t\n";
+  if (comment) src += "c shifted down by one line\n";
+  for (int k = 1; k <= 4; ++k) {
+    const int lbl = 10 * k;
+    const std::string col = std::to_string(k);
+    const std::string c = (k == editedNest) ? "3.0" : "1.0";
+    src += "      do " + std::to_string(lbl) + " i = 1, n\n";
+    src += "      do " + std::to_string(lbl + 1) + " j = 1, n\n";
+    src += "      t = a(j," + col + ") + " + c + "\n";
+    src += "      b(j," + col + ") = t * 2.0\n";
+    src += std::to_string(lbl + 1) + "    continue\n";
+    src += std::to_string(lbl) + "    continue\n";
+  }
+  src += "      b(1,1) = 0.0\n";
+  src += "      end\n";
+  return src;
+}
+
+TEST(StoreTest, V2RoundTripFastPathsLoopGranularReuse) {
+  CacheGuard guard;
+  FileGuard snap{tempPath("store_v2_loops.pano")};
+
+  // In-process reference: cold, save, single-loop edit.
+  AnalysisSession reference;
+  ASSERT_TRUE(reference.submit(nestSource(0)).ok);
+  ASSERT_TRUE(reference.save(snap.path).ok);
+  SessionResult inProcess = reference.submit(nestSource(1));
+  ASSERT_TRUE(inProcess.ok);
+  ASSERT_EQ(inProcess.stats.loopSkips, 6u);
+
+  // The v2 snapshot carries the per-item fingerprints and reuse edges, so
+  // the restored session reuses exactly the same loops.
+  AnalysisSession restored;
+  ASSERT_TRUE(restored.restore(snap.path).ok);
+  SessionResult warm = restored.submit(nestSource(1));
+  ASSERT_TRUE(warm.ok);
+  EXPECT_EQ(warm.stats.loopSkips, 6u);
+  EXPECT_EQ(warm.stats.partialUnits, 1u);
+  EXPECT_EQ(render(inProcess), render(warm));
+}
+
+TEST(StoreTest, V2RoundTripRemapsLinesAfterCommentOnlyEdit) {
+  CacheGuard guard;
+  FileGuard snap{tempPath("store_v2_remap.pano")};
+  AnalysisSession saver;
+  SessionResult cold = saver.submit(nestSource(0));
+  ASSERT_TRUE(cold.ok);
+  ASSERT_TRUE(saver.save(snap.path).ok);
+
+  AnalysisSession restored;
+  ASSERT_TRUE(restored.restore(snap.path).ok);
+  SessionResult shifted = restored.submit(nestSource(0, /*comment=*/true));
+  ASSERT_TRUE(shifted.ok);
+  EXPECT_EQ(shifted.stats.dirty, 0u);
+  EXPECT_GE(shifted.stats.lineRemaps, 1u);
+  ASSERT_EQ(cold.loops.size(), shifted.loops.size());
+  for (std::size_t k = 0; k < cold.loops.size(); ++k)
+    EXPECT_EQ(cold.loops[k].line + 1, shifted.loops[k].line) << "loop " << k;
+}
+
+TEST(StoreTest, V1SnapshotRestoresWithProcedureGranularFallback) {
+  CacheGuard guard;
+  FileGuard snap{tempPath("store_v1_compat.pano")};
+  AnalysisSession saver;
+  ASSERT_TRUE(saver.submit(nestSource(0)).ok);
+  ASSERT_TRUE(saver.save(snap.path, /*schemaVersion=*/1).ok);
+
+  // A v1 snapshot has no item records: the restored session still reuses
+  // whole clean units, but a dirty unit recomputes all of its loops.
+  AnalysisSession restored;
+  store::StoreResult r = restored.restore(snap.path);
+  ASSERT_TRUE(r.ok) << r.error;
+  SessionResult warm = restored.submit(nestSource(1));
+  ASSERT_TRUE(warm.ok);
+  EXPECT_EQ(warm.stats.loopSkips, 0u);
+
+  AnalysisSession cold;
+  SessionResult coldRun = cold.submit(nestSource(1));
+  ASSERT_TRUE(coldRun.ok);
+  EXPECT_EQ(render(coldRun), render(warm));
+}
+
+TEST(StoreTest, V1RestoreUpgradesToLoopGranularOnFirstRealSubmit) {
+  CacheGuard guard;
+  FileGuard snap{tempPath("store_v1_upgrade.pano")};
+  AnalysisSession saver;
+  ASSERT_TRUE(saver.submit(nestSource(0)).ok);
+  ASSERT_TRUE(saver.save(snap.path, /*schemaVersion=*/1).ok);
+
+  AnalysisSession restored;
+  ASSERT_TRUE(restored.restore(snap.path).ok);
+  // The comment-only edit goes through the diff path (not the byte-identical
+  // fast path) and rebuilds every unit's item records from the new parse...
+  SessionResult shifted = restored.submit(nestSource(0, /*comment=*/true));
+  ASSERT_TRUE(shifted.ok);
+  EXPECT_EQ(shifted.stats.dirty, 0u);
+  // ...so the next single-loop edit reuses at loop granularity again.
+  SessionResult warm = restored.submit(nestSource(1, /*comment=*/true));
+  ASSERT_TRUE(warm.ok);
+  EXPECT_EQ(warm.stats.loopSkips, 6u);
+}
+
+TEST(StoreTest, SaveRejectsUnsupportedSchemaVersion) {
+  CacheGuard guard;
+  FileGuard snap{tempPath("store_bad_version.pano")};
+  AnalysisSession session;
+  ASSERT_TRUE(session.submit(nestSource(0)).ok);
+  store::StoreResult r = session.save(snap.path, /*schemaVersion=*/7);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("schema version"), std::string::npos) << r.error;
+}
+
+TEST(StoreTest, RestoreRejectsTruncatedV2ItemRecordsAndKeepsSession) {
+  CacheGuard guard;
+  FileGuard snap{tempPath("store_v2_truncated.pano")};
+  AnalysisSession session;
+  SessionResult cold = session.submit(nestSource(0));
+  ASSERT_TRUE(cold.ok);
+  ASSERT_TRUE(session.save(snap.path).ok);
+  const std::string bytes = slurp(snap.path);
+  ASSERT_GT(bytes.size(), store::kHeaderBytes + 64);
+
+  // Cut the tail of the payload (where the unit's item/remap records live)
+  // and re-sign the header so the cut survives the integrity check: the
+  // READER's structural bounds checks must catch it, not just the hash.
+  std::string payload = bytes.substr(store::kHeaderBytes);
+  payload.resize(payload.size() - 48);
+  std::string doctored = bytes.substr(0, store::kHeaderBytes) + payload;
+  const std::uint64_t size = payload.size();
+  const std::uint64_t hash = store::fnv1a(payload);
+  for (int k = 0; k < 8; ++k) {
+    doctored[8 + k] = static_cast<char>((size >> (8 * k)) & 0xff);
+    doctored[16 + k] = static_cast<char>((hash >> (8 * k)) & 0xff);
+  }
+  spit(snap.path, doctored);
+
+  store::StoreResult r = session.restore(snap.path);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("snapshot"), std::string::npos) << r.error;
+
+  // The failed restore left the session exactly as it was: the identical
+  // resubmit still rides the whole-file fast path with the cached reports.
+  SessionResult again = session.submit(nestSource(0));
+  ASSERT_TRUE(again.ok);
+  EXPECT_GE(again.stats.fileSkips, 1u);
+  EXPECT_EQ(render(cold), render(again));
+}
+
 TEST(StoreTest, SaveUnderConcurrentSubmitsSnapshotsOneConsistentEpoch) {
   CacheGuard guard;
   AnalysisOptions options;

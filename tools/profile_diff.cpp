@@ -1,0 +1,342 @@
+// profile_diff: attributes warm-latency drift between bench runs to the
+// cost-profile entities that grew.
+//
+// Two modes share one diff engine:
+//
+//   profile_diff OLD.json NEW.json [--top=N]
+//       Plain snapshot diff of two --profile outputs (panorama_driver
+//       --profile=FILE). Prints phases, procedures, loops, and queries
+//       ranked by absolute time growth. Always exits 0 on readable input.
+//
+//   profile_diff --history=BENCH_history.jsonl --bench=incremental
+//                [--metric=warm_wall_ms] [--threshold=0.10]
+//                [--profile-old=A.json] [--profile-new=B.json] [--top=N]
+//       Regression gate for nightly CI. Compares the metric between the
+//       last two history records of the named bench. No regression beyond
+//       the threshold: exit 0. A regression that the profile diff can pin
+//       to specific phases/procedures/loops (their growth covers at least
+//       half of it): exit 0 with the attribution table. A regression with
+//       no profile snapshots, unreadable ones, or growth the profiles
+//       cannot account for: exit 2 — "unattributed" is the failure CI
+//       must surface, because it means the latency went somewhere the
+//       observability layer does not see.
+//
+// Exit codes: 0 ok/attributed, 1 usage or I/O error, 2 unattributed
+// regression (mirrors bench_runner --check).
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "panorama/support/json.h"
+
+using panorama::support::JsonValue;
+
+namespace {
+
+struct Options {
+  std::string historyPath;
+  std::string bench = "incremental";
+  std::string metric = "warm_wall_ms";
+  double threshold = 0.10;
+  std::string profileOld;
+  std::string profileNew;
+  std::size_t top = 8;
+  std::vector<std::string> positional;
+};
+
+bool readFile(const std::string& path, std::string& out, std::string& error) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    error = path + ": cannot open";
+    return false;
+  }
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok) error = path + ": read failed";
+  return ok;
+}
+
+double numberField(const JsonValue& obj, std::string_view key, double fallback = 0) {
+  const JsonValue* v = obj.find(key);
+  return (v && v->isNumber()) ? v->asNumber() : fallback;
+}
+
+std::string stringField(const JsonValue& obj, std::string_view key) {
+  const JsonValue* v = obj.find(key);
+  return (v && v->isString()) ? v->asString() : std::string();
+}
+
+// ----- cost-profile flattening ---------------------------------------------
+//
+// A profile snapshot becomes one flat map: entity label -> nanoseconds.
+// Phases contribute their SELF time under "phase <path>" (total time would
+// double-count every parent/child pair and make coverage meaningless);
+// procedures and loops contribute their totals. The old/new maps then diff
+// key-by-key.
+
+void flattenPhases(const JsonValue& node, const std::string& prefix,
+                   std::map<std::string, double>& out) {
+  if (!node.isObject()) return;
+  const std::string path =
+      prefix.empty() ? stringField(node, "category") : prefix + "/" + stringField(node, "category");
+  out["phase " + path] += numberField(node, "self_ns");
+  const JsonValue* children = node.find("children");
+  if (children && children->isArray())
+    for (const JsonValue& child : children->items()) flattenPhases(child, path, out);
+}
+
+/// Flattens one profile snapshot into label -> ns. Returns false (with
+/// `error`) when the file is missing or not a profile JSON.
+bool flattenProfile(const std::string& path, std::map<std::string, double>& out,
+                    double& wallNs, std::string& error) {
+  std::string text;
+  if (!readFile(path, text, error)) return false;
+  std::string parseError;
+  std::optional<JsonValue> doc = JsonValue::parse(text, &parseError);
+  if (!doc || !doc->isObject()) {
+    error = path + ": not a profile snapshot (" + (parseError.empty() ? "no object" : parseError) +
+            ")";
+    return false;
+  }
+  wallNs = numberField(*doc, "wall_ns");
+  const JsonValue* phases = doc->find("phases");
+  if (phases && phases->isArray())
+    for (const JsonValue& p : phases->items()) flattenPhases(p, "", out);
+  const JsonValue* procs = doc->find("procedures");
+  if (procs && procs->isArray())
+    for (const JsonValue& p : procs->items())
+      out["proc " + stringField(p, "name")] += numberField(p, "total_ns");
+  const JsonValue* loops = doc->find("loops");
+  if (loops && loops->isArray())
+    for (const JsonValue& l : loops->items())
+      out["loop " + stringField(l, "proc") + "/" + stringField(l, "name")] +=
+          numberField(l, "total_ns");
+  const JsonValue* queries = doc->find("top_queries");
+  if (queries && queries->isArray())
+    for (const JsonValue& q : queries->items())
+      out["query " + stringField(q, "kind") + " " + stringField(q, "name")] +=
+          numberField(q, "dur_ns");
+  if (out.empty()) {
+    error = path + ": profile snapshot has no phases/procedures/loops";
+    return false;
+  }
+  return true;
+}
+
+struct DiffRow {
+  std::string label;
+  double oldNs = 0;
+  double newNs = 0;
+  double delta() const { return newNs - oldNs; }
+};
+
+std::vector<DiffRow> diffProfiles(const std::map<std::string, double>& before,
+                                  const std::map<std::string, double>& after) {
+  std::map<std::string, DiffRow> rows;
+  for (const auto& [label, ns] : before) {
+    rows[label].label = label;
+    rows[label].oldNs = ns;
+  }
+  for (const auto& [label, ns] : after) {
+    rows[label].label = label;
+    rows[label].newNs = ns;
+  }
+  std::vector<DiffRow> out;
+  out.reserve(rows.size());
+  for (auto& [label, row] : rows) out.push_back(std::move(row));
+  std::sort(out.begin(), out.end(), [](const DiffRow& a, const DiffRow& b) {
+    if (a.delta() != b.delta()) return a.delta() > b.delta();
+    return a.label < b.label;
+  });
+  return out;
+}
+
+void printDiffTable(const std::vector<DiffRow>& rows, std::size_t top) {
+  std::printf("%-58s %12s %12s %12s\n", "entity", "old ms", "new ms", "delta ms");
+  std::size_t shown = 0;
+  for (const DiffRow& row : rows) {
+    if (shown >= top) break;
+    if (row.delta() == 0) continue;
+    std::printf("%-58s %12.3f %12.3f %+12.3f\n", row.label.c_str(), row.oldNs / 1e6,
+                row.newNs / 1e6, row.delta() / 1e6);
+    ++shown;
+  }
+  if (shown == 0) std::printf("(no entity changed)\n");
+}
+
+// ----- bench history --------------------------------------------------------
+
+struct HistoryRecord {
+  std::string git;
+  double timestamp = 0;
+  double value = 0;
+  std::string direction;
+};
+
+/// Last two records of `bench` carrying `metric`, oldest first.
+bool lastTwo(const std::string& path, const std::string& bench, const std::string& metric,
+             std::vector<HistoryRecord>& out, std::string& error) {
+  std::string text;
+  if (!readFile(path, text, error)) return false;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string_view line(text.data() + pos, end - pos);
+    pos = end + 1;
+    if (line.find_first_not_of(" \t\r") == std::string_view::npos) continue;
+    std::optional<JsonValue> doc = JsonValue::parse(line);
+    if (!doc || !doc->isObject()) continue;  // tolerate torn trailing lines
+    if (stringField(*doc, "bench") != bench) continue;
+    const JsonValue* okField = doc->find("ok");
+    if (okField && okField->isBool() && !okField->asBool()) continue;
+    const JsonValue* metrics = doc->find("metrics");
+    if (!metrics || !metrics->isObject()) continue;
+    const JsonValue* m = metrics->find(metric);
+    if (!m || !m->isObject()) continue;
+    HistoryRecord rec;
+    rec.git = stringField(*doc, "git");
+    rec.timestamp = numberField(*doc, "timestamp_unix");
+    rec.value = numberField(*m, "value");
+    rec.direction = stringField(*m, "direction");
+    out.push_back(std::move(rec));
+    if (out.size() > 2) out.erase(out.begin());
+  }
+  return true;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: profile_diff OLD.json NEW.json [--top=N]\n"
+               "       profile_diff --history=FILE [--bench=NAME] [--metric=NAME]\n"
+               "                    [--threshold=FRACTION] [--profile-old=FILE]\n"
+               "                    [--profile-new=FILE] [--top=N]\n");
+  return 1;
+}
+
+bool parseArgs(int argc, char** argv, Options& opts) {
+  for (int k = 1; k < argc; ++k) {
+    const std::string_view arg = argv[k];
+    auto value = [&](std::string_view prefix) -> std::optional<std::string> {
+      if (arg.rfind(prefix, 0) != 0) return std::nullopt;
+      return std::string(arg.substr(prefix.size()));
+    };
+    if (auto v = value("--history=")) opts.historyPath = *v;
+    else if (auto v = value("--bench=")) opts.bench = *v;
+    else if (auto v = value("--metric=")) opts.metric = *v;
+    else if (auto v = value("--threshold=")) opts.threshold = std::atof(v->c_str());
+    else if (auto v = value("--profile-old=")) opts.profileOld = *v;
+    else if (auto v = value("--profile-new=")) opts.profileNew = *v;
+    else if (auto v = value("--top=")) opts.top = static_cast<std::size_t>(std::atol(v->c_str()));
+    else if (arg.rfind("--", 0) == 0) return false;
+    else opts.positional.push_back(std::string(arg));
+  }
+  return true;
+}
+
+/// Snapshot-diff mode: print the table, exit 0.
+int runSnapshotDiff(const Options& opts) {
+  std::map<std::string, double> before, after;
+  double wallOld = 0, wallNew = 0;
+  std::string error;
+  if (!flattenProfile(opts.positional[0], before, wallOld, error) ||
+      !flattenProfile(opts.positional[1], after, wallNew, error)) {
+    std::fprintf(stderr, "profile_diff: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("profile diff: %s -> %s\n", opts.positional[0].c_str(), opts.positional[1].c_str());
+  std::printf("wall: %.3f ms -> %.3f ms (%+.1f%%)\n\n", wallOld / 1e6, wallNew / 1e6,
+              wallOld > 0 ? (wallNew - wallOld) * 100.0 / wallOld : 0.0);
+  printDiffTable(diffProfiles(before, after), opts.top);
+  return 0;
+}
+
+/// History-gate mode: exit 2 on an unattributed regression.
+int runHistoryGate(const Options& opts) {
+  std::vector<HistoryRecord> records;
+  std::string error;
+  if (!lastTwo(opts.historyPath, opts.bench, opts.metric, records, error)) {
+    std::fprintf(stderr, "profile_diff: %s\n", error.c_str());
+    return 1;
+  }
+  if (records.size() < 2) {
+    std::printf("profile_diff: %zu history record(s) for bench '%s' — need 2 to compare; ok\n",
+                records.size(), opts.bench.c_str());
+    return 0;
+  }
+  const HistoryRecord& prev = records[0];
+  const HistoryRecord& curr = records[1];
+  // Regression direction comes from the metric itself (lower-is-better for
+  // wall times); "exact" metrics regress on any change.
+  double regression = 0;
+  if (prev.value > 0) {
+    if (curr.direction == "higher") regression = (prev.value - curr.value) / prev.value;
+    else regression = (curr.value - prev.value) / prev.value;
+  }
+  std::printf("%s/%s: %.6g (%s) -> %.6g (%s): %+.1f%%\n", opts.bench.c_str(), opts.metric.c_str(),
+              prev.value, prev.git.c_str(), curr.value, curr.git.c_str(),
+              (prev.value > 0 ? (curr.value - prev.value) * 100.0 / prev.value : 0.0));
+  if (regression <= opts.threshold) {
+    std::printf("within threshold (%.0f%%); ok\n", opts.threshold * 100.0);
+    return 0;
+  }
+
+  // Regression beyond the threshold: it passes only if the profile
+  // snapshots can say WHERE the time went.
+  std::printf("regression %.1f%% exceeds threshold %.0f%% — attributing\n", regression * 100.0,
+              opts.threshold * 100.0);
+  if (opts.profileOld.empty() || opts.profileNew.empty()) {
+    std::fprintf(stderr,
+                 "profile_diff: UNATTRIBUTED regression — no profile snapshots to attribute "
+                 "against (pass --profile-old/--profile-new)\n");
+    return 2;
+  }
+  std::map<std::string, double> before, after;
+  double wallOld = 0, wallNew = 0;
+  if (!flattenProfile(opts.profileOld, before, wallOld, error) ||
+      !flattenProfile(opts.profileNew, after, wallNew, error)) {
+    std::fprintf(stderr, "profile_diff: UNATTRIBUTED regression — %s\n", error.c_str());
+    return 2;
+  }
+  const std::vector<DiffRow> rows = diffProfiles(before, after);
+  printDiffTable(rows, opts.top);
+
+  // Attribution test: the profile's own phase growth must cover at least
+  // half of its wall growth — otherwise the snapshots describe a run that
+  // did not regress the way the bench did, and naming innocents would be
+  // worse than failing.
+  double phaseGrowth = 0;
+  for (const DiffRow& row : rows)
+    if (row.delta() > 0 && row.label.rfind("phase ", 0) == 0) phaseGrowth += row.delta();
+  const double wallGrowth = wallNew - wallOld;
+  if (wallGrowth > 0 && phaseGrowth >= wallGrowth * 0.5) {
+    std::printf("attributed: phase growth %.3f ms covers %.0f%% of wall growth %.3f ms\n",
+                phaseGrowth / 1e6, phaseGrowth * 100.0 / wallGrowth, wallGrowth / 1e6);
+    return 0;
+  }
+  std::fprintf(stderr,
+               "profile_diff: UNATTRIBUTED regression — profile phase growth %.3f ms does not "
+               "cover wall growth %.3f ms\n",
+               phaseGrowth / 1e6, wallGrowth / 1e6);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parseArgs(argc, argv, opts)) return usage();
+  if (!opts.historyPath.empty()) {
+    if (!opts.positional.empty()) return usage();
+    return runHistoryGate(opts);
+  }
+  if (opts.positional.size() != 2) return usage();
+  return runSnapshotDiff(opts);
+}
