@@ -1,11 +1,18 @@
-# End-to-end smoke of the analysis service (DESIGN.md §4.8), run as a ctest:
+# End-to-end smoke of the analysis service (DESIGN.md §4.8/§4.10), run as a
+# ctest:
 #   * `panorama_driver --daemon=SOCKET` comes up and answers ping;
 #   * a client submit prints byte-for-byte what the batch driver prints for
 #     the same file;
 #   * a byte-identical resubmit into the same named session is served by the
 #     whole-file fast path (the --stats block records the skip);
+#   * the telemetry plane answers: `status` reports the named session,
+#     `metrics` carries the submit latency histograms, `tail` streams the
+#     submit_begin/submit_end events, and `panorama_top --once --json`
+#     round-trips all three against the live daemon;
+#   * telemetry flags without --daemon are a usage error (exit 2);
 #   * a client shutdown request stops the daemon and removes the socket.
-# Invoked with -DDRIVER=<path> -DCLIENT=<path> -DWORKDIR=<scratch dir>.
+# Invoked with -DDRIVER=<path> -DCLIENT=<path> -DTOP=<path>
+# -DWORKDIR=<scratch dir>.
 
 file(MAKE_DIRECTORY "${WORKDIR}")
 
@@ -88,6 +95,88 @@ endif()
 if(NOT resubmit_out MATCHES "file skips: 1")
   stop_daemon()
   message(FATAL_ERROR "resubmit did not ride the whole-file fast path:\n${resubmit_out}")
+endif()
+
+# The telemetry plane, over a fresh connection. `status` sees the named
+# session: one analyzed epoch plus the fast-path skip the resubmit took.
+execute_process(
+  COMMAND "${CLIENT}" "${SOCK}" status --timeout-ms=5000
+  RESULT_VARIABLE code OUTPUT_VARIABLE status_out ERROR_VARIABLE err)
+if(NOT code EQUAL 0)
+  stop_daemon()
+  message(FATAL_ERROR "client status failed (${code}): ${err}")
+endif()
+if(NOT status_out MATCHES "\"name\":\"ci\"")
+  stop_daemon()
+  message(FATAL_ERROR "status does not report the named session:\n${status_out}")
+endif()
+if(NOT status_out MATCHES "\"epoch\":1" OR NOT status_out MATCHES "\"file_skips\":1")
+  stop_daemon()
+  message(FATAL_ERROR "status session counters are off:\n${status_out}")
+endif()
+if(NOT status_out MATCHES "\"submits\":2")
+  stop_daemon()
+  message(FATAL_ERROR "status does not count both submits:\n${status_out}")
+endif()
+
+# `metrics` carries the per-op submit latency histograms with quantiles.
+execute_process(
+  COMMAND "${CLIENT}" "${SOCK}" metrics --timeout-ms=5000
+  RESULT_VARIABLE code OUTPUT_VARIABLE metrics_out ERROR_VARIABLE err)
+if(NOT code EQUAL 0)
+  stop_daemon()
+  message(FATAL_ERROR "client metrics failed (${code}): ${err}")
+endif()
+if(NOT metrics_out MATCHES "daemon.op.submit.wall_us")
+  stop_daemon()
+  message(FATAL_ERROR "metrics lacks the submit wall histogram:\n${metrics_out}")
+endif()
+if(NOT metrics_out MATCHES "\"p95\"")
+  stop_daemon()
+  message(FATAL_ERROR "metrics histograms lack quantiles:\n${metrics_out}")
+endif()
+
+# `tail` streams the structured event log: both submits left begin/end
+# records tagged with the session name.
+execute_process(
+  COMMAND "${CLIENT}" "${SOCK}" tail --max=1000 --timeout-ms=5000
+  RESULT_VARIABLE code OUTPUT_VARIABLE tail_out ERROR_VARIABLE err)
+if(NOT code EQUAL 0)
+  stop_daemon()
+  message(FATAL_ERROR "client tail failed (${code}): ${err}")
+endif()
+if(NOT tail_out MATCHES "submit_end")
+  stop_daemon()
+  message(FATAL_ERROR "tail has no submit_end event:\n${tail_out}")
+endif()
+if(NOT tail_out MATCHES "\"session\":\"ci\"")
+  stop_daemon()
+  message(FATAL_ERROR "tail events are not tagged with the session:\n${tail_out}")
+endif()
+
+# The dashboard's machine mode round-trips status+metrics+tail in one doc.
+execute_process(
+  COMMAND "${TOP}" "${SOCK}" --once --json --timeout-ms=5000
+  RESULT_VARIABLE code OUTPUT_VARIABLE top_out ERROR_VARIABLE err)
+if(NOT code EQUAL 0)
+  stop_daemon()
+  message(FATAL_ERROR "panorama_top --once --json failed (${code}): ${err}")
+endif()
+foreach(needle "\"status\":" "\"metrics\":" "\"tail\":" "uptime_ms" "daemon.op.submit.wall_us")
+  if(NOT top_out MATCHES "${needle}")
+    stop_daemon()
+    message(FATAL_ERROR "panorama_top json lacks ${needle}:\n${top_out}")
+  endif()
+endforeach()
+
+# Telemetry flags are daemon-only: without --daemon the driver refuses
+# with a usage error instead of silently ignoring them.
+execute_process(
+  COMMAND "${DRIVER}" "${SRC}" --slow-ms=10
+  RESULT_VARIABLE code OUTPUT_QUIET ERROR_QUIET)
+if(NOT code EQUAL 2)
+  stop_daemon()
+  message(FATAL_ERROR "--slow-ms without --daemon should exit 2, got ${code}")
 endif()
 
 # Shutdown: the daemon acknowledges, exits, and unlinks its socket.

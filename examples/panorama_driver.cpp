@@ -79,6 +79,10 @@ int usage() {
                "       --via-builder (ingest through the builder IR round-trip)\n"
                "       --trace=FILE --metrics=FILE --profile=FILE --dump-ir=FILE --explain\n"
                "service: --daemon=SOCKET (serve clients; see panorama_client)\n"
+               "         --slow-ms=N (slow-request event threshold, default 500)\n"
+               "         --telemetry-interval=MS (periodic self-snapshot events; 0 = off)\n"
+               "         --event-log=FILE (dump the daemon event log as JSONL)\n"
+               "         --no-telemetry (disable the daemon telemetry plane)\n"
                "         --save-session=FILE --load-session=FILE (session snapshots)\n"
                "inputs ending in .cl/.clike parse through the C-like frontend\n");
   return 2;
@@ -258,6 +262,8 @@ int main(int argc, char** argv) {
   std::string dumpIrPath;
   std::string reanalyzePath;
   std::string daemonSocket;
+  store::DaemonConfig daemonConfig;
+  bool sawTelemetryFlag = false;
   std::string saveSessionPath;
   std::string loadSessionPath;
   std::string source;
@@ -297,6 +303,23 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--daemon needs a socket path\n");
         return 2;
       }
+    } else if (arg.rfind("--slow-ms=", 0) == 0) {
+      if (!parseCountFlag(arg, "--slow-ms=", daemonConfig.slowMs)) return 2;
+      sawTelemetryFlag = true;
+    } else if (arg.rfind("--telemetry-interval=", 0) == 0) {
+      if (!parseCountFlag(arg, "--telemetry-interval=", daemonConfig.telemetryIntervalMs))
+        return 2;
+      sawTelemetryFlag = true;
+    } else if (arg.rfind("--event-log=", 0) == 0) {
+      daemonConfig.eventLogPath = std::string(arg.substr(12));
+      if (daemonConfig.eventLogPath.empty()) {
+        std::fprintf(stderr, "--event-log needs a file argument\n");
+        return 2;
+      }
+      sawTelemetryFlag = true;
+    } else if (arg == "--no-telemetry") {
+      daemonConfig.telemetry = false;
+      sawTelemetryFlag = true;
     } else if (arg.rfind("--save-session=", 0) == 0) {
       saveSessionPath = std::string(arg.substr(15));
       if (saveSessionPath.empty()) {
@@ -366,13 +389,19 @@ int main(int argc, char** argv) {
   // The cost profile aggregates span buffers, so --profile implies tracing.
   if (!tracePath.empty() || !profilePath.empty()) obs::Tracer::global().enable();
 
+  if (daemonSocket.empty() && sawTelemetryFlag) {
+    std::fprintf(stderr,
+                 "--slow-ms/--telemetry-interval/--event-log/--no-telemetry need --daemon\n");
+    return 2;
+  }
+
   if (!daemonSocket.empty()) {
     if (!source.empty() || corpusRun || !reanalyzePath.empty() || !saveSessionPath.empty() ||
         !loadSessionPath.empty()) {
       std::fprintf(stderr, "--daemon runs standalone; drop the input file and session flags\n");
       return 2;
     }
-    store::Daemon daemon(daemonSocket, options);
+    store::Daemon daemon(daemonSocket, options, daemonConfig);
     std::string error;
     if (!daemon.start(error)) {
       std::fprintf(stderr, "cannot start daemon: %s\n", error.c_str());

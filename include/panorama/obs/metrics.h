@@ -89,6 +89,14 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 
+/// Approximate q-quantile (q in [0, 1]) of a histogram snapshot,
+/// interpolated linearly inside the log2 bucket the rank lands in and
+/// clamped to the exact observed [min, max]. Zero when the histogram is
+/// empty. This is what the registry JSON dump's p50/p95/p99 fields and the
+/// daemon's per-op latency rows are derived from; the error bound is the
+/// width of one power-of-two bucket.
+double histogramQuantile(const Histogram::Snapshot& s, double q);
+
 /// The shared renderer behind every "<label>: H hits / M misses (R% hit
 /// rate), E entries, V evictions" line (query cache, simplify memo, …).
 /// `rateDecimals` preserves the historical per-call-site rate formatting.

@@ -1,0 +1,123 @@
+// Live service telemetry (panorama::obs pillar 4, DESIGN.md §4.10): the
+// bounded structured event log behind the daemon's `tail` op, its JSONL
+// post-mortem sink, and the periodic self-snapshot records.
+//
+// The EventLog is a fixed-capacity ring of immutable, pre-rendered JSON
+// records. An append claims a sequence number with one atomic fetch-add,
+// renders its record outside any critical section, and publishes the
+// shared-pointer into its slot under a per-slot acquire/release latch whose
+// held window is exactly one pointer move — appenders to different slots
+// never touch the same latch, and a reader holds a snapshot reference to
+// every record it returns, so an append that laps the ring while a `tail`
+// is in flight can never free a record out from under it. (The latch is
+// hand-rolled rather than std::atomic<shared_ptr> because libstdc++'s
+// _Sp_atomic unlocks with a relaxed RMW, which TSan's happens-before
+// engine cannot pair with the next lock — a known false positive this
+// ring must stay clean of.) When the ring wraps, the oldest records are
+// overwritten: the log is a flight recorder, not a queue, and consumers
+// that fall behind observe an explicit `dropped` count instead of
+// backpressure.
+//
+// Readers are cursor-based: a cursor is the next sequence number the caller
+// has not seen, `tail(cursor, max)` returns records in sequence order
+// starting there, and the returned `nextCursor` feeds the next call. Records
+// overwritten before the reader arrived are counted as dropped (the cursor
+// skips them); a record whose writer claimed a slot but has not yet
+// published stops the scan, so a tail never returns events out of order and
+// never returns a gap it did not report.
+//
+// Every record is one JSON object, rendered at append time:
+//   {"seq":N,"ts_ms":T,"kind":"...", <event fields>}
+// with ts_ms milliseconds since the log's construction (the daemon start).
+// One record per line is exactly the JSONL format the daemon's
+// `--event-log=FILE` sink writes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace panorama::obs {
+
+/// The daemon's event taxonomy (DESIGN.md §4.10).
+enum class EventKind {
+  ConnOpen,     ///< a client connection was accepted
+  ConnClose,    ///< a client connection ended (any reason)
+  SubmitBegin,  ///< a submit op started analysis
+  SubmitEnd,    ///< a submit op finished (fields: epoch, dirty-cone size, …)
+  Error,        ///< a request was answered with a structured error
+  SlowRequest,  ///< a request exceeded the --slow-ms threshold
+  Snapshot,     ///< periodic self-sample from the telemetry thread
+};
+
+/// Stable wire name ("conn_open", "submit_end", …).
+const char* eventKindName(EventKind kind);
+
+/// Builder for an event's extra JSON fields. Produces the `,"k":v,...`
+/// suffix EventLog::append splices into the record envelope.
+class EventFields {
+ public:
+  EventFields& num(std::string_view key, std::uint64_t value);
+  EventFields& num(std::string_view key, std::int64_t value);
+  EventFields& real(std::string_view key, double value);  ///< rendered %.3f
+  EventFields& str(std::string_view key, std::string_view value);
+
+  std::string take() { return std::move(text_); }
+
+ private:
+  std::string text_;
+};
+
+class EventLog {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  /// `capacity` is rounded up to a power of two (minimum 2).
+  explicit EventLog(std::size_t capacity = kDefaultCapacity);
+
+  /// Appends one event and returns its sequence number. `fields` is an
+  /// EventFields::take() suffix (or empty). Safe from any thread,
+  /// concurrently with tail().
+  std::uint64_t append(EventKind kind, std::string fields = {});
+
+  struct Tail {
+    std::vector<std::string> events;  ///< rendered records, sequence order
+    std::uint64_t nextCursor = 0;     ///< pass to the next tail() call
+    std::uint64_t dropped = 0;        ///< records lost between cursor and events
+  };
+  /// Records with sequence >= cursor, at most `maxEvents` of them.
+  Tail tail(std::uint64_t cursor, std::size_t maxEvents) const;
+
+  /// Total records ever appended — also the cursor value that reads only
+  /// records appended after this call.
+  std::uint64_t appended() const { return head_.load(std::memory_order_acquire); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Milliseconds since construction — the clock behind every ts_ms field.
+  double uptimeMs() const;
+
+ private:
+  struct Rec {
+    std::uint64_t seq = 0;
+    std::string json;
+  };
+
+  /// One ring slot: the record pointer, guarded by a one-word spin latch
+  /// (exchange-acquire to take, store-release to drop) held only for the
+  /// pointer move/copy itself.
+  struct Slot {
+    mutable std::atomic<bool> busy{false};
+    std::shared_ptr<const Rec> rec;
+  };
+
+  std::size_t capacity_;  ///< power of two
+  std::size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> head_{0};
+  std::int64_t epochNs_;  ///< steady_clock at construction
+};
+
+}  // namespace panorama::obs

@@ -41,6 +41,7 @@
 // are cached headerless (reportTail) and the header is composed at emission.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -164,6 +165,18 @@ class AnalysisSession {
   std::uint64_t epoch() const { return epoch_; }
   const SessionStats& lastStats() const { return lastStats_; }
 
+  /// A point-in-time sample of the session's serving state — the daemon's
+  /// `status` op reads every live session through this. Served from atomic
+  /// mirrors published at the end of each mutating call, never from the
+  /// session mutex, so sampling cannot block behind an in-flight submit.
+  struct Status {
+    std::uint64_t epoch = 0;
+    std::size_t units = 0;        ///< cached procedure units
+    bool live = false;            ///< has a successfully analyzed program
+    std::uint64_t fileSkips = 0;  ///< whole-file fast-path hits
+  };
+  Status status() const;
+
   /// The submit epoch that last recomputed `name`'s summary (0 if the unit
   /// is unknown). Lifecycle tests assert transitive invalidation through
   /// this: an edited leaf bumps its own and every transitive caller's
@@ -238,6 +251,10 @@ class AnalysisSession {
 
   void resetState();
 
+  /// Copies epoch_/units_/live_/fileSkips_ into the status mirrors; called
+  /// (holding mutex_) at the end of every mutating entry point.
+  void publishStatusLocked();
+
   /// The incremental pipeline proper; callers hold mutex_.
   SessionResult submitLocked(Program incoming);
   /// The byte-identical-resubmit fast path; callers hold mutex_ and have
@@ -293,6 +310,12 @@ class AnalysisSession {
   std::uint64_t lastSourceHash_ = 0;
   bool hasSourceHash_ = false;
   std::uint64_t fileSkips_ = 0;
+
+  /// status() mirrors (see Status).
+  std::atomic<std::uint64_t> statusEpoch_{0};
+  std::atomic<std::size_t> statusUnits_{0};
+  std::atomic<bool> statusLive_{false};
+  std::atomic<std::uint64_t> statusFileSkips_{0};
 
   /// Procedure snapshots carried by restore() until the next submit's seed
   /// step consumes them. restore() must not construct an analyzer (doing so

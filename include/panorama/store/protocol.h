@@ -25,13 +25,18 @@ inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
 bool writeFrame(int fd, std::string_view payload, std::string* error = nullptr);
 
 enum class FrameStatus {
-  Ok,    ///< one complete frame read
-  Eof,   ///< clean end of stream before a frame started
-  Error, ///< I/O error, truncated frame, or oversized length prefix
+  Ok,       ///< one complete frame read
+  Eof,      ///< clean end of stream before a frame started
+  Error,    ///< I/O error, truncated frame, or expired read timeout
+  TooLarge, ///< length prefix over the cap; the payload was drained, so the
+            ///< stream is still framed and the connection can keep serving
 };
 
 /// Reads one complete frame into `payload`. EOF exactly at a frame boundary
 /// is a clean `Eof`; EOF mid-frame is an `Error` (the peer died mid-send).
+/// An over-cap length prefix reads and discards the whole payload, then
+/// returns `TooLarge` — the caller can answer with a structured error and
+/// continue reading frames.
 FrameStatus readFrame(int fd, std::string& payload, std::string* error = nullptr);
 
 /// Creates, binds, and listens on a Unix-domain stream socket at `path`.
@@ -41,7 +46,14 @@ FrameStatus readFrame(int fd, std::string& payload, std::string* error = nullptr
 int listenUnixSocket(const std::string& path, std::string* error);
 
 /// Connects to the daemon's socket. Returns the connected fd, or -1 with
-/// `error` set.
-int connectUnixSocket(const std::string& path, std::string* error);
+/// `error` set. `timeoutMs > 0` bounds the connect itself (a daemon whose
+/// accept queue is wedged cannot hang the caller); <= 0 blocks indefinitely.
+int connectUnixSocket(const std::string& path, std::string* error, int timeoutMs = -1);
+
+/// Applies `timeoutMs` as the socket's send and receive timeout, so every
+/// subsequent readFrame/writeFrame on `fd` fails (FrameStatus::Error /
+/// false, with a "timed out" diagnostic) instead of blocking forever on a
+/// wedged peer. <= 0 clears the timeouts.
+bool setSocketTimeout(int fd, int timeoutMs, std::string* error = nullptr);
 
 }  // namespace panorama::store

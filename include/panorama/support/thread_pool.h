@@ -42,6 +42,10 @@ class ThreadPool {
   /// call runBatch on the same pool.
   void runBatch(std::vector<std::function<void()>> tasks);
 
+  /// Tasks currently sitting in worker deques (scheduled, not yet started).
+  /// A monitoring-grade sample — racy by nature, exact at quiescence.
+  std::size_t queueDepth() const { return queued_.load(std::memory_order_relaxed); }
+
   /// std::thread::hardware_concurrency() with a floor of 1.
   static std::size_t defaultConcurrency();
 

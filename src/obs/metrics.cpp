@@ -16,7 +16,9 @@ void Histogram::observe(std::uint64_t v) {
   cur = max_.load(std::memory_order_relaxed);
   while (v > cur && !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
   }
-  buckets_[std::bit_width(v)].fetch_add(1, std::memory_order_relaxed);
+  // bit_width(v) is 64 for v >= 2^63; fold that edge into the last bucket.
+  const std::size_t b = std::bit_width(v);
+  buckets_[b < kBuckets ? b : kBuckets - 1].fetch_add(1, std::memory_order_relaxed);
 }
 
 Histogram::Snapshot Histogram::snapshot() const {
@@ -76,7 +78,7 @@ void MetricsRegistry::reset() {
 std::string MetricsRegistry::toJson() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out = "{\n  \"counters\": {";
-  char buf[160];
+  char buf[288];
   bool first = true;
   for (const auto& [name, c] : counters_) {
     std::snprintf(buf, sizeof(buf), "%s\n    \"%s\": %llu", first ? "" : ",", name.c_str(),
@@ -91,10 +93,12 @@ std::string MetricsRegistry::toJson() const {
     Histogram::Snapshot s = h->snapshot();
     std::snprintf(buf, sizeof(buf),
                   "%s\n    \"%s\": {\"count\": %llu, \"sum\": %llu, \"min\": %llu, "
-                  "\"max\": %llu, \"mean\": %.2f, \"buckets\": [",
+                  "\"max\": %llu, \"mean\": %.2f, \"p50\": %.2f, \"p95\": %.2f, "
+                  "\"p99\": %.2f, \"buckets\": [",
                   first ? "" : ",", name.c_str(), static_cast<unsigned long long>(s.count),
                   static_cast<unsigned long long>(s.sum), static_cast<unsigned long long>(s.min),
-                  static_cast<unsigned long long>(s.max), s.mean());
+                  static_cast<unsigned long long>(s.max), s.mean(), histogramQuantile(s, 0.50),
+                  histogramQuantile(s, 0.95), histogramQuantile(s, 0.99));
     out += buf;
     // Buckets trail-trimmed: emit up to the last non-zero log2 bucket.
     std::size_t last = 0;
@@ -119,6 +123,34 @@ bool MetricsRegistry::writeJson(const std::string& path) const {
   std::string json = toJson();
   bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
   return std::fclose(f) == 0 && ok;
+}
+
+double histogramQuantile(const Histogram::Snapshot& s, double q) {
+  if (s.count == 0) return 0.0;
+  if (q <= 0.0) return static_cast<double>(s.min);
+  if (q >= 1.0) return static_cast<double>(s.max);
+  // Rank in (0, count]; the value is interpolated inside the bucket the
+  // rank's cumulative count first reaches.
+  double rank = q * static_cast<double>(s.count);
+  if (rank < 1.0) rank = 1.0;
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+    const std::uint64_t n = s.buckets[b];
+    if (n == 0) continue;
+    if (static_cast<double>(cum + n) >= rank) {
+      // Bucket b holds samples with bit_width == b: [2^(b-1), 2^b - 1],
+      // except bucket 0, which holds exactly the value 0.
+      const double lo = b == 0 ? 0.0 : static_cast<double>(std::uint64_t{1} << (b - 1));
+      const double hi = b == 0 ? 0.0 : static_cast<double>((std::uint64_t{1} << (b - 1)) * 2 - 1);
+      const double frac = (rank - static_cast<double>(cum)) / static_cast<double>(n);
+      double v = lo + frac * (hi - lo);
+      if (v < static_cast<double>(s.min)) v = static_cast<double>(s.min);
+      if (v > static_cast<double>(s.max)) v = static_cast<double>(s.max);
+      return v;
+    }
+    cum += n;
+  }
+  return static_cast<double>(s.max);
 }
 
 std::string renderCacheCounters(std::string_view label, std::uint64_t hits, std::uint64_t misses,

@@ -1,0 +1,156 @@
+// Event-log implementation: wait-free-claim ring, records published under
+// per-slot spin latches (see telemetry.h for the protocol and for why the
+// latch is hand-rolled instead of std::atomic<shared_ptr>).
+#include "panorama/obs/telemetry.h"
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "panorama/support/json.h"
+
+namespace panorama::obs {
+
+namespace {
+
+std::int64_t steadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::size_t roundUpPow2(std::size_t n) {
+  std::size_t p = 2;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+namespace {
+
+/// Scoped hold of a slot's spin latch. The held window is one shared_ptr
+/// move or copy, so contention is momentary; yield keeps a preempted
+/// holder from starving the spinner.
+class SlotLatch {
+ public:
+  explicit SlotLatch(std::atomic<bool>& busy) : busy_(busy) {
+    while (busy_.exchange(true, std::memory_order_acquire)) std::this_thread::yield();
+  }
+  ~SlotLatch() { busy_.store(false, std::memory_order_release); }
+  SlotLatch(const SlotLatch&) = delete;
+  SlotLatch& operator=(const SlotLatch&) = delete;
+
+ private:
+  std::atomic<bool>& busy_;
+};
+
+}  // namespace
+
+const char* eventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::ConnOpen: return "conn_open";
+    case EventKind::ConnClose: return "conn_close";
+    case EventKind::SubmitBegin: return "submit_begin";
+    case EventKind::SubmitEnd: return "submit_end";
+    case EventKind::Error: return "error";
+    case EventKind::SlowRequest: return "slow_request";
+    case EventKind::Snapshot: return "snapshot";
+  }
+  return "unknown";
+}
+
+EventFields& EventFields::num(std::string_view key, std::uint64_t value) {
+  text_ += ",\"";
+  text_ += key;
+  text_ += "\":";
+  text_ += std::to_string(value);
+  return *this;
+}
+
+EventFields& EventFields::num(std::string_view key, std::int64_t value) {
+  text_ += ",\"";
+  text_ += key;
+  text_ += "\":";
+  text_ += std::to_string(value);
+  return *this;
+}
+
+EventFields& EventFields::real(std::string_view key, double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), ",\"%.*s\":%.3f", static_cast<int>(key.size()), key.data(),
+                value);
+  text_ += buf;
+  return *this;
+}
+
+EventFields& EventFields::str(std::string_view key, std::string_view value) {
+  text_ += ",\"";
+  text_ += key;
+  text_ += "\":\"";
+  support::appendJsonEscaped(text_, value);
+  text_ += '"';
+  return *this;
+}
+
+EventLog::EventLog(std::size_t capacity)
+    : capacity_(roundUpPow2(capacity)),
+      mask_(capacity_ - 1),
+      slots_(new Slot[capacity_]),
+      epochNs_(steadyNowNs()) {}
+
+double EventLog::uptimeMs() const {
+  return static_cast<double>(steadyNowNs() - epochNs_) / 1e6;
+}
+
+std::uint64_t EventLog::append(EventKind kind, std::string fields) {
+  // Claim first so concurrent appends serialize on nothing but the
+  // fetch-add; the slot is published whenever this writer's rendering is
+  // done. A tail that arrives in between sees the claim as "in flight" and
+  // stops its scan there.
+  const std::uint64_t seq = head_.fetch_add(1, std::memory_order_acq_rel);
+  auto rec = std::make_shared<Rec>();
+  rec->seq = seq;
+  char head[96];
+  std::snprintf(head, sizeof(head), "{\"seq\":%llu,\"ts_ms\":%.3f,\"kind\":\"%s\"",
+                static_cast<unsigned long long>(seq),
+                static_cast<double>(steadyNowNs() - epochNs_) / 1e6, eventKindName(kind));
+  rec->json = head;
+  rec->json += fields;
+  rec->json += '}';
+  Slot& slot = slots_[seq & mask_];
+  {
+    SlotLatch latch(slot.busy);
+    slot.rec = std::move(rec);
+  }
+  return seq;
+}
+
+EventLog::Tail EventLog::tail(std::uint64_t cursor, std::size_t maxEvents) const {
+  Tail t;
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  std::uint64_t s = cursor;
+  // Records older than one full ring lap are gone by construction.
+  if (head > capacity_ && s < head - capacity_) {
+    t.dropped += (head - capacity_) - s;
+    s = head - capacity_;
+  }
+  for (; s < head && t.events.size() < maxEvents; ++s) {
+    const Slot& slot = slots_[s & mask_];
+    std::shared_ptr<const Rec> rec;
+    {
+      SlotLatch latch(slot.busy);
+      rec = slot.rec;
+    }
+    if (!rec || rec->seq < s) break;  // claimed but not yet published: stop, retry next tail
+    if (rec->seq > s) {
+      ++t.dropped;  // overwritten between the head read and this slot read
+      continue;
+    }
+    t.events.push_back(rec->json);
+  }
+  t.nextCursor = s;
+  return t;
+}
+
+}  // namespace panorama::obs

@@ -161,6 +161,22 @@ std::uint64_t AnalysisSession::summaryEpochOf(const std::string& name) const {
   return it == units_.end() ? 0 : it->second.summaryEpoch;
 }
 
+void AnalysisSession::publishStatusLocked() {
+  statusEpoch_.store(epoch_, std::memory_order_relaxed);
+  statusUnits_.store(units_.size(), std::memory_order_relaxed);
+  statusLive_.store(live_, std::memory_order_relaxed);
+  statusFileSkips_.store(fileSkips_, std::memory_order_relaxed);
+}
+
+AnalysisSession::Status AnalysisSession::status() const {
+  Status s;
+  s.epoch = statusEpoch_.load(std::memory_order_relaxed);
+  s.units = statusUnits_.load(std::memory_order_relaxed);
+  s.live = statusLive_.load(std::memory_order_relaxed);
+  s.fileSkips = statusFileSkips_.load(std::memory_order_relaxed);
+  return s;
+}
+
 std::string AnalysisSession::composeLoopReport(const CachedLoop& cl) {
   // An empty doVar marks an unsplittable cached report (v1 snapshot whose
   // header did not parse); the tail then carries the full original string.
@@ -212,7 +228,9 @@ SessionResult AnalysisSession::submit(const std::string& source) {
   const std::uint64_t sourceHash = store::fnv1a(source);
   if (live_ && hasSourceHash_ && sourceHash == lastSourceHash_ &&
       optionsKey_ == unitsOptionsKey_) {
-    return fileSkipLocked();
+    SessionResult out = fileSkipLocked();
+    publishStatusLocked();
+    return out;
   }
 
   // 1. Parse; all remaining steps are frontend-neutral.
@@ -228,6 +246,7 @@ SessionResult AnalysisSession::submit(const std::string& source) {
     lastSourceHash_ = sourceHash;
     hasSourceHash_ = true;
   }
+  publishStatusLocked();
   return out;
 }
 
@@ -237,6 +256,7 @@ SessionResult AnalysisSession::submit(Program program) {
   // A Program submit has no source text; the next text submit must take the
   // full diff path.
   if (out.ok) hasSourceHash_ = false;
+  publishStatusLocked();
   return out;
 }
 

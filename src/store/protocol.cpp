@@ -1,7 +1,10 @@
 #include "panorama/store/protocol.h"
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -18,6 +21,10 @@ void setError(std::string* error, std::string what) {
 
 std::string errnoString() { return std::strerror(errno); }
 
+/// With SO_SNDTIMEO/SO_RCVTIMEO armed (setSocketTimeout), an expired wait
+/// surfaces as EAGAIN/EWOULDBLOCK — name it for the caller's diagnostic.
+bool isTimeout(int err) { return err == EAGAIN || err == EWOULDBLOCK; }
+
 /// write(2) until every byte is out (or a real error).
 bool writeAll(int fd, const char* data, std::size_t n, std::string* error) {
   std::size_t off = 0;
@@ -25,7 +32,8 @@ bool writeAll(int fd, const char* data, std::size_t n, std::string* error) {
     ssize_t w = ::write(fd, data + off, n - off);
     if (w < 0) {
       if (errno == EINTR) continue;
-      setError(error, "write failed: " + errnoString());
+      setError(error, isTimeout(errno) ? "timed out writing to the peer"
+                                       : "write failed: " + errnoString());
       return false;
     }
     off += static_cast<std::size_t>(w);
@@ -34,14 +42,15 @@ bool writeAll(int fd, const char* data, std::size_t n, std::string* error) {
 }
 
 /// read(2) until `n` bytes arrive. Returns 1 on success, 0 on EOF before the
-/// first byte, -1 on error (including EOF mid-buffer).
+/// first byte, -1 on error (including EOF mid-buffer and expired timeouts).
 int readAll(int fd, char* data, std::size_t n, std::string* error) {
   std::size_t off = 0;
   while (off < n) {
     ssize_t r = ::read(fd, data + off, n - off);
     if (r < 0) {
       if (errno == EINTR) continue;
-      setError(error, "read failed: " + errnoString());
+      setError(error, isTimeout(errno) ? "timed out waiting for the peer"
+                                       : "read failed: " + errnoString());
       return -1;
     }
     if (r == 0) {
@@ -90,8 +99,18 @@ FrameStatus readFrame(int fd, std::string& payload, std::string* error) {
   for (int k = 0; k < 4; ++k)
     n |= static_cast<std::uint32_t>(static_cast<unsigned char>(len[k])) << (8 * k);
   if (n > kMaxFrameBytes) {
-    setError(error, "frame length " + std::to_string(n) + " exceeds the protocol maximum");
-    return FrameStatus::Error;
+    // Drain the oversized payload so the stream stays framed; the caller can
+    // answer with a structured error and keep the connection alive.
+    char sink[4096];
+    std::uint64_t left = n;
+    while (left > 0) {
+      const std::size_t chunk = left < sizeof(sink) ? static_cast<std::size_t>(left) : sizeof(sink);
+      if (readAll(fd, sink, chunk, error) != 1) return FrameStatus::Error;
+      left -= chunk;
+    }
+    setError(error, "frame length " + std::to_string(n) + " exceeds the protocol maximum of " +
+                        std::to_string(kMaxFrameBytes) + " bytes");
+    return FrameStatus::TooLarge;
   }
   payload.assign(n, '\0');
   if (n > 0 && readAll(fd, payload.data(), n, error) != 1) return FrameStatus::Error;
@@ -132,7 +151,7 @@ int listenUnixSocket(const std::string& path, std::string* error) {
   return fd;
 }
 
-int connectUnixSocket(const std::string& path, std::string* error) {
+int connectUnixSocket(const std::string& path, std::string* error, int timeoutMs) {
   sockaddr_un addr;
   if (!fillAddress(path, addr, error)) return -1;
   int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
@@ -140,12 +159,71 @@ int connectUnixSocket(const std::string& path, std::string* error) {
     setError(error, path + ": cannot create socket: " + errnoString());
     return -1;
   }
+  if (timeoutMs <= 0) {
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      setError(error, path + ": cannot connect: " + errnoString());
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+
+  // Bounded connect: go non-blocking, start the connect, poll for the
+  // result, then restore the original flags so later frame I/O blocks (or
+  // obeys setSocketTimeout) as usual.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    setError(error, path + ": cannot set non-blocking: " + errnoString());
+    ::close(fd);
+    return -1;
+  }
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    setError(error, path + ": cannot connect: " + errnoString());
+    if (errno != EINPROGRESS && errno != EAGAIN) {
+      setError(error, path + ": cannot connect: " + errnoString());
+      ::close(fd);
+      return -1;
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    int ready;
+    do {
+      ready = ::poll(&pfd, 1, timeoutMs);
+    } while (ready < 0 && errno == EINTR);
+    if (ready <= 0) {
+      setError(error, ready == 0 ? path + ": timed out connecting after " +
+                                       std::to_string(timeoutMs) + " ms"
+                                 : path + ": poll failed: " + errnoString());
+      ::close(fd);
+      return -1;
+    }
+    int soError = 0;
+    socklen_t len = sizeof(soError);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soError, &len) != 0 || soError != 0) {
+      errno = soError != 0 ? soError : errno;
+      setError(error, path + ": cannot connect: " + errnoString());
+      ::close(fd);
+      return -1;
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) != 0) {
+    setError(error, path + ": cannot restore socket flags: " + errnoString());
     ::close(fd);
     return -1;
   }
   return fd;
+}
+
+bool setSocketTimeout(int fd, int timeoutMs, std::string* error) {
+  timeval tv{};
+  if (timeoutMs > 0) {
+    tv.tv_sec = timeoutMs / 1000;
+    tv.tv_usec = static_cast<suseconds_t>(timeoutMs % 1000) * 1000;
+  }
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    setError(error, "cannot set socket timeout: " + errnoString());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace panorama::store

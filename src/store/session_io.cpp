@@ -808,7 +808,9 @@ store::StoreResult AnalysisSession::saveLocked(const std::string& path,
 
 store::StoreResult AnalysisSession::restore(const std::string& path) {
   std::lock_guard<std::mutex> lock(mutex_);
-  return restoreLocked(path);
+  StoreResult out = restoreLocked(path);
+  publishStatusLocked();
+  return out;
 }
 
 store::StoreResult AnalysisSession::restoreLocked(const std::string& path) {

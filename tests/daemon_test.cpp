@@ -10,8 +10,11 @@
 //   * a named session persists across connections (the second connection's
 //     byte-identical resubmit rides the whole-file fast path).
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
+#include <cstdio>
+#include <fstream>
 #include <optional>
 #include <string>
 #include <thread>
@@ -266,6 +269,296 @@ TEST(DaemonTest, NamedSessionPersistsAcrossConnections) {
     EXPECT_EQ(skips->asNumber(), 1.0);
   }
   EXPECT_EQ(first, second);
+}
+
+TEST(DaemonTest, ErrorResponsesEchoTheRequestId) {
+  const std::string path = socketPath("iderr");
+  store::Daemon daemon(path, AnalysisOptions{});
+  std::string error;
+  ASSERT_TRUE(daemon.start(error)) << error;
+
+  Client c(path);
+  // A request with an id but no "op" still echoes the id.
+  support::JsonValue noOp = rpc(c.fd, "{\"id\":77}");
+  const support::JsonValue* id = noOp.find("id");
+  ASSERT_TRUE(id && id->isNumber());
+  EXPECT_EQ(id->asNumber(), 77.0);
+  EXPECT_FALSE(noOp.find("ok")->asBool());
+
+  // String ids come back as strings, not as a degenerate 0.
+  support::JsonValue strId = rpc(c.fd, "{\"id\":\"req-abc\",\"op\":\"bogus\"}");
+  id = strId.find("id");
+  ASSERT_TRUE(id && id->isString());
+  EXPECT_EQ(id->asString(), "req-abc");
+
+  // Op-specific validation errors echo too.
+  support::JsonValue noSource = rpc(c.fd, "{\"id\":9,\"op\":\"submit\"}");
+  id = noSource.find("id");
+  ASSERT_TRUE(id && id->isNumber());
+  EXPECT_EQ(id->asNumber(), 9.0);
+}
+
+TEST(DaemonTest, ProtocolFrameExactlyAtTheCapRoundTrips) {
+  int sp[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sp), 0);
+  std::string big(store::kMaxFrameBytes, 'x');
+  std::thread writer([&] {
+    std::string werror;
+    EXPECT_TRUE(store::writeFrame(sp[0], big, &werror)) << werror;
+  });
+  std::string payload;
+  std::string error;
+  EXPECT_EQ(store::readFrame(sp[1], payload, &error), store::FrameStatus::Ok) << error;
+  EXPECT_EQ(payload.size(), static_cast<std::size_t>(store::kMaxFrameBytes));
+  writer.join();
+  ::close(sp[0]);
+  ::close(sp[1]);
+
+  // One byte more is refused before any bytes hit the wire.
+  big.push_back('x');
+  std::string werror;
+  EXPECT_FALSE(store::writeFrame(-1, big, &werror));
+  EXPECT_NE(werror.find("exceeds"), std::string::npos);
+}
+
+TEST(DaemonTest, OversizedFrameGetsStructuredErrorAndConnectionSurvives) {
+  CacheGuard guard;
+  const std::string path = socketPath("oversize");
+  store::Daemon daemon(path, AnalysisOptions{});
+  std::string error;
+  ASSERT_TRUE(daemon.start(error)) << error;
+
+  Client c(path);
+  // Hand-rolled header promising one byte over the cap; the daemon drains
+  // the payload and answers with a structured error on the same stream.
+  const std::uint64_t n = static_cast<std::uint64_t>(store::kMaxFrameBytes) + 1;
+  char len[4];
+  for (int k = 0; k < 4; ++k) len[k] = static_cast<char>((n >> (8 * k)) & 0xff);
+  ASSERT_EQ(::write(c.fd, len, sizeof(len)), static_cast<ssize_t>(sizeof(len)));
+  std::string chunk(1 << 20, 'j');
+  std::uint64_t left = n;
+  while (left > 0) {
+    const std::size_t w = left < chunk.size() ? static_cast<std::size_t>(left) : chunk.size();
+    ASSERT_EQ(::write(c.fd, chunk.data(), w), static_cast<ssize_t>(w));
+    left -= w;
+  }
+  std::string payload;
+  ASSERT_EQ(store::readFrame(c.fd, payload, &error), store::FrameStatus::Ok) << error;
+  std::optional<support::JsonValue> response = support::JsonValue::parse(payload, &error);
+  ASSERT_TRUE(response.has_value()) << error;
+  const support::JsonValue* ok = response->find("ok");
+  ASSERT_TRUE(ok && ok->isBool());
+  EXPECT_FALSE(ok->asBool());
+  const support::JsonValue* msg = response->find("error");
+  ASSERT_TRUE(msg && msg->isString());
+  EXPECT_NE(msg->asString().find("exceeds the protocol maximum"), std::string::npos);
+
+  // The stream stayed framed: a normal submit on the same connection works.
+  const std::string report = reportOf(rpc(c.fd, submitRequest(kProgA, "a.f")));
+  EXPECT_FALSE(report.empty());
+}
+
+TEST(DaemonTest, ZeroLengthFrameIsMalformedNotFatal) {
+  CacheGuard guard;
+  const std::string path = socketPath("zerolen");
+  store::Daemon daemon(path, AnalysisOptions{});
+  std::string error;
+  ASSERT_TRUE(daemon.start(error)) << error;
+
+  Client c(path);
+  support::JsonValue response = rpc(c.fd, "");
+  const support::JsonValue* ok = response.find("ok");
+  ASSERT_TRUE(ok && ok->isBool());
+  EXPECT_FALSE(ok->asBool());
+  const support::JsonValue* msg = response.find("error");
+  ASSERT_TRUE(msg && msg->isString());
+  EXPECT_NE(msg->asString().find("malformed request"), std::string::npos);
+
+  const std::string report = reportOf(rpc(c.fd, submitRequest(kProgA, "a.f")));
+  EXPECT_FALSE(report.empty());
+}
+
+TEST(DaemonTest, ReadFrameTimesOutOnASilentPeer) {
+  int sp[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sp), 0);
+  std::string error;
+  ASSERT_TRUE(store::setSocketTimeout(sp[0], 50, &error)) << error;
+  std::string payload;
+  EXPECT_EQ(store::readFrame(sp[0], payload, &error), store::FrameStatus::Error);
+  EXPECT_NE(error.find("timed out"), std::string::npos) << error;
+  ::close(sp[0]);
+  ::close(sp[1]);
+}
+
+TEST(DaemonTest, TelemetryOpsAnswerWhileSubmitsAreInFlight) {
+  CacheGuard guard;
+  const std::string path = socketPath("telemetry");
+  store::DaemonConfig config;
+  config.slowMs = 0;  // record a slow_request event for every request
+  store::Daemon daemon(path, AnalysisOptions{}, config);
+  std::string error;
+  ASSERT_TRUE(daemon.start(error)) << error;
+
+  constexpr int kSubmits = 6;
+  std::thread submitter([&] {
+    Client c(path);
+    for (int k = 0; k < kSubmits; ++k) {
+      const char* source = (k % 2 == 0) ? kProgA : kProgAEdited;
+      support::JsonValue response = rpc(c.fd, submitRequest(source, "a.f", "s"));
+      const support::JsonValue* ok = response.find("ok");
+      EXPECT_TRUE(ok && ok->isBool() && ok->asBool());
+    }
+  });
+
+  // Poll the telemetry plane from a second connection while the submits
+  // run: every status/metrics/tail answers ok (none of them can block on a
+  // session mutex held by an in-flight submit).
+  {
+    Client m(path);
+    std::uint64_t cursor = 0;
+    for (int k = 0; k < 20; ++k) {
+      support::JsonValue status = rpc(m.fd, "{\"id\":1,\"op\":\"status\"}");
+      const support::JsonValue* ok = status.find("ok");
+      ASSERT_TRUE(ok && ok->isBool() && ok->asBool());
+      support::JsonValue metrics = rpc(m.fd, "{\"id\":2,\"op\":\"metrics\"}");
+      ok = metrics.find("ok");
+      ASSERT_TRUE(ok && ok->isBool() && ok->asBool());
+      EXPECT_TRUE(metrics.find("registry") && metrics.find("registry")->isObject());
+      support::JsonValue tail =
+          rpc(m.fd, "{\"id\":3,\"op\":\"tail\",\"cursor\":" + std::to_string(cursor) + "}");
+      ok = tail.find("ok");
+      ASSERT_TRUE(ok && ok->isBool() && ok->asBool());
+      const support::JsonValue* next = tail.find("next_cursor");
+      ASSERT_TRUE(next && next->isNumber());
+      cursor = static_cast<std::uint64_t>(next->asNumber());
+    }
+  }
+  submitter.join();
+
+  // Quiesced: status totals and the event stream reflect every submit.
+  Client c(path);
+  support::JsonValue status = rpc(c.fd, "{\"id\":4,\"op\":\"status\"}");
+  const support::JsonValue* submits = status.find("submits");
+  ASSERT_TRUE(submits && submits->isNumber());
+  EXPECT_EQ(submits->asNumber(), static_cast<double>(kSubmits));
+  const support::JsonValue* sessions = status.find("sessions");
+  ASSERT_TRUE(sessions && sessions->isArray());
+  ASSERT_EQ(sessions->items().size(), 1u);
+  const support::JsonValue& named = sessions->items()[0];
+  EXPECT_EQ(named.find("name")->asString(), "s");
+  EXPECT_EQ(named.find("epoch")->asNumber(), static_cast<double>(kSubmits));
+  EXPECT_TRUE(named.find("live")->asBool());
+
+  // Per-op latency histograms carry the queue/handle split.
+  support::JsonValue metrics = rpc(c.fd, "{\"id\":5,\"op\":\"metrics\"}");
+  const support::JsonValue* registry = metrics.find("registry");
+  ASSERT_TRUE(registry && registry->isObject());
+  const support::JsonValue* histograms = registry->find("histograms");
+  ASSERT_TRUE(histograms && histograms->isObject());
+  for (const char* name : {"daemon.op.submit.wall_us", "daemon.op.submit.queue_us",
+                           "daemon.op.submit.handle_us", "daemon.op.status.wall_us"}) {
+    const support::JsonValue* h = histograms->find(name);
+    ASSERT_TRUE(h && h->isObject()) << name;
+    const support::JsonValue* count = h->find("count");
+    ASSERT_TRUE(count && count->isNumber()) << name;
+    EXPECT_GE(count->asNumber(), 1.0) << name;
+    EXPECT_TRUE(h->find("p50") && h->find("p95") && h->find("p99")) << name;
+  }
+
+  // The full event stream: every submit left begin/end records with the
+  // session key and epoch, and slowMs=0 made every request a slow_request.
+  // Drain only up to the head observed in `status` — with slowMs=0 every
+  // tail request appends its own slow_request event, so chasing an empty
+  // read would never terminate.
+  const support::JsonValue* eventLog = status.find("event_log");
+  ASSERT_TRUE(eventLog && eventLog->isObject());
+  const std::uint64_t head =
+      static_cast<std::uint64_t>(eventLog->find("appended")->asNumber());
+  int begins = 0, ends = 0, slow = 0;
+  std::uint64_t cursor = 0;
+  while (cursor < head) {
+    support::JsonValue tail =
+        rpc(c.fd, "{\"id\":6,\"op\":\"tail\",\"cursor\":" + std::to_string(cursor) +
+                      ",\"max\":1000}");
+    const support::JsonValue* events = tail.find("events");
+    ASSERT_TRUE(events && events->isArray());
+    if (events->items().empty()) break;
+    for (const support::JsonValue& ev : events->items()) {
+      const std::string& kind = ev.find("kind")->asString();
+      if (kind == "submit_begin") {
+        ++begins;
+        EXPECT_EQ(ev.find("session")->asString(), "s");
+      } else if (kind == "submit_end") {
+        ++ends;
+        EXPECT_EQ(ev.find("session")->asString(), "s");
+        EXPECT_GE(ev.find("epoch")->asNumber(), 1.0);
+        EXPECT_TRUE(ev.find("dirty") && ev.find("dirty")->isNumber());
+      } else if (kind == "slow_request") {
+        ++slow;
+      }
+    }
+    cursor = static_cast<std::uint64_t>(tail.find("next_cursor")->asNumber());
+  }
+  EXPECT_EQ(begins, kSubmits);
+  EXPECT_EQ(ends, kSubmits);
+  EXPECT_GE(slow, kSubmits);
+}
+
+TEST(DaemonTest, EventLogFileWrittenAsJsonl) {
+  CacheGuard guard;
+  const std::string path = socketPath("evsink");
+  const std::string logPath =
+      "/tmp/panodt_" + std::to_string(::getpid()) + "_events.jsonl";
+  store::DaemonConfig config;
+  config.eventLogPath = logPath;
+  store::Daemon daemon(path, AnalysisOptions{}, config);
+  std::string error;
+  ASSERT_TRUE(daemon.start(error)) << error;
+  {
+    Client c(path);
+    reportOf(rpc(c.fd, submitRequest(kProgA, "a.f", "persisted")));
+    rpc(c.fd, "{\"id\":2,\"op\":\"shutdown\"}");
+  }
+  daemon.wait();
+
+  std::ifstream in(logPath);
+  ASSERT_TRUE(in.is_open());
+  int lines = 0;
+  bool sawSubmitEnd = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++lines;
+    std::optional<support::JsonValue> ev = support::JsonValue::parse(line, &error);
+    ASSERT_TRUE(ev.has_value()) << line << ": " << error;
+    const support::JsonValue* kind = ev->find("kind");
+    ASSERT_TRUE(kind && kind->isString());
+    if (kind->asString() == "submit_end") {
+      sawSubmitEnd = true;
+      EXPECT_EQ(ev->find("session")->asString(), "persisted");
+    }
+  }
+  EXPECT_GE(lines, 4);  // conn_open, submit begin/end, conn_close at least
+  EXPECT_TRUE(sawSubmitEnd);
+  std::remove(logPath.c_str());
+}
+
+TEST(DaemonTest, TelemetryOffKeepsTheRequestPathQuiet) {
+  CacheGuard guard;
+  const std::string path = socketPath("teloff");
+  store::DaemonConfig config;
+  config.telemetry = false;
+  store::Daemon daemon(path, AnalysisOptions{}, config);
+  std::string error;
+  ASSERT_TRUE(daemon.start(error)) << error;
+
+  Client c(path);
+  reportOf(rpc(c.fd, submitRequest(kProgA, "a.f")));
+  // No events were recorded, and tail still answers (empty).
+  support::JsonValue tail = rpc(c.fd, "{\"id\":2,\"op\":\"tail\"}");
+  const support::JsonValue* ok = tail.find("ok");
+  ASSERT_TRUE(ok && ok->isBool() && ok->asBool());
+  ASSERT_TRUE(tail.find("events") && tail.find("events")->isArray());
+  EXPECT_TRUE(tail.find("events")->items().empty());
 }
 
 }  // namespace

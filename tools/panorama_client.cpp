@@ -3,7 +3,12 @@
 //   panorama_client SOCKET ping
 //   panorama_client SOCKET submit FILE [--name=NAME] [--session=KEY]
 //                                      [--explain] [--stats]
+//   panorama_client SOCKET status
+//   panorama_client SOCKET metrics
+//   panorama_client SOCKET tail [--cursor=N] [--max=N]
 //   panorama_client SOCKET shutdown
+// Every form accepts --timeout-ms=N, bounding the connect and each frame
+// read/write; an expired timeout exits 2 with a "timed out" diagnostic.
 //
 // `submit` sends FILE's bytes over the framed JSON protocol and prints the
 // daemon's composed report to stdout — byte-identical to what
@@ -11,14 +16,22 @@
 // test diffs. `--name` overrides the report heading (default: FILE);
 // `--session` targets a named daemon-side session that persists across
 // invocations (resubmits hit the incremental cache / file-skip fast path).
+//
+// `status`, `metrics`, and `tail` print the daemon's raw JSON response —
+// they are the scriptable face of the telemetry plane (panorama_top is the
+// interactive one). `tail --cursor=N` resumes an incremental read from a
+// previous response's next_cursor.
+//
 // Exit codes: 0 success, 1 daemon-side error, 2 usage/transport error.
 #include <unistd.h>
 
+#include <charconv>
 #include <cstdio>
 #include <fstream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "panorama/store/protocol.h"
 #include "panorama/support/json.h"
@@ -32,13 +45,28 @@ int usage() {
                "usage: panorama_client SOCKET ping\n"
                "       panorama_client SOCKET submit FILE [--name=NAME] [--session=KEY]\n"
                "                                          [--explain] [--stats]\n"
-               "       panorama_client SOCKET shutdown\n");
+               "       panorama_client SOCKET status\n"
+               "       panorama_client SOCKET metrics\n"
+               "       panorama_client SOCKET tail [--cursor=N] [--max=N]\n"
+               "       panorama_client SOCKET shutdown\n"
+               "any form also accepts --timeout-ms=N (connect and per-frame I/O bound)\n");
   return 2;
 }
 
-/// One request/response exchange. Returns the daemon's JSON response, or
-/// nullopt after printing a transport diagnostic.
-std::optional<support::JsonValue> roundTrip(int fd, const std::string& request) {
+bool parseCount(std::string_view value, std::size_t& out) {
+  std::size_t parsed = 0;
+  const char* end = value.data() + value.size();
+  auto [ptr, ec] = std::from_chars(value.data(), end, parsed);
+  if (value.empty() || ec != std::errc() || ptr != end) return false;
+  out = parsed;
+  return true;
+}
+
+/// One request/response exchange. Returns the daemon's JSON response (and
+/// the raw payload via `raw` when non-null), or nullopt after printing a
+/// transport diagnostic.
+std::optional<support::JsonValue> roundTrip(int fd, const std::string& request,
+                                            std::string* raw = nullptr) {
   std::string error;
   if (!store::writeFrame(fd, request, &error)) {
     std::fprintf(stderr, "panorama_client: %s\n", error.c_str());
@@ -56,6 +84,7 @@ std::optional<support::JsonValue> roundTrip(int fd, const std::string& request) 
     std::fprintf(stderr, "panorama_client: malformed response: %s\n", error.c_str());
     return std::nullopt;
   }
+  if (raw) *raw = std::move(payload);
   return response;
 }
 
@@ -72,24 +101,57 @@ bool checkOk(const support::JsonValue& response) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return usage();
-  const std::string socketPath = argv[1];
-  const std::string op = argv[2];
+  // --timeout-ms is positional-agnostic; strip it before op parsing.
+  std::size_t timeoutMs = 0;
+  std::vector<std::string> args;
+  for (int k = 1; k < argc; ++k) {
+    std::string_view arg = argv[k];
+    if (arg.rfind("--timeout-ms=", 0) == 0) {
+      if (!parseCount(arg.substr(13), timeoutMs)) {
+        std::fprintf(stderr, "panorama_client: invalid --timeout-ms value\n");
+        return 2;
+      }
+    } else {
+      args.emplace_back(arg);
+    }
+  }
+  if (args.size() < 2) return usage();
+  const std::string& socketPath = args[0];
+  const std::string& op = args[1];
 
   std::string request;
   if (op == "ping") {
     request = "{\"id\":1,\"op\":\"ping\"}";
   } else if (op == "shutdown") {
     request = "{\"id\":1,\"op\":\"shutdown\"}";
+  } else if (op == "status") {
+    request = "{\"id\":1,\"op\":\"status\"}";
+  } else if (op == "metrics") {
+    request = "{\"id\":1,\"op\":\"metrics\"}";
+  } else if (op == "tail") {
+    std::size_t cursor = 0;
+    std::size_t maxEvents = 100;
+    for (std::size_t k = 2; k < args.size(); ++k) {
+      std::string_view arg = args[k];
+      if (arg.rfind("--cursor=", 0) == 0) {
+        if (!parseCount(arg.substr(9), cursor)) return usage();
+      } else if (arg.rfind("--max=", 0) == 0) {
+        if (!parseCount(arg.substr(6), maxEvents)) return usage();
+      } else {
+        return usage();
+      }
+    }
+    request = "{\"id\":1,\"op\":\"tail\",\"cursor\":" + std::to_string(cursor) +
+              ",\"max\":" + std::to_string(maxEvents) + "}";
   } else if (op == "submit") {
-    if (argc < 4) return usage();
-    const std::string file = argv[3];
+    if (args.size() < 3) return usage();
+    const std::string& file = args[2];
     std::string name = file;
     std::string sessionKey;
     bool explain = false;
     bool stats = false;
-    for (int k = 4; k < argc; ++k) {
-      std::string_view arg = argv[k];
+    for (std::size_t k = 3; k < args.size(); ++k) {
+      std::string_view arg = args[k];
       if (arg == "--explain") explain = true;
       else if (arg == "--stats") stats = true;
       else if (arg.rfind("--name=", 0) == 0) name = std::string(arg.substr(7));
@@ -121,12 +183,18 @@ int main(int argc, char** argv) {
   }
 
   std::string error;
-  int fd = store::connectUnixSocket(socketPath, &error);
+  int fd = store::connectUnixSocket(socketPath, &error, static_cast<int>(timeoutMs));
   if (fd < 0) {
     std::fprintf(stderr, "panorama_client: %s\n", error.c_str());
     return 2;
   }
-  std::optional<support::JsonValue> response = roundTrip(fd, request);
+  if (timeoutMs > 0 && !store::setSocketTimeout(fd, static_cast<int>(timeoutMs), &error)) {
+    std::fprintf(stderr, "panorama_client: %s\n", error.c_str());
+    ::close(fd);
+    return 2;
+  }
+  std::string raw;
+  std::optional<support::JsonValue> response = roundTrip(fd, request, &raw);
   ::close(fd);
   if (!response) return 2;
   if (!checkOk(*response)) return 1;
@@ -135,6 +203,10 @@ int main(int argc, char** argv) {
     std::printf("pong\n");
   } else if (op == "shutdown") {
     std::printf("daemon shutting down\n");
+  } else if (op == "status" || op == "metrics" || op == "tail") {
+    // Raw response JSON: these ops are consumed by scripts and dashboards.
+    std::fputs(raw.c_str(), stdout);
+    std::fputc('\n', stdout);
   } else {
     const support::JsonValue* report = response->find("report");
     if (report && report->isString()) std::fputs(report->asString().c_str(), stdout);
